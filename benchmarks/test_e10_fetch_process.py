@@ -1,0 +1,125 @@
+"""E10 / §IV-A, Fig. 6 — the fetch-process overlap workflow (real engine).
+
+Runs the actual producer/consumer pair locally: a producer thread fetches
+(synthesizes) 8 region images per batch and appends timestamps to a
+``q.proc`` file; the consumer follows the queue file (tail -f semantics)
+and processes batches with the engine as they land.
+
+Claims:
+
+* processing of batch k starts before the *last* fetch completes — the
+  overlap that motivates the pattern (vs. a barrier version that waits
+  for all fetches first);
+* the overlapped pipeline beats the barrier version's wall clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import render_table
+from repro.workloads.fetchprocess import (
+    REGIONS,
+    FileQueue,
+    fetch_batch,
+    follow,
+    process_batch,
+)
+
+N_BATCHES = 6
+FETCH_INTERVAL_S = 0.15  # scaled-down stand-in for the paper's 30 s cycle
+
+
+def run_overlapped(tmp_dir: str) -> dict:
+    import os
+
+    os.makedirs(tmp_dir, exist_ok=True)
+    data_dir = f"{tmp_dir}/data"
+    queue = FileQueue(f"{tmp_dir}/q.proc")
+    fetch_done = threading.Event()
+    first_process_start: list[float] = []
+    last_fetch_end: list[float] = []
+    metrics = {}
+
+    def producer():
+        for i in range(N_BATCHES):
+            ts = 1000 + i
+            fetch_batch(data_dir, ts, jobs=8)
+            queue.append(str(ts))
+            time.sleep(FETCH_INTERVAL_S)
+        last_fetch_end.append(time.monotonic())
+        fetch_done.set()
+
+    start = time.monotonic()
+    t = threading.Thread(target=producer)
+    t.start()
+    for ts in follow(queue.path, poll_s=0.01, stop=fetch_done.is_set, timeout_s=60):
+        if not first_process_start:
+            first_process_start.append(time.monotonic())
+        metrics[ts] = process_batch(data_dir, ts)
+    t.join()
+    wall = time.monotonic() - start
+    return {
+        "wall": wall,
+        "overlap": last_fetch_end[0] - first_process_start[0],
+        "metrics": metrics,
+    }
+
+
+def run_barrier(tmp_dir: str) -> dict:
+    data_dir = f"{tmp_dir}/data"
+    start = time.monotonic()
+    stamps = []
+    for i in range(N_BATCHES):
+        ts = 1000 + i
+        fetch_batch(data_dir, ts, jobs=8)
+        stamps.append(str(ts))
+        time.sleep(FETCH_INTERVAL_S)
+    metrics = {ts: process_batch(data_dir, ts) for ts in stamps}
+    return {"wall": time.monotonic() - start, "metrics": metrics}
+
+
+def test_e10_fetch_process_overlap(benchmark, report_file, tmp_path):
+    def experiment():
+        overlapped = run_overlapped(str(tmp_path / "ov"))
+        barrier = run_barrier(str(tmp_path / "ba"))
+        return overlapped, barrier
+
+    overlapped, barrier = run_once(benchmark, experiment)
+
+    rows = [
+        {"mode": "overlapped (queue + tail -f)", "wall_s": overlapped["wall"],
+         "batches": len(overlapped["metrics"])},
+        {"mode": "barrier (fetch all, then process)", "wall_s": barrier["wall"],
+         "batches": len(barrier["metrics"])},
+    ]
+    table = render_table(
+        "E10 - Fetch-process workflow: overlap vs barrier (real engine, local)",
+        ["mode", "wall_s", "batches"],
+        rows,
+        floatfmt="{:.2f}",
+    )
+    table += f"\nProcessing began {overlapped['overlap']:.2f}s before the last fetch finished"
+    report_file("e10_fetch_process", table)
+
+    # All batches processed, per-region metrics present and sane.
+    assert len(overlapped["metrics"]) == N_BATCHES
+    for per_region in overlapped["metrics"].values():
+        assert set(per_region) == set(REGIONS)
+        assert all(0.0 <= v <= 100.0 for v in per_region.values())
+
+    # Processing overlapped fetching (started well before fetches ended).
+    assert overlapped["overlap"] > 0
+
+    # Both modes compute identical metrics (determinism of the substitute).
+    for ts, per_region in overlapped["metrics"].items():
+        np.testing.assert_allclose(
+            sorted(per_region.values()), sorted(barrier["metrics"][ts].values())
+        )
+
+    # And the pipeline is no slower than the barrier version.
+    assert overlapped["wall"] <= barrier["wall"] * 1.2

@@ -1,0 +1,113 @@
+"""E8 / §II-III — orchestration overhead: engine vs a workflow system.
+
+The paper's headline: the Swift/T-scheduled BLAST workflow in WfBench [7]
+spent 500 s of pure orchestration on 50,000 launch-only tasks and up to
+5,000 s on 100,000, while GNU Parallel ran 1.152 M real tasks across
+9,000 Frontier nodes in 561 s total.
+
+We run launch-only (zero-duration) tasks through both systems:
+
+* the WMS baseline (calibrated to [7]'s 500 s @ 50k point; its 100k
+  value is then a model prediction);
+* the engine, single-node and multi-node (driver-sharded).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import render_table
+from repro.baselines import analytic_overhead, bag_of_tasks, fit_scan_cost, run_workflow_system
+from repro.cluster import FRONTIER, MachineSpec, SimMachine
+from repro.driver import run_multinode_batch
+from repro.sim import Environment
+from repro.slurm import Allocation
+
+TASK_COUNTS = (10_000, 50_000, 100_000)
+
+#: For the per-scale comparison the WfBench numbers are *pure
+#: orchestration* overhead (launch-only tasks, allocation already up), so
+#: the engine side runs on a machine without allocation/straggler noise.
+#: The paper-scale 561 s run keeps the full Frontier model.
+FRONTIER_ORCH = MachineSpec(
+    name="frontier-orch",
+    node=FRONTIER.node,
+    total_nodes=FRONTIER.total_nodes,
+    alloc_delay_mean=1e-9,
+    straggler_prob=0.0,
+)
+
+
+def wms_overhead(n: int, cost) -> float:
+    env = Environment()
+    return run_workflow_system(env, bag_of_tasks(n), cost).makespan
+
+
+def engine_multinode_makespan(
+    n_tasks: int, n_nodes: int, spec: MachineSpec = FRONTIER_ORCH
+) -> float:
+    env = Environment()
+    machine = SimMachine(env, spec, seed=11)
+    alloc = Allocation(machine, n_nodes)
+    run = run_multinode_batch(
+        alloc,
+        tasks_per_node=n_tasks // n_nodes,
+        duration_sampler=lambda rng, n: np.zeros(n),  # launch-only
+        jobs_per_node=128,
+    )
+    return run.makespan
+
+
+def test_e8_overhead_vs_workflow_system(benchmark, report_file):
+    cost = fit_scan_cost()  # calibrated: 500 s @ 50k tasks
+
+    def experiment():
+        wms = {n: wms_overhead(n, cost) for n in TASK_COUNTS}
+        engine = {
+            n: engine_multinode_makespan(n, max(1, n // 128)) for n in TASK_COUNTS
+        }
+        extreme = engine_multinode_makespan(1_152_000, 9000, spec=FRONTIER)
+        return wms, engine, extreme
+
+    wms, engine, extreme = run_once(benchmark, experiment)
+
+    rows = [
+        {
+            "tasks": n,
+            "wms_overhead_s": wms[n],
+            "engine_makespan_s": engine[n],
+            "engine/wms": engine[n] / wms[n],
+        }
+        for n in TASK_COUNTS
+    ]
+    table = render_table(
+        "E8 - Launch-only orchestration overhead: WMS baseline vs engine",
+        ["tasks", "wms_overhead_s", "engine_makespan_s", "engine/wms"],
+        rows,
+        floatfmt="{:.2f}",
+    )
+    table += (
+        f"\nEngine at paper scale: 1.152M tasks on 9,000 nodes -> "
+        f"{extreme:.0f} s (paper: 561 s)"
+        f"\nWMS reference points [7]: 500 s @ 50k (calibrated), "
+        f"5,000 s @ 100k (measured; our model predicts {wms[100_000]:.0f} s)"
+    )
+    report_file("e8_overhead_vs_wms", table)
+
+    # Calibration point reproduced.
+    assert wms[50_000] == pytest.approx(500, rel=0.05)
+    # Superlinear WMS blow-up: doubling tasks >3x overhead.
+    assert wms[100_000] > 3 * wms[50_000]
+    # Pure orchestration: the engine is >10x cheaper than the WMS at every
+    # scale (sharded dispatch at 470/s/node vs a centralized engine).
+    for n in TASK_COUNTS:
+        assert engine[n] < 0.1 * wms[n], f"engine not <10% of WMS at {n} tasks"
+    # Paper-scale run: 1.152M tasks in the 561 s ballpark — ~11x more tasks
+    # than [7]'s 100k point at ~11% of its reported 5,000 s overhead.
+    assert 200 < extreme < 900
+    assert extreme < 0.15 * 5000.0
+    assert extreme / 1_152_000 < (wms[100_000] / 100_000) / 10
+    # Analytic model agrees with the simulated WMS engine.
+    assert wms[50_000] == pytest.approx(analytic_overhead(50_000, cost), rel=0.02)

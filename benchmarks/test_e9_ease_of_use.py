@@ -1,0 +1,91 @@
+"""E9 / Listings 4-5 — ease of use and the srun-loop comparison.
+
+Two measurements:
+
+* script complexity: the engine one-liner vs the srun loop (paper: >90%
+  size reduction), with an equivalence check that both describe the same
+  36-task set;
+* runtime: the simulated Listing-4 srun loop vs the engine running the
+  same 36 launch-only tasks (the engine launches orders of magnitude
+  faster because it pays no per-task scheduler round-trip or sleep).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import render_table
+from repro.baselines import (
+    LISTING_4_SRUN_SCRIPT,
+    LISTING_5_PARALLEL_SCRIPT,
+    listing4_task_set,
+    listing5_task_set,
+    run_srun_loop,
+    script_complexity,
+)
+from repro.cluster import PERLMUTTER_CPU, SimMachine
+from repro.sim import Environment
+from repro.simengine import SimParallel, SimTask
+
+N_TASKS = 36  # 12 months x 3 apps
+TASK_DURATION = 30.0  # a modest per-slice analysis time
+
+
+def run_engine():
+    env = Environment()
+    machine = SimMachine(env, PERLMUTTER_CPU, with_lustre=False)
+    inst = SimParallel(machine.node(0), jobs=36)
+    proc = inst.run([SimTask(duration=TASK_DURATION) for _ in range(N_TASKS)])
+    env.run(until=proc)
+    return env.now
+
+
+def run_srun():
+    env = Environment()
+    res = run_srun_loop(env, np.full(N_TASKS, TASK_DURATION))
+    return res.makespan
+
+
+def test_e9_ease_of_use(benchmark, report_file):
+    def experiment():
+        return run_engine(), run_srun()
+
+    engine_time, srun_time = run_once(benchmark, experiment)
+
+    c4 = script_complexity(LISTING_4_SRUN_SCRIPT)
+    c5 = script_complexity(LISTING_5_PARALLEL_SCRIPT)
+    rows = [
+        {"metric": "lines", "listing4_srun": c4.lines, "listing5_parallel": c5.lines},
+        {"metric": "words", "listing4_srun": c4.words, "listing5_parallel": c5.words},
+        {
+            "metric": "control keywords",
+            "listing4_srun": c4.control_keywords,
+            "listing5_parallel": c5.control_keywords,
+        },
+        {
+            "metric": "makespan (s, 36x30s tasks)",
+            "listing4_srun": round(srun_time, 2),
+            "listing5_parallel": round(engine_time, 2),
+        },
+    ]
+    table = render_table(
+        "E9 - Ease of use: srun loop (Listing 4) vs engine (Listing 5)",
+        ["metric", "listing4_srun", "listing5_parallel"],
+        rows,
+    )
+    table += f"\nScript size reduction: {c5.reduction_vs(c4):.0%} (paper: >90%)"
+    report_file("e9_ease_of_use", table)
+
+    # Same work, expressed in far less script.
+    assert listing4_task_set() == listing5_task_set()
+    assert c5.reduction_vs(c4) >= 0.85
+    assert c5.control_keywords == 0
+
+    # The engine also *runs* faster: no sleep 0.2 + controller round-trips.
+    assert engine_time < srun_time
+    # With -j36 >= 36 tasks, the engine's makespan is ~ one task duration.
+    assert engine_time == pytest.approx(TASK_DURATION, rel=0.05)
+    # The srun loop serializes launches: >= 36 * 0.2 s of sleeps alone.
+    assert srun_time >= N_TASKS * 0.2

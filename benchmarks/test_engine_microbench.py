@@ -1,0 +1,54 @@
+"""Real-engine microbenchmarks (multi-round pytest-benchmark timing).
+
+These measure the Python engine itself on the local machine — the analog
+of the paper's single-node stress numbers, on real processes:
+
+* dispatch throughput for no-op callables (engine bookkeeping cost);
+* dispatch throughput for real ``/bin/true`` subprocesses;
+* template rendering cost (the per-job hot path).
+"""
+
+from __future__ import annotations
+
+from repro import Parallel
+from repro.core.template import CommandTemplate
+
+
+def test_callable_dispatch_throughput(benchmark):
+    """Jobs/s through the engine with a no-op Python callable."""
+    n = 200
+
+    def run():
+        summary = Parallel(lambda x: None, jobs=8).run(range(n))
+        assert summary.n_succeeded == n
+        return summary
+
+    summary = benchmark(run)
+    # Sanity: dozens of jobs/s at the very least, on any machine.
+    assert n / benchmark.stats.stats.mean > 50
+
+
+def test_subprocess_dispatch_throughput(benchmark):
+    """Jobs/s launching real /bin/true subprocesses (fork+exec included)."""
+    n = 64
+
+    def run():
+        summary = Parallel("true # {}", jobs=8).run(range(n))
+        assert summary.n_succeeded == n
+        return summary
+
+    benchmark(run)
+    assert n / benchmark.stats.stats.mean > 20
+
+
+def test_template_render_hot_path(benchmark):
+    """Per-job render cost must stay in the microsecond regime."""
+    t = CommandTemplate("convert {1} -scale {2}% {1/.}_{2}.png {#} {%}")
+    args = ("/data/images/photo.jpg", "50")
+
+    def render():
+        return t.render(args, seq=12345, slot=7)
+
+    out = benchmark(render)
+    assert "photo_50.png" in out
+    assert benchmark.stats.stats.mean < 1e-3  # well under a millisecond

@@ -1,0 +1,95 @@
+"""E1 / Fig. 1 — weak scaling on Frontier.
+
+One GNU Parallel instance per node, 128 payload tasks each (hostname +
+timestamp to node-local NVMe, then an aggregated transfer to Lustre),
+from 1,000 up to 9,000 nodes (1.152 M tasks).
+
+Paper claims reproduced as assertions:
+
+* linear weak scaling: medians stay flat-ish (minutes, not hours);
+* half the processes finish in under a minute at every scale;
+* 75% finish in under two minutes at 8,000 nodes;
+* greater variance at 9,000 nodes from outlier nodes (whisker/tail grows
+  at >= 7,000 nodes);
+* max completion at 9,000 nodes within the paper's 561 s ballpark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import box_stats, render_boxplot, render_table
+from repro.cluster import FRONTIER, SimMachine
+from repro.driver import run_multinode_batch
+from repro.sim import Environment
+from repro.slurm import Allocation
+from repro.workloads.payload import PAYLOAD_STDOUT_BYTES, payload_duration_sampler
+
+NODE_COUNTS = (1000, 3000, 5000, 7000, 8000, 9000)
+TASKS_PER_NODE = 128
+SEED = 42
+
+
+def run_scale(n_nodes: int):
+    env = Environment()
+    machine = SimMachine(env, FRONTIER, seed=SEED)
+    alloc = Allocation(machine, n_nodes)
+    run = run_multinode_batch(
+        alloc,
+        tasks_per_node=TASKS_PER_NODE,
+        duration_sampler=payload_duration_sampler,
+        jobs_per_node=TASKS_PER_NODE,
+        stage_out_bytes=PAYLOAD_STDOUT_BYTES * TASKS_PER_NODE,
+        nvme_write_bytes=PAYLOAD_STDOUT_BYTES * TASKS_PER_NODE,
+    )
+    return run
+
+
+def test_fig1_weak_scaling(benchmark, report_file):
+    def experiment():
+        return {n: run_scale(n) for n in NODE_COUNTS}
+
+    runs = run_once(benchmark, experiment)
+
+    rows = []
+    for n, run in runs.items():
+        stats = box_stats(run.completion_times)
+        row = {"nodes": n, "tasks": run.n_tasks, **stats.row()}
+        row["makespan"] = run.makespan
+        rows.append(row)
+    table = render_table(
+        "Fig. 1 - Weak scaling on Frontier (completion times, seconds)",
+        ["nodes", "tasks", "min", "p25", "median", "p75", "max", "makespan"],
+        rows,
+        floatfmt="{:.1f}",
+    )
+    table += "\n\n" + render_boxplot(
+        "Fig. 1 (box form) - completion-time distribution by node count",
+        {n: run.completion_times for n, run in runs.items()},
+        unit="s",
+    )
+    report_file("fig1_weak_scaling", table)
+
+    by_nodes = {r["nodes"]: r for r in rows}
+
+    # 9,000 nodes really is 1.152 M tasks.
+    assert by_nodes[9000]["tasks"] == 1_152_000
+
+    # Half the processes complete in under a minute, at every scale.
+    for n in NODE_COUNTS:
+        assert by_nodes[n]["median"] < 60.0, f"median blew up at {n} nodes"
+
+    # 75% complete in under two minutes with 8,000 nodes.
+    assert by_nodes[8000]["p75"] < 120.0
+
+    # Linear weak scaling: median grows sub-2x from 1k to 9k nodes.
+    assert by_nodes[9000]["median"] < 2.0 * by_nodes[1000]["median"]
+
+    # Outlier tail at extreme scale: the max at >=7,000 nodes dwarfs the
+    # max at 1,000 nodes, and the 9,000-node max is in the paper's range.
+    assert max(by_nodes[n]["max"] for n in (7000, 8000, 9000)) > 2 * by_nodes[1000]["max"]
+    assert 300.0 < by_nodes[9000]["max"] < 900.0  # paper: 561 s
+
+    # Low overhead headline: 1.152 M tasks complete within ~10 minutes.
+    assert by_nodes[9000]["makespan"] < 600.0

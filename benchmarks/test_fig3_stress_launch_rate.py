@@ -1,0 +1,83 @@
+"""E3 / Fig. 3 + E11 — launch-rate stress test on a Perlmutter CPU node.
+
+Sweep the number of concurrent GNU Parallel instances launching no-op
+tasks and measure the aggregate sustained launch rate.  Claims:
+
+* a single instance launches ~470 processes/s;
+* the aggregate saturates at ~6,400 processes/s (the node fork ceiling);
+* derived full-utilization floors: 545 ms/task (1 instance, 256 threads)
+  and 40 ms/task (saturated node).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import full_utilization_task_floor, launch_rate, render_series
+from repro.cluster import (
+    ENGINE_DISPATCH_RATE,
+    NODE_FORK_RATE,
+    PERLMUTTER_CPU,
+    SimMachine,
+)
+from repro.sim import Environment
+from repro.simengine import SimParallel, SimTask
+
+INSTANCE_COUNTS = (1, 2, 4, 8, 16, 32)
+TASKS_PER_INSTANCE = 600
+
+
+def measure_rate(n_instances: int) -> float:
+    env = Environment()
+    machine = SimMachine(env, PERLMUTTER_CPU, with_lustre=False)
+    node = machine.node(0)
+    jobs_per_instance = max(1, 256 // n_instances)
+    procs = [
+        SimParallel(node, jobs=jobs_per_instance, name=f"inst{i}").run(
+            [SimTask(duration=0.0) for _ in range(TASKS_PER_INSTANCE)]
+        )
+        for i in range(n_instances)
+    ]
+    launches: list[float] = []
+    for p in procs:
+        launches.extend(r.launch_time for r in env.run(until=p))
+    return launch_rate(launches)
+
+
+def test_fig3_launch_rate_sweep(benchmark, report_file):
+    def experiment():
+        return {n: measure_rate(n) for n in INSTANCE_COUNTS}
+
+    rates = run_once(benchmark, experiment)
+
+    chart = render_series(
+        "Fig. 3 - Tasks launched per second vs engine instances (Perlmutter)",
+        list(rates.keys()),
+        [round(v, 1) for v in rates.values()],
+        x_label="instances",
+        y_label="launches/s",
+    )
+    floors = (
+        f"\nDerived full-utilization task-duration floors (256 threads):\n"
+        f"  single instance : {full_utilization_task_floor(256, rates[1]):.3f} s"
+        f"  (paper: 0.545 s)\n"
+        f"  saturated node  : {full_utilization_task_floor(256, rates[32]):.3f} s"
+        f"  (paper: 0.040 s)"
+    )
+    report_file("fig3_stress_launch_rate", chart + floors)
+
+    # Single instance ~470/s.
+    assert rates[1] == pytest.approx(ENGINE_DISPATCH_RATE, rel=0.05)
+    # Monotone non-decreasing with instance count.
+    vals = list(rates.values())
+    assert all(b >= a * 0.98 for a, b in zip(vals, vals[1:]))
+    # Saturation at the fork ceiling ~6,400/s.
+    assert rates[32] == pytest.approx(NODE_FORK_RATE, rel=0.05)
+    # Doubling instances stops helping once saturated.
+    assert rates[32] < rates[16] * 1.15
+
+    # E11: utilization floors match the paper's 545 ms / 40 ms.
+    assert full_utilization_task_floor(256, rates[1]) == pytest.approx(0.545, abs=0.03)
+    assert full_utilization_task_floor(256, rates[32]) == pytest.approx(0.040, abs=0.004)

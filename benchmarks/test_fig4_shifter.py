@@ -1,0 +1,73 @@
+"""E4 / Fig. 4 — Shifter container launch rate on a Perlmutter CPU node.
+
+Same stress harness as Fig. 3, but every task starts inside a Shifter
+container.  Claims:
+
+* the ceiling is ~5,200 container launches/s;
+* that is ~19% startup overhead relative to bare metal's ~6,400/s;
+* Shifter launches are reliable (no failures) even saturated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import launch_rate, render_series
+from repro.cluster import NODE_FORK_RATE, PERLMUTTER_CPU, SHIFTER_LAUNCH_RATE, SimMachine
+from repro.containers import BARE_METAL, SHIFTER
+from repro.sim import Environment
+from repro.simengine import SimParallel, SimTask
+
+INSTANCE_COUNTS = (1, 2, 4, 8, 16, 32)
+TASKS_PER_INSTANCE = 400
+
+
+def measure(runtime, n_instances: int):
+    env = Environment()
+    machine = SimMachine(env, PERLMUTTER_CPU, with_lustre=False)
+    node = machine.node(0)
+    procs = [
+        SimParallel(
+            node, jobs=max(1, 256 // n_instances), runtime=runtime, name=f"i{i}"
+        ).run([SimTask(duration=0.0) for _ in range(TASKS_PER_INSTANCE)])
+        for i in range(n_instances)
+    ]
+    results = []
+    for p in procs:
+        results.extend(env.run(until=p))
+    ok = [r for r in results if r.ok]
+    return launch_rate([r.launch_time for r in ok]), len(results) - len(ok)
+
+
+def test_fig4_shifter_launch_rate(benchmark, report_file):
+    def experiment():
+        shifter = {n: measure(SHIFTER, n) for n in INSTANCE_COUNTS}
+        bare_peak, _ = measure(BARE_METAL, 32)
+        return shifter, bare_peak
+
+    shifter, bare_peak = run_once(benchmark, experiment)
+
+    rates = {n: r for n, (r, _) in shifter.items()}
+    chart = render_series(
+        "Fig. 4 - Shifter container launches/s vs engine instances",
+        list(rates.keys()),
+        [round(v, 1) for v in rates.values()],
+        x_label="instances",
+        y_label="launches/s",
+    )
+    overhead = 1.0 - rates[32] / bare_peak
+    summary = (
+        f"\nShifter ceiling : {rates[32]:.0f}/s (paper: ~5,200/s)\n"
+        f"Bare-metal peak : {bare_peak:.0f}/s (paper: ~6,400/s)\n"
+        f"Startup overhead: {overhead:.1%} (paper: ~19%)"
+    )
+    report_file("fig4_shifter", chart + summary)
+
+    assert rates[32] == pytest.approx(SHIFTER_LAUNCH_RATE, rel=0.05)
+    assert bare_peak == pytest.approx(NODE_FORK_RATE, rel=0.05)
+    assert overhead == pytest.approx(0.19, abs=0.02)
+    # No launch failures at any concurrency.
+    assert all(fails == 0 for _, fails in shifter.values())
+    # A single instance is dispatcher-bound, not Shifter-bound.
+    assert rates[1] < 500.0

@@ -1,0 +1,77 @@
+"""E5 / Fig. 5 — Podman-HPC container launch rate on a Perlmutter CPU node.
+
+Sweep the ``-j`` jobs parameter (the figure's x-axis) for a fixed set of
+engine instances.  Claims:
+
+* the ceiling is ~65 launches/s — two orders of magnitude below Shifter;
+* reliability failures (user namespaces, database locking, setgid, task
+  tmp directories) appear at larger scales/concurrency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import launch_rate, render_series
+from repro.cluster import PERLMUTTER_CPU, PODMAN_LAUNCH_RATE, SHIFTER_LAUNCH_RATE, SimMachine
+from repro.containers import PODMAN_HPC
+from repro.sim import Environment
+from repro.simengine import SimParallel, SimTask
+
+JOBS_SWEEP = (1, 4, 16, 64)
+N_INSTANCES = 4
+TASKS_PER_INSTANCE = 120
+
+
+def measure(jobs: int):
+    env = Environment()
+    machine = SimMachine(env, PERLMUTTER_CPU, seed=3, with_lustre=False)
+    node = machine.node(0)
+    procs = [
+        SimParallel(node, jobs=jobs, runtime=PODMAN_HPC, name=f"i{i}").run(
+            [SimTask(duration=0.0) for _ in range(TASKS_PER_INSTANCE)]
+        )
+        for i in range(N_INSTANCES)
+    ]
+    results = []
+    for p in procs:
+        results.extend(env.run(until=p))
+    ok = [r for r in results if r.ok]
+    failures = dict(node.launch_failures)
+    return launch_rate([r.launch_time for r in ok]), failures, len(results) - len(ok)
+
+
+def test_fig5_podman_launch_rate(benchmark, report_file):
+    def experiment():
+        return {j: measure(j) for j in JOBS_SWEEP}
+
+    sweep = run_once(benchmark, experiment)
+
+    rates = {j: r for j, (r, _, _) in sweep.items()}
+    chart = render_series(
+        "Fig. 5 - Podman-HPC container launches/s vs -j (4 engine instances)",
+        list(rates.keys()),
+        [round(v, 1) for v in rates.values()],
+        x_label="-j jobs",
+        y_label="launches/s",
+    )
+    _, fail_modes, n_failed = sweep[max(JOBS_SWEEP)]
+    summary = (
+        f"\nPodman ceiling: {max(rates.values()):.1f}/s (paper: ~65/s)\n"
+        f"Failures at -j{max(JOBS_SWEEP)}: {n_failed} "
+        f"by mode: {fail_modes or '{}'}"
+    )
+    report_file("fig5_podman", chart + summary)
+
+    # Ceiling ~65/s, regardless of -j.
+    for j, rate in rates.items():
+        assert rate <= PODMAN_LAUNCH_RATE * 1.10, f"-j{j} beat the db lock?"
+    assert max(rates.values()) == pytest.approx(PODMAN_LAUNCH_RATE, rel=0.10)
+
+    # Two orders of magnitude below Shifter.
+    assert SHIFTER_LAUNCH_RATE / max(rates.values()) > 50
+
+    # Reliability issues appear at larger concurrency, with the reported modes.
+    assert n_failed > 0
+    assert set(fail_modes) <= {"user_namespace", "db_lock", "setgid", "tmpdir"}

@@ -1,0 +1,49 @@
+"""Real-machine analog of Fig. 3: multi-instance scaling, local processes.
+
+Runs the actual engine (real ``/bin/true`` subprocesses) as 1, 2, and 4
+concurrent instances over cyclic shards — the Listing-1 pattern on one
+box.  Absolute rates depend on this machine; the assertions only pin
+sanity (all work done exactly once, rates positive, table printed).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis import render_table
+from repro.driver import run_local_sharded
+
+N_INPUTS = 96
+
+
+def measure(n_instances: int) -> dict:
+    run = run_local_sharded(
+        "true # {}", list(range(N_INPUTS)), n_instances=n_instances,
+        jobs_per_instance=4,
+    )
+    assert run.ok and run.n_succeeded == N_INPUTS
+    return {
+        "launch_rate": run.aggregate_launch_rate,
+        "wall_s": run.wall_time,
+    }
+
+
+def test_local_multi_instance_scaling(benchmark, report_file):
+    def experiment():
+        return {n: measure(n) for n in (1, 2, 4)}
+
+    rates = run_once(benchmark, experiment)
+    table = render_table(
+        "Real local engine: aggregate launch rate vs instance count "
+        "(96 x /bin/true)",
+        ["instances", "launch_rate", "wall_s"],
+        [
+            {"instances": n, "launch_rate": m["launch_rate"], "wall_s": m["wall_s"]}
+            for n, m in rates.items()
+        ],
+        floatfmt="{:.1f}",
+    )
+    report_file("local_real_scaling", table)
+
+    for m in rates.values():
+        assert m["launch_rate"] > 10  # dozens/s minimum on any machine
+        assert m["wall_s"] < 60

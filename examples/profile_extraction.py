@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Extracting a parallel profile from an execution — the paper's
+"quick prototyping tool to design and extract parallel profiles" use.
+
+Runs a mixed-duration workload twice (with -j2 and -j8), records each
+run's joblog and JSON profile, and reports concurrency/utilization — the
+measurements you would use to size a production allocation.
+
+Run:  python examples/profile_extraction.py
+"""
+
+import sys
+import tempfile
+
+from repro import Parallel
+from repro.analysis import profile_intervals
+from repro.core.progress import ProgressBar
+
+# A synthetic application with an uneven parallel profile: a few long
+# tasks, many short ones (the classic straggler-prone mix).
+DURATIONS = [0.4, 0.1, 0.1, 0.1, 0.3, 0.1, 0.1, 0.4, 0.1, 0.1, 0.1, 0.2]
+
+
+def run_with(jobs: int):
+    with tempfile.NamedTemporaryFile(suffix=".joblog") as log:
+        summary = Parallel(
+            "sleep {}", jobs=jobs, joblog=log.name,
+            progress=ProgressBar(sys.stderr, min_interval=0.5),
+        ).run([str(d) for d in DURATIONS])
+    assert summary.ok
+    profile = profile_intervals(
+        [r.start_time for r in summary.results],
+        [r.end_time for r in summary.results],
+    )
+    return summary, profile
+
+
+def main() -> None:
+    for jobs in (2, 8):
+        summary, p = run_with(jobs)
+        print(f"\n-j{jobs}: {p.n_jobs} jobs in {p.makespan:.2f}s wall")
+        print(f"  peak concurrency : {p.peak_concurrency}")
+        print(f"  mean concurrency : {p.mean_concurrency:.2f}")
+        print(f"  slot utilization : {p.utilization(jobs):.0%} of {jobs} slots")
+        print(f"  speedup vs serial: {p.speedup_vs_serial:.2f}x "
+              f"(serial fraction {p.serial_fraction:.0%})")
+    print("\nreading: with -j8 the long tasks bound the makespan — utilization"
+          "\ndrops, telling you this workload saturates around 4-5 slots.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: the engine's public API in five minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+import sys
+import tempfile
+
+from repro import Parallel, run_parallel
+
+
+def main() -> None:
+    # 1. Shell commands with replacement strings, GNU Parallel style.
+    #    (echo {} ::: apple banana cherry)
+    print("== shell commands ==")
+    summary = Parallel("echo got {}", jobs=2, keep_order=True,
+                       output=sys.stdout).run(["apple", "banana", "cherry"])
+    print(f"-> {summary.n_succeeded} jobs ok, wall {summary.wall_time:.2f}s")
+
+    # 2. Path-manipulating replacement strings and multiple input sources
+    #    (dry run prints what would execute: convert {1} -scale {2}% ...).
+    print("\n== replacement strings + two input sources (dry run) ==")
+    p = Parallel("convert {1} -scale {2}% {1/.}_{2}.png",
+                 dry_run=True, keep_order=True, output=sys.stdout)
+    p.run_sources([["/img/a.jpg", "/img/b.jpg"], ["25", "50"]])
+
+    # 3. Python callables: the "last-mile parallelizing driver".
+    print("\n== callables ==")
+    squares = Parallel(lambda x: int(x) ** 2, jobs=4).map(range(8))
+    print(f"squares: {squares}")
+
+    # 4. Sequence/slot tokens — the {%} slot number drives GPU isolation.
+    print("\n== job slots ==")
+    summary = Parallel("echo job {#} ran in slot {%}", jobs=2,
+                       keep_order=True, output=sys.stdout).run("abcd")
+
+    # 5. Joblog + resume: crash-safe batch processing.
+    print("\n== joblog / resume ==")
+    with tempfile.NamedTemporaryFile(suffix=".joblog") as log:
+        first = run_parallel("exit {}", ["0", "1", "0"], jobs=1, joblog=log.name)
+        print(f"first run: {first.n_succeeded} ok, {first.n_failed} failed")
+        second = run_parallel("exit 0 # {}", ["0", "1", "0"], jobs=1,
+                              joblog=log.name, resume_failed=True)
+        print(f"resume-failed: re-ran {second.n_dispatched} job(s), "
+              f"skipped {second.n_skipped}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Thin shim for offline environments without PEP 517 build isolation
+# (`python setup.py develop`); configuration lives in pyproject.toml.
+setup(entry_points={"console_scripts": ["pyparallel=repro.core.cli:main"]})

@@ -1,0 +1,50 @@
+"""repro — reproduction of "Enabling Low-Overhead HT-HPC Workflows at
+Extreme Scale using GNU Parallel" (SC 2024).
+
+Two halves:
+
+* :mod:`repro.core` — a from-scratch, GNU Parallel-compatible parallel
+  execution engine (replacement strings, input sources, job slots, halt /
+  retry / resume semantics) that runs real subprocesses and Python
+  callables locally; and
+* a calibrated discrete-event supercomputer simulator
+  (:mod:`repro.sim`, :mod:`repro.cluster`, :mod:`repro.slurm`,
+  :mod:`repro.storage`, :mod:`repro.containers`, :mod:`repro.gpu`,
+  :mod:`repro.dtn`) on which the paper's extreme-scale experiments are
+  replayed (Frontier weak scaling, Perlmutter launch-rate stress tests,
+  container launches, the Darshan staging pipeline, DTN data motion).
+
+Quickstart::
+
+    from repro import Parallel
+    summary = Parallel("echo {}", jobs=4, keep_order=True).run("abc")
+"""
+
+from repro.core import (
+    CommandTemplate,
+    HaltSpec,
+    Job,
+    JobResult,
+    JobState,
+    Options,
+    Parallel,
+    QueueSource,
+    RunSummary,
+    run_parallel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Parallel",
+    "run_parallel",
+    "QueueSource",
+    "CommandTemplate",
+    "HaltSpec",
+    "Options",
+    "Job",
+    "JobResult",
+    "JobState",
+    "RunSummary",
+    "__version__",
+]

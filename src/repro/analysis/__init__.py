@@ -1,0 +1,35 @@
+"""Statistics, metrics, and ASCII reporting for the benchmark harness."""
+
+from repro.analysis.figures import render_boxplot
+from repro.analysis.profile import ParallelProfile, concurrency_timeline, profile_intervals
+from repro.analysis.metrics import (
+    full_utilization_task_floor,
+    launch_rate,
+    makespan,
+    mb_per_s,
+    speedup,
+)
+from repro.analysis.report import format_seconds, render_series, render_table
+from repro.analysis.stats import BoxStats, box_stats, iqr, trimmed_span
+from repro.analysis.sweep import grid_points, sweep
+
+__all__ = [
+    "BoxStats",
+    "box_stats",
+    "iqr",
+    "trimmed_span",
+    "launch_rate",
+    "full_utilization_task_floor",
+    "speedup",
+    "mb_per_s",
+    "makespan",
+    "format_seconds",
+    "render_series",
+    "render_table",
+    "render_boxplot",
+    "ParallelProfile",
+    "concurrency_timeline",
+    "profile_intervals",
+    "grid_points",
+    "sweep",
+]

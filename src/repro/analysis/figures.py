@@ -1,0 +1,75 @@
+"""ASCII box-plot rendering — the form Figs. 1 and 2 use in the paper.
+
+:func:`render_boxplot` draws one row per group: min/whisker, interquartile
+box, median marker, and outlier-region whisker, on a shared horizontal
+scale.  Example::
+
+    Fig.1 completion times (s)
+     1000 |--[##M####]----------|                       max 113
+     9000 |---[###M#####]-------------------------------| max 565
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence  # noqa: F401 (Sequence used in union annotation)
+
+import numpy as np
+
+from repro.analysis.stats import BoxStats, box_stats
+
+__all__ = ["render_boxplot"]
+
+
+def _position(value: float, lo: float, hi: float, width: int) -> int:
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(width - 1, max(0, int(round(frac * (width - 1)))))
+
+
+def render_boxplot(
+    title: str,
+    groups: "Mapping[object, np.ndarray] | Sequence[tuple[object, np.ndarray]]",
+    width: int = 60,
+    unit: str = "",
+) -> str:
+    """Render labelled samples as aligned ASCII box plots.
+
+    ``groups`` maps labels to sample arrays (ordered).  The scale spans
+    the global min..max; each row shows ``-`` whiskers, ``#`` for the
+    interquartile box, and ``M`` at the median.
+    """
+    items = list(groups.items()) if isinstance(groups, Mapping) else list(groups)
+    if not items:
+        raise ValueError("render_boxplot needs at least one group")
+    stats: list[tuple[object, BoxStats]] = [
+        (label, box_stats(np.asarray(values, dtype=float))) for label, values in items
+    ]
+    lo = min(s.minimum for _, s in stats)
+    hi = max(s.maximum for _, s in stats)
+    label_w = max(len(str(label)) for label, _ in stats)
+
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"{'':>{label_w}}  scale: {lo:.1f} .. {hi:.1f} {unit}".rstrip()
+    )
+    for label, s in stats:
+        row = [" "] * width
+        p_min = _position(s.minimum, lo, hi, width)
+        p_q1 = _position(s.q1, lo, hi, width)
+        p_med = _position(s.median, lo, hi, width)
+        p_q3 = _position(s.q3, lo, hi, width)
+        p_max = _position(s.maximum, lo, hi, width)
+        for i in range(p_min, p_q1):
+            row[i] = "-"
+        for i in range(p_q1, p_q3 + 1):
+            row[i] = "#"
+        for i in range(p_q3 + 1, p_max + 1):
+            row[i] = "-"
+        row[p_min] = "|"
+        row[p_max] = "|"
+        row[p_med] = "M"
+        lines.append(
+            f"{str(label):>{label_w}} {''.join(row)} max {s.maximum:.1f}"
+        )
+    return "\n".join(lines)

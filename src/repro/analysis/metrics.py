@@ -1,0 +1,63 @@
+"""Experiment metrics: launch rates, utilization floors, speed-ups."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "launch_rate",
+    "full_utilization_task_floor",
+    "speedup",
+    "mb_per_s",
+    "makespan",
+]
+
+
+def launch_rate(launch_times: Sequence[float]) -> float:
+    """Sustained launches/second over a sequence of launch timestamps.
+
+    The Fig. 3-5 metric: (N-1) launches over the span between the first
+    and last launch.  Infinite for a single launch or zero span.
+    """
+    times = np.asarray(sorted(launch_times), dtype=float)
+    if times.size < 2:
+        return float("inf")
+    span = float(times[-1] - times[0])
+    return float("inf") if span <= 0 else (times.size - 1) / span
+
+
+def full_utilization_task_floor(cores: int, rate: float) -> float:
+    """Minimum task duration (s) that keeps ``cores`` busy at ``rate``.
+
+    §III: with one instance at 470 jobs/s on 256 threads, tasks must last
+    at least 256/470 ≈ 545 ms; at 6,400 jobs/s, 40 ms.
+    """
+    if cores < 1 or rate <= 0:
+        raise ValueError("cores must be >= 1 and rate > 0")
+    return cores / rate
+
+
+def speedup(baseline_time: float, improved_time: float) -> float:
+    """Baseline/improved ratio (the paper's '200x' style numbers)."""
+    if improved_time <= 0:
+        raise ValueError("improved_time must be > 0")
+    return baseline_time / improved_time
+
+
+def mb_per_s(nbytes: float, seconds: float, bits: bool = True) -> float:
+    """Throughput in Mb/s (paper's unit for DTN transfers) or MB/s."""
+    if seconds <= 0:
+        raise ValueError("seconds must be > 0")
+    scale = 8 if bits else 1
+    return nbytes * scale / 1e6 / seconds
+
+
+def makespan(start_times: Sequence[float], end_times: Sequence[float]) -> float:
+    """Earliest start to latest end — Fig. 1's reported quantity."""
+    starts = np.asarray(start_times, dtype=float)
+    ends = np.asarray(end_times, dtype=float)
+    if starts.size == 0 or ends.size == 0:
+        return 0.0
+    return float(ends.max() - starts.min())

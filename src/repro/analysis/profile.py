@@ -1,0 +1,99 @@
+"""Parallel-profile extraction from run results.
+
+The paper's conclusion positions GNU Parallel as "a quick prototyping
+tool to design and extract parallel profiles from application
+executions".  Given job (start, end) intervals — from a real
+:class:`~repro.core.job.RunSummary`, a joblog, or simulated results —
+these functions compute the profile: concurrency over time, average
+utilization against a slot budget, and the serial fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ParallelProfile", "concurrency_timeline", "profile_intervals"]
+
+
+def concurrency_timeline(
+    starts: Sequence[float], ends: Sequence[float]
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Step function of in-flight job count.
+
+    Returns ``(times, counts)`` where ``counts[i]`` is the number of jobs
+    running in the half-open interval ``[times[i], times[i+1])``.
+    """
+    starts = np.asarray(starts, dtype=float)
+    ends = np.asarray(ends, dtype=float)
+    if starts.shape != ends.shape:
+        raise ValueError("starts and ends must have equal length")
+    if starts.size == 0:
+        return np.empty(0), np.empty(0, dtype=int)
+    if (ends < starts).any():
+        raise ValueError("job with end < start")
+    events = np.concatenate(
+        [np.stack([starts, np.ones_like(starts)], axis=1),
+         np.stack([ends, -np.ones_like(ends)], axis=1)]
+    )
+    order = np.lexsort((-events[:, 1], events[:, 0]))  # starts before ends at ties
+    events = events[order]
+    times = events[:, 0]
+    counts = np.cumsum(events[:, 1]).astype(int)
+    # Merge duplicate timestamps (keep the final count at each instant).
+    keep = np.append(times[1:] != times[:-1], True)
+    return times[keep], counts[keep]
+
+
+@dataclass(frozen=True)
+class ParallelProfile:
+    """Summary of a run's parallel structure."""
+
+    n_jobs: int
+    makespan: float
+    total_busy: float  # sum of job durations
+    peak_concurrency: int
+    mean_concurrency: float
+    serial_fraction: float  # share of wall time with <= 1 job in flight
+
+    def utilization(self, slots: int) -> float:
+        """Average busy fraction of ``slots`` execution slots."""
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        if self.makespan <= 0:
+            return 0.0
+        return min(1.0, self.total_busy / (self.makespan * slots))
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Achieved speedup over running every job back to back."""
+        return self.total_busy / self.makespan if self.makespan > 0 else 1.0
+
+
+def profile_intervals(
+    starts: Sequence[float], ends: Sequence[float]
+) -> ParallelProfile:
+    """Compute a :class:`ParallelProfile` from job intervals."""
+    starts = np.asarray(starts, dtype=float)
+    ends = np.asarray(ends, dtype=float)
+    if starts.size == 0:
+        return ParallelProfile(0, 0.0, 0.0, 0, 0.0, 1.0)
+    times, counts = concurrency_timeline(starts, ends)
+    spans = np.diff(times)
+    active_counts = counts[:-1]
+    makespan = float(ends.max() - starts.min())
+    total_busy = float((ends - starts).sum())
+    mean_conc = (
+        float((active_counts * spans).sum() / spans.sum()) if spans.size else 0.0
+    )
+    serial_time = float(spans[active_counts <= 1].sum()) if spans.size else 0.0
+    return ParallelProfile(
+        n_jobs=int(starts.size),
+        makespan=makespan,
+        total_busy=total_busy,
+        peak_concurrency=int(counts.max()),
+        mean_concurrency=mean_conc,
+        serial_fraction=serial_time / makespan if makespan > 0 else 1.0,
+    )

@@ -1,0 +1,73 @@
+"""ASCII rendering of experiment tables and simple series "figures".
+
+The benchmark harness prints the same rows/series the paper's figures
+show; these helpers keep that output consistent and legible in a
+terminal (and in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "format_seconds"]
+
+
+def format_seconds(value: float) -> str:
+    """Human-oriented seconds: ms below 1 s, m/h above 120 s."""
+    if value < 0:
+        return f"-{format_seconds(-value)}"
+    if value < 1.0:
+        return f"{value * 1000:.1f}ms"
+    if value < 120.0:
+        return f"{value:.1f}s"
+    if value < 7200.0:
+        return f"{value / 60:.1f}m"
+    return f"{value / 3600:.2f}h"
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, object]],
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """A fixed-width table; missing cells render as '-'."""
+    def cell(row: Mapping[str, object], col: str) -> str:
+        v = row.get(col, "-")
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    body = [[cell(r, c) for c in columns] for r in rows]
+    widths = [
+        max(len(col), *(len(b[i]) for b in body)) if body else len(col)
+        for i, col in enumerate(columns)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append(sep)
+    for b in body:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(b, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 48,
+) -> str:
+    """A horizontal-bar sketch of a (x, y) series — a terminal 'figure'."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    lines = [title, "=" * len(title), f"{x_label:>12} | {y_label}"]
+    if not ys:
+        return "\n".join(lines + ["(empty)"])
+    y_max = max(ys) or 1.0
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(round(width * y / y_max))) if y > 0 else ""
+        lines.append(f"{x:>12g} | {bar} {y:g}")
+    return "\n".join(lines)

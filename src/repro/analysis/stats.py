@@ -1,0 +1,78 @@
+"""Summary statistics for experiment results (box stats, IQR, percentiles).
+
+Fig. 1 and Fig. 2 present distributions as box plots (median, quartiles,
+whiskers, outliers); :func:`box_stats` computes exactly those five numbers
+plus mean/count so benchmark output can print the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoxStats", "box_stats", "iqr", "trimmed_span"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary (plus mean/count) of a sample."""
+
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+    @property
+    def whisker_high(self) -> float:
+        """Tukey upper whisker (largest point <= q3 + 1.5*IQR)."""
+        return self.q3 + 1.5 * self.iqr
+
+    def row(self) -> dict[str, float]:
+        """A flat dict for table rendering."""
+        return {
+            "n": self.count,
+            "min": self.minimum,
+            "p25": self.q1,
+            "median": self.median,
+            "p75": self.q3,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+def box_stats(values: np.ndarray) -> BoxStats:
+    """Five-number summary of ``values`` (must be non-empty)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("box_stats of an empty sample")
+    q1, med, q3 = np.percentile(values, [25, 50, 75])
+    return BoxStats(
+        count=int(values.size),
+        minimum=float(values.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(values.max()),
+        mean=float(values.mean()),
+    )
+
+
+def iqr(values: np.ndarray) -> float:
+    """Interquartile range of ``values``."""
+    q1, q3 = np.percentile(np.asarray(values, dtype=float), [25, 75])
+    return float(q3 - q1)
+
+
+def trimmed_span(values: np.ndarray, lower: float = 0.0, upper: float = 100.0) -> float:
+    """Span between two percentiles (e.g. 5-95 "variance" in Fig. 2 terms)."""
+    lo, hi = np.percentile(np.asarray(values, dtype=float), [lower, upper])
+    return float(hi - lo)

@@ -1,0 +1,68 @@
+"""Parameter-sweep utility for experiment harnesses.
+
+Every benchmark in this repo is "run a function over a parameter grid and
+tabulate": this module factors that shape out.  :func:`sweep` runs
+``fn(**params)`` for each point of the cartesian grid and returns tidy
+rows (one dict per run, parameters + outputs merged), ready for
+:func:`~repro.analysis.report.render_table`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Mapping, Sequence
+
+__all__ = ["grid_points", "sweep"]
+
+
+def grid_points(grid: Mapping[str, Sequence[object]]) -> list[dict[str, object]]:
+    """The cartesian product of a parameter grid, as dicts.
+
+    Iteration order: the *last* key varies fastest (matching the engine's
+    ``:::`` source ordering).  An empty grid yields one empty point.
+    """
+    if not grid:
+        return [{}]
+    keys = list(grid.keys())
+    for key, values in grid.items():
+        if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
+            raise TypeError(f"grid values for {key!r} must be a non-string sequence")
+        if len(values) == 0:
+            return []
+    return [
+        dict(zip(keys, combo))
+        for combo in itertools.product(*(grid[k] for k in keys))
+    ]
+
+
+def sweep(
+    fn: Callable[..., Mapping[str, object]],
+    grid: Mapping[str, Sequence[object]],
+    repeats: int = 1,
+    repeat_key: str = "repeat",
+) -> list[dict[str, object]]:
+    """Run ``fn(**point)`` over the grid; merge outputs into tidy rows.
+
+    ``fn`` must return a mapping of result columns; parameter columns are
+    added (and must not collide).  ``repeats`` > 1 re-runs each point with
+    a ``repeat_key`` column added and passed to ``fn`` if it accepts it —
+    the standard shape for seed-replicated stochastic experiments.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    rows: list[dict[str, object]] = []
+    for point in grid_points(grid):
+        for rep in range(repeats):
+            kwargs = dict(point)
+            if repeats > 1:
+                kwargs[repeat_key] = rep
+            out = fn(**kwargs)
+            if not isinstance(out, Mapping):
+                raise TypeError(f"sweep fn must return a mapping, got {type(out)}")
+            overlap = set(out) & set(kwargs)
+            if overlap:
+                raise ValueError(f"result columns collide with parameters: {overlap}")
+            row = dict(kwargs)
+            row.update(out)
+            rows.append(row)
+    return rows

@@ -1,0 +1,42 @@
+"""Baselines the paper compares against: srun loops, a WMS, bash listings."""
+
+from repro.baselines.dag_workloads import chain, diamond_stack, fork_join
+from repro.baselines.ease_of_use import (
+    LISTING_4_SRUN_SCRIPT,
+    LISTING_5_PARALLEL_SCRIPT,
+    ScriptComplexity,
+    listing4_task_set,
+    listing5_task_set,
+    script_complexity,
+)
+from repro.baselines.srun_loop import SrunLoopResult, run_srun_loop
+from repro.baselines.workflow_system import (
+    WFBENCH_POINTS,
+    WmsCostModel,
+    WmsResult,
+    analytic_overhead,
+    bag_of_tasks,
+    fit_scan_cost,
+    run_workflow_system,
+)
+
+__all__ = [
+    "chain",
+    "fork_join",
+    "diamond_stack",
+    "run_srun_loop",
+    "SrunLoopResult",
+    "WmsCostModel",
+    "WmsResult",
+    "WFBENCH_POINTS",
+    "fit_scan_cost",
+    "bag_of_tasks",
+    "run_workflow_system",
+    "analytic_overhead",
+    "LISTING_4_SRUN_SCRIPT",
+    "LISTING_5_PARALLEL_SCRIPT",
+    "ScriptComplexity",
+    "script_complexity",
+    "listing4_task_set",
+    "listing5_task_set",
+]

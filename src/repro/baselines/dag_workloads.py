@@ -1,0 +1,70 @@
+"""Synthetic workflow DAG shapes (WfBench-style) for the WMS baseline.
+
+The WfBench study [7] the paper cites measured orchestration overhead on
+real workflow shapes (BLAST, Montage, ...).  These generators produce the
+canonical skeletons so :func:`~repro.baselines.run_workflow_system` can be
+exercised beyond bags of tasks:
+
+* :func:`chain` — strictly sequential stages;
+* :func:`fork_join` — one fan-out/fan-in stage (BLAST's shape: split,
+  N-way scatter, merge);
+* :func:`diamond_stack` — repeated fork-joins (Montage-ish levels).
+
+All return :class:`networkx.DiGraph` with integer node ids.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import ReproError
+
+__all__ = ["chain", "fork_join", "diamond_stack"]
+
+
+def chain(n: int) -> nx.DiGraph:
+    """A linear chain of ``n`` tasks (worst case for parallelism)."""
+    if n < 1:
+        raise ReproError(f"chain needs >= 1 task, got {n}")
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from((i, i + 1) for i in range(n - 1))
+    return g
+
+
+def fork_join(width: int) -> nx.DiGraph:
+    """Split → ``width`` parallel tasks → merge (the BLAST skeleton)."""
+    if width < 1:
+        raise ReproError(f"fork_join needs width >= 1, got {width}")
+    g = nx.DiGraph()
+    split, merge = 0, width + 1
+    g.add_node(split)
+    for i in range(1, width + 1):
+        g.add_edge(split, i)
+        g.add_edge(i, merge)
+    return g
+
+
+def diamond_stack(levels: int, width: int) -> nx.DiGraph:
+    """``levels`` stacked fork-joins, each ``width`` wide."""
+    if levels < 1 or width < 1:
+        raise ReproError("diamond_stack needs levels >= 1 and width >= 1")
+    g = nx.DiGraph()
+    next_id = 0
+
+    def fresh() -> int:
+        nonlocal next_id
+        nid = next_id
+        next_id += 1
+        g.add_node(nid)
+        return nid
+
+    head = fresh()
+    for _ in range(levels):
+        mids = [fresh() for _ in range(width)]
+        tail = fresh()
+        for m in mids:
+            g.add_edge(head, m)
+            g.add_edge(m, tail)
+        head = tail
+    return g

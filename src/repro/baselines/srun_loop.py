@@ -1,0 +1,85 @@
+"""The Listing-4 baseline: a bash loop of backgrounded per-task ``srun``.
+
+Before GNU Parallel, the Darshan processing job launched every task as::
+
+    srun -N1 -n1 -c1 --exclusive python3 darshan_arch.py ${month} ${app} &
+    sleep 0.2
+
+i.e. one scheduler step per task, a defensive 200 ms sleep between
+launches, and a trailing ``wait``.  :func:`run_srun_loop` reproduces that
+structure in the simulator so its makespan and launch rate can be compared
+with the engine's (E9, and the §IV discussion of srun scalability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.kernel import Environment
+from repro.slurm.srun import DEFAULT_SRUN_COST, SlurmController, SrunCostModel
+
+__all__ = ["SrunLoopResult", "run_srun_loop"]
+
+
+@dataclass
+class SrunLoopResult:
+    """Outcome of a Listing-4 style run."""
+
+    n_tasks: int
+    launch_times: np.ndarray
+    end_times: np.ndarray
+    makespan: float
+
+    @property
+    def launch_rate(self) -> float:
+        """Launches/s — bounded above by 1/inter_launch_sleep (= 5/s)."""
+        if self.n_tasks < 2:
+            return float("inf")
+        span = float(self.launch_times[-1] - self.launch_times[0])
+        return float("inf") if span <= 0 else (self.n_tasks - 1) / span
+
+
+def run_srun_loop(
+    env: Environment,
+    task_durations: np.ndarray,
+    cost: SrunCostModel = DEFAULT_SRUN_COST,
+    controller: SlurmController | None = None,
+) -> SrunLoopResult:
+    """Simulate the Listing-4 loop over ``task_durations`` and run it.
+
+    Must be called on a fresh or idle environment; runs it to completion.
+    """
+    durations = np.asarray(task_durations, dtype=float)
+    ctl = controller or SlurmController(env, cost)
+    launches: list[float] = []
+    ends: list[float] = []
+
+    def task(duration: float):
+        # Each backgrounded srun pays setup + a controller round trip.
+        yield env.timeout(cost.step_setup_s)
+        yield ctl.create_step()
+        launches.append(env.now)
+        if duration > 0:
+            yield env.timeout(duration)
+        ends.append(env.now)
+
+    def loop():
+        children = []
+        for d in durations:
+            children.append(env.process(task(float(d))))
+            # Listing 4's `sleep 0.2` between backgrounded launches.
+            yield env.timeout(cost.inter_launch_sleep_s)
+        if children:
+            yield env.all_of(children)  # the trailing `wait`
+
+    start = env.now
+    p = env.process(loop(), name="srun-loop")
+    env.run(until=p)
+    return SrunLoopResult(
+        n_tasks=int(durations.size),
+        launch_times=np.array(sorted(launches)),
+        end_times=np.array(sorted(ends)),
+        makespan=env.now - start,
+    )

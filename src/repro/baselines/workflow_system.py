@@ -1,0 +1,164 @@
+"""A Swift/T-like workflow-management-system baseline.
+
+The paper's headline comparison is against the orchestration overhead
+measured by WfBench [7]: launching *empty* tasks through a full workflow
+system on Summit cost ~500 s for 50,000 tasks and up to ~5,000 s for
+100,000 tasks (ref. [7], Fig. 10) — versus 561 s for 1.152 M tasks with
+GNU Parallel.
+
+This module implements the *mechanism* that produces that blow-up: a
+centralized dataflow engine that
+
+* pays a fixed per-task dispatch cost (task serialization, RPC to a
+  worker, bookkeeping), and
+* re-scans its table of outstanding tasks on every completion to find
+  newly-ready work — an O(outstanding) scan per event, hence O(n²) total
+  for an n-task bag, which is how published engines behave once their
+  ready-set indexing degrades.
+
+The DAG layer (:func:`run_workflow_system` takes a :mod:`networkx`
+digraph) also supports dependencies, so the baseline is a real, if small,
+workflow engine — not just a formula.  Calibration:
+``fit_scan_cost`` chooses the scan constant so that a 50k-task bag costs
+500 s, matching [7]'s first data point; the second point is then a model
+*prediction* (EXPERIMENTS.md records the deviation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ReproError
+from repro.sim.kernel import Environment
+
+__all__ = [
+    "WmsCostModel",
+    "WmsResult",
+    "fit_scan_cost",
+    "bag_of_tasks",
+    "run_workflow_system",
+    "analytic_overhead",
+]
+
+#: Reference points from WfBench [7] Fig. 10 (launch-only BLAST workflow).
+WFBENCH_POINTS = ((50_000, 500.0), (100_000, 5_000.0))
+
+
+@dataclass(frozen=True)
+class WmsCostModel:
+    """Per-task and per-scan costs of the centralized engine."""
+
+    #: Fixed per-task dispatch cost (s): serialization + worker RPC.
+    dispatch_s: float = 0.002
+    #: Cost per outstanding task scanned per completion event (s).
+    scan_s_per_task: float = 3.2e-7
+
+    def __post_init__(self) -> None:
+        if self.dispatch_s < 0 or self.scan_s_per_task < 0:
+            raise ReproError("WMS costs must be non-negative")
+
+
+def fit_scan_cost(
+    n_tasks: int = WFBENCH_POINTS[0][0],
+    total_overhead_s: float = WFBENCH_POINTS[0][1],
+    dispatch_s: float = 0.002,
+) -> WmsCostModel:
+    """Calibrate the scan constant against one (n, overhead) point.
+
+    For a bag of n independent tasks the engine performs one scan per
+    completion over the remaining outstanding set: total scan work is
+    ``sum_{k=1..n} k * scan_s = scan_s * n(n+1)/2``.
+    """
+    if n_tasks < 1:
+        raise ReproError("n_tasks must be >= 1")
+    scan_budget = total_overhead_s - dispatch_s * n_tasks
+    if scan_budget <= 0:
+        raise ReproError("dispatch cost alone exceeds the calibration point")
+    scan = scan_budget / (n_tasks * (n_tasks + 1) / 2)
+    return WmsCostModel(dispatch_s=dispatch_s, scan_s_per_task=scan)
+
+
+def analytic_overhead(n_tasks: int, cost: WmsCostModel) -> float:
+    """Closed-form launch-only overhead for an n-task bag."""
+    return cost.dispatch_s * n_tasks + cost.scan_s_per_task * n_tasks * (n_tasks + 1) / 2
+
+
+def bag_of_tasks(n: int) -> nx.DiGraph:
+    """An n-task dependency-free workflow (the WfBench launch-only shape)."""
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    return g
+
+
+@dataclass
+class WmsResult:
+    """Outcome of a workflow-system run."""
+
+    n_tasks: int
+    makespan: float
+    launch_times: np.ndarray
+
+    @property
+    def overhead(self) -> float:
+        """For launch-only workflows the makespan *is* the overhead."""
+        return self.makespan
+
+
+def run_workflow_system(
+    env: Environment,
+    dag: nx.DiGraph,
+    cost: WmsCostModel,
+    task_duration: float = 0.0,
+) -> WmsResult:
+    """Run ``dag`` through the centralized engine; returns timing.
+
+    Tasks become ready when all predecessors finish.  The engine is a
+    single simulated process alternating dispatch and completion handling;
+    workers are assumed plentiful (launch-only measurement, as in [7]),
+    so the engine itself is the bottleneck — which is the phenomenon
+    under study.
+    """
+    if not nx.is_directed_acyclic_graph(dag):
+        raise ReproError("workflow must be a DAG")
+    order = list(nx.topological_sort(dag))
+    n = len(order)
+    indegree = {t: dag.in_degree(t) for t in order}
+    launch_times: list[float] = []
+    start = env.now
+
+    def engine():
+        ready = [t for t in order if indegree[t] == 0]
+        outstanding = n
+        finished: list = []
+        while outstanding:
+            if not ready:
+                raise ReproError("deadlock: no ready tasks but work remains")
+            task = ready.pop()
+            # Dispatch: fixed cost.
+            yield env.timeout(cost.dispatch_s)
+            launch_times.append(env.now)
+            # Launch-only tasks complete (after their duration) and the
+            # engine immediately pays its completion-scan over the
+            # outstanding table.
+            if task_duration > 0:
+                yield env.timeout(task_duration)
+            outstanding -= 1
+            finished.append(task)
+            scan = cost.scan_s_per_task * max(outstanding, 1)
+            if scan > 0:
+                yield env.timeout(scan)
+            for succ in dag.successors(task):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+
+    p = env.process(engine(), name="wms-engine")
+    env.run(until=p)
+    return WmsResult(
+        n_tasks=n,
+        makespan=env.now - start,
+        launch_times=np.array(launch_times),
+    )

@@ -1,0 +1,43 @@
+"""Simulated cluster substrate: machine specs, nodes, variability models."""
+
+from repro.cluster.machine import SimMachine
+from repro.cluster.machines import (
+    DTN_CLUSTER,
+    DTN_NODE,
+    ENGINE_DISPATCH_RATE,
+    FRONTIER,
+    FRONTIER_NODE,
+    NODE_FORK_RATE,
+    PERLMUTTER_CPU,
+    PERLMUTTER_CPU_NODE,
+    PODMAN_LAUNCH_RATE,
+    SHIFTER_LAUNCH_RATE,
+    MachineSpec,
+    NodeSpec,
+)
+from repro.cluster.node import SimNode
+from repro.cluster.variability import (
+    allocation_delays,
+    node_ready_times,
+    straggler_delays,
+)
+
+__all__ = [
+    "SimMachine",
+    "SimNode",
+    "MachineSpec",
+    "NodeSpec",
+    "FRONTIER",
+    "FRONTIER_NODE",
+    "PERLMUTTER_CPU",
+    "PERLMUTTER_CPU_NODE",
+    "DTN_CLUSTER",
+    "DTN_NODE",
+    "ENGINE_DISPATCH_RATE",
+    "NODE_FORK_RATE",
+    "SHIFTER_LAUNCH_RATE",
+    "PODMAN_LAUNCH_RATE",
+    "allocation_delays",
+    "node_ready_times",
+    "straggler_delays",
+]

@@ -1,0 +1,77 @@
+"""A simulated machine: nodes + shared Lustre + deterministic RNG streams."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.machines import MachineSpec
+from repro.cluster.node import SimNode
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment
+from repro.sim.monitor import Monitor
+from repro.sim.random import RngRegistry
+from repro.storage.filesystem import Filesystem, make_lustre
+
+__all__ = ["SimMachine"]
+
+
+class SimMachine:
+    """A machine instance bound to one simulation environment.
+
+    Nodes are created lazily (``machine.node(i)``) so that a 9,408-node
+    Frontier model costs nothing until an experiment actually touches a
+    node — experiments at 9,000 nodes create 9,000 node objects, no more.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: MachineSpec,
+        seed: int = 0,
+        with_lustre: bool = True,
+    ):
+        self.env = env
+        self.spec = spec
+        self.rng_registry = RngRegistry(seed)
+        self.monitor = Monitor()
+        self.lustre: Optional[Filesystem] = (
+            make_lustre(
+                env,
+                read_bw=spec.pfs_read_bw,
+                write_bw=spec.pfs_write_bw,
+                metadata_rate=spec.pfs_metadata_rate,
+                max_flows=spec.pfs_max_flows,
+                name=f"{spec.name}:lustre",
+            )
+            if with_lustre
+            else None
+        )
+        self._nodes: dict[int, SimNode] = {}
+
+    def node(self, index: int) -> SimNode:
+        """Node ``index`` (0-based), created on first use."""
+        if not 0 <= index < self.spec.total_nodes:
+            raise SimulationError(
+                f"node index {index} out of range for {self.spec.name} "
+                f"({self.spec.total_nodes} nodes)"
+            )
+        node = self._nodes.get(index)
+        if node is None:
+            node = SimNode(
+                self.env,
+                self.spec.node,
+                name=f"{self.spec.name}-{index:05d}",
+                rng=self.rng_registry.stream(f"node:{index}"),
+                lustre=self.lustre,
+            )
+            self._nodes[index] = node
+        return node
+
+    def nodes(self, count: int) -> list[SimNode]:
+        """The first ``count`` nodes (an allocation's worth)."""
+        return [self.node(i) for i in range(count)]
+
+    @property
+    def instantiated_nodes(self) -> int:
+        """How many node objects exist so far."""
+        return len(self._nodes)

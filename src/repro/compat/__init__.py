@@ -1,0 +1,6 @@
+"""GNU Parallel command-line compatibility: brace expansion + runner."""
+
+from repro.compat.braces import brace_expand
+from repro.compat.command import expand_command_line, run_gnu_parallel
+
+__all__ = ["brace_expand", "expand_command_line", "run_gnu_parallel"]

@@ -1,0 +1,119 @@
+"""Bash brace expansion — enough to run the paper's listings verbatim.
+
+The paper's scripts rely on the shell expanding ``{1..12}`` and
+``{0..2}`` before GNU Parallel sees them (Listing 5), and on lists like
+``{a,b,c}``.  This module implements the two forms bash supports:
+
+* sequence expressions ``{x..y}`` and ``{x..y..incr}``, numeric (with
+  zero-padding, e.g. ``{01..12}``) and single-letter;
+* comma lists ``{a,b,c}``, nested and combinable with prefixes/suffixes.
+
+Unmatched or non-expandable braces pass through untouched — exactly
+bash's behaviour, and important here because ``{}``/``{#}``/``{%}`` are
+GNU Parallel replacement strings that must survive expansion.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["brace_expand"]
+
+_SEQ_RE = re.compile(
+    r"^(?:(-?\d+)\.\.(-?\d+)(?:\.\.(-?\d+))?|([a-zA-Z])\.\.([a-zA-Z])(?:\.\.(-?\d+))?)$"
+)
+
+
+def brace_expand(word: str) -> list[str]:
+    """Expand one shell word into its brace expansions (bash semantics)."""
+    result = _expand(word)
+    return result if result else [""]
+
+
+def _expand(word: str) -> list[str]:
+    # Find the first expandable brace group, expand it, recurse on results.
+    group = _first_group(word)
+    if group is None:
+        return [word]
+    start, end = group
+    prefix, body, suffix = word[:start], word[start + 1 : end], word[end + 1 :]
+    alternatives = _alternatives(body)
+    if alternatives is None:
+        # Not expandable ({}, {#}, {%}, {= =}, single item): keep literal
+        # braces and continue past this group.
+        rest = _expand(word[end + 1 :])
+        return [word[: end + 1] + r for r in rest]
+    out: list[str] = []
+    for alt in alternatives:
+        for expanded in _expand(prefix + alt + suffix):
+            out.append(expanded)
+    return out
+
+
+def _first_group(word: str) -> "tuple[int, int] | None":
+    """Span (open, close) of the first balanced top-level brace group."""
+    depth = 0
+    start = -1
+    for i, ch in enumerate(word):
+        if ch == "{":
+            if depth == 0:
+                start = i
+            depth += 1
+        elif ch == "}":
+            if depth > 0:
+                depth -= 1
+                if depth == 0:
+                    return (start, i)
+    return None
+
+
+def _alternatives(body: str) -> "list[str] | None":
+    """The expansion alternatives of a brace body, or None if literal."""
+    seq = _SEQ_RE.match(body)
+    if seq:
+        return _sequence(seq)
+    # Comma list: split on top-level commas only.
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in body:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    if len(parts) < 2:
+        return None  # bash: {single} is literal
+    # Nested groups inside each part expand too.
+    out: list[str] = []
+    for part in parts:
+        out.extend(_expand(part))
+    return out
+
+
+def _sequence(m: re.Match) -> list[str]:
+    if m.group(1) is not None:  # numeric
+        lo_s, hi_s, inc_s = m.group(1), m.group(2), m.group(3)
+        lo, hi = int(lo_s), int(hi_s)
+        inc = abs(int(inc_s)) if inc_s else 1
+        inc = inc or 1
+        width = 0
+        # bash zero-pads when either endpoint is zero-padded.
+        for s in (lo_s, hi_s):
+            body = s.lstrip("-")
+            if body.startswith("0") and len(body) > 1:
+                width = max(width, len(s))
+        step = inc if lo <= hi else -inc
+        values = list(range(lo, hi + (1 if step > 0 else -1), step))
+        return [f"{v:0{width}d}" if width else str(v) for v in values]
+    lo_c, hi_c, inc_s = m.group(4), m.group(5), m.group(6)
+    inc = abs(int(inc_s)) if inc_s else 1
+    inc = inc or 1
+    lo, hi = ord(lo_c), ord(hi_c)
+    step = inc if lo <= hi else -inc
+    return [chr(v) for v in range(lo, hi + (1 if step > 0 else -1), step)]

@@ -1,0 +1,28 @@
+"""Paper-calibrated rate constants (leaf module; no internal imports).
+
+Kept import-free so both :mod:`repro.cluster` and :mod:`repro.containers`
+can depend on them without cycles.  See
+:mod:`repro.cluster.machines` for the full calibration notes; each value
+is quoted directly from §III of the paper.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ENGINE_DISPATCH_RATE",
+    "NODE_FORK_RATE",
+    "SHIFTER_LAUNCH_RATE",
+    "PODMAN_LAUNCH_RATE",
+]
+
+#: Jobs/s one GNU Parallel instance dispatches (Fig. 3, single instance).
+ENGINE_DISPATCH_RATE = 470.0
+
+#: Node-wide process-start ceiling, jobs/s (Fig. 3, many instances).
+NODE_FORK_RATE = 6400.0
+
+#: Shifter container-start ceiling, launches/s (Fig. 4).
+SHIFTER_LAUNCH_RATE = 5200.0
+
+#: Podman-HPC container-start ceiling, launches/s (Fig. 5).
+PODMAN_LAUNCH_RATE = 65.0

@@ -1,0 +1,17 @@
+"""Container-runtime launch models (Figs. 4-5)."""
+
+from repro.containers.runtime import (
+    BARE_METAL,
+    PODMAN_FAILURE_MODES,
+    PODMAN_HPC,
+    SHIFTER,
+    ContainerRuntime,
+)
+
+__all__ = [
+    "ContainerRuntime",
+    "BARE_METAL",
+    "SHIFTER",
+    "PODMAN_HPC",
+    "PODMAN_FAILURE_MODES",
+]

@@ -1,0 +1,125 @@
+"""Container-runtime launch models (bare metal, Shifter, Podman-HPC).
+
+The paper's container stress tests (Figs. 4-5) measure *launch-rate
+ceilings*: how many containerized processes per second a Perlmutter CPU
+node can start.  Two structural properties set that ceiling:
+
+1. every launch passes through the node's kernel fork path
+   (:data:`~repro.cluster.machines.NODE_FORK_RATE` ≈ 6,400/s), and
+2. the runtime adds its own serialized work per launch — image loopback
+   setup for Shifter (mild), and a node-wide SQLite-style database lock
+   for Podman-HPC (severe: ~65/s).
+
+A runtime therefore contributes a *serial service rate* (launches/s
+through its internal lock) plus a *per-launch latency* (paid by the job,
+not serialized), plus an optional *failure model* — Podman-HPC's
+namespace/db-lock/setgid/tmpdir failures appear under concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import (
+    NODE_FORK_RATE,
+    PODMAN_LAUNCH_RATE,
+    SHIFTER_LAUNCH_RATE,
+)
+from repro.errors import ContainerError
+
+__all__ = [
+    "ContainerRuntime",
+    "BARE_METAL",
+    "SHIFTER",
+    "PODMAN_HPC",
+    "PODMAN_FAILURE_MODES",
+]
+
+#: The failure modes §III reports for Podman-HPC at scale, with relative
+#: weights (unreported in the paper; uniform-ish with namespaces dominant).
+PODMAN_FAILURE_MODES: dict[str, float] = {
+    "user_namespace": 0.4,
+    "db_lock": 0.3,
+    "setgid": 0.2,
+    "tmpdir": 0.1,
+}
+
+
+@dataclass(frozen=True)
+class ContainerRuntime:
+    """A container runtime's launch-cost model.
+
+    ``serial_rate``
+        Launches/s through the runtime's internal serialization point
+        (None = no runtime lock beyond the kernel fork path).
+    ``per_launch_latency``
+        Seconds of per-launch setup experienced by the job itself
+        (namespace/image setup); concurrent launches overlap this.
+    ``base_failure_prob`` / ``failure_load_factor``
+        Probability a launch fails outright; grows with the number of
+        concurrent launches in flight as
+        ``p = base + load_factor * in_flight`` (capped at ``max_failure``).
+    """
+
+    name: str
+    serial_rate: float | None = None
+    per_launch_latency: float = 0.0
+    base_failure_prob: float = 0.0
+    failure_load_factor: float = 0.0
+    max_failure_prob: float = 0.5
+    failure_modes: dict[str, float] = field(default_factory=dict)
+
+    def effective_ceiling(self, fork_rate: float = NODE_FORK_RATE) -> float:
+        """The node-wide launch-rate ceiling under this runtime."""
+        if self.serial_rate is None:
+            return fork_rate
+        return min(fork_rate, self.serial_rate)
+
+    def startup_overhead_vs_bare(self, fork_rate: float = NODE_FORK_RATE) -> float:
+        """Fractional rate loss vs bare metal (the paper's 19% for Shifter)."""
+        return 1.0 - self.effective_ceiling(fork_rate) / fork_rate
+
+    def failure_probability(self, in_flight: int) -> float:
+        """Launch-failure probability with ``in_flight`` concurrent launches."""
+        p = self.base_failure_prob + self.failure_load_factor * max(in_flight, 0)
+        return min(p, self.max_failure_prob)
+
+    def draw_failure(self, rng: np.random.Generator, in_flight: int) -> str | None:
+        """Return a failure-mode name, or None if the launch succeeds."""
+        p = self.failure_probability(in_flight)
+        if p <= 0 or rng.random() >= p:
+            return None
+        if not self.failure_modes:
+            return "unknown"
+        modes = list(self.failure_modes)
+        weights = np.array([self.failure_modes[m] for m in modes], dtype=float)
+        return str(rng.choice(modes, p=weights / weights.sum()))
+
+    def raise_failure(self, mode: str) -> None:
+        """Raise the :class:`ContainerError` for a drawn failure mode."""
+        raise ContainerError(f"{self.name}: container launch failed ({mode})", reason=mode)
+
+
+#: No container: only the kernel fork path limits launches (~6,400/s).
+BARE_METAL = ContainerRuntime(name="bare-metal")
+
+#: Shifter: ~5,200 launches/s ceiling => 19% overhead vs bare metal
+#: (Fig. 4); negligible failures.
+SHIFTER = ContainerRuntime(
+    name="shifter",
+    serial_rate=SHIFTER_LAUNCH_RATE,
+    per_launch_latency=0.002,
+)
+
+#: Podman-HPC: ~65 launches/s through its database lock (Fig. 5), plus
+#: reliability failures that worsen with concurrency.
+PODMAN_HPC = ContainerRuntime(
+    name="podman-hpc",
+    serial_rate=PODMAN_LAUNCH_RATE,
+    per_launch_latency=0.05,
+    base_failure_prob=0.002,
+    failure_load_factor=0.0004,
+    failure_modes=dict(PODMAN_FAILURE_MODES),
+)

@@ -1,0 +1,41 @@
+"""The GNU Parallel-compatible execution engine (the paper's tool).
+
+See :class:`~repro.core.engine.Parallel` for the primary entry point and
+:mod:`repro.core.cli` for the ``pyparallel`` command-line front end.
+"""
+
+from repro.core.engine import Parallel, run_parallel
+from repro.core.inputs import QueueSource, combine, from_file, from_items, link, shuffled
+from repro.core.job import Job, JobResult, JobState, RunSummary
+from repro.core.joblog import JoblogEntry, JoblogWriter, read_joblog
+from repro.core.options import HaltSpec, Options, parse_jobs, parse_timeout
+from repro.core.pipemode import split_blocks, split_records
+from repro.core.progress import Progress, ProgressBar
+from repro.core.template import CommandTemplate
+
+__all__ = [
+    "Parallel",
+    "run_parallel",
+    "QueueSource",
+    "combine",
+    "from_file",
+    "from_items",
+    "link",
+    "shuffled",
+    "Job",
+    "JobResult",
+    "JobState",
+    "RunSummary",
+    "JoblogEntry",
+    "JoblogWriter",
+    "read_joblog",
+    "HaltSpec",
+    "Options",
+    "parse_jobs",
+    "parse_timeout",
+    "split_blocks",
+    "split_records",
+    "Progress",
+    "ProgressBar",
+    "CommandTemplate",
+]

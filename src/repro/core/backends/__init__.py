@@ -1,0 +1,8 @@
+"""Execution backends for the engine."""
+
+from repro.core.backends.base import Backend
+from repro.core.backends.callable_backend import CallableBackend
+from repro.core.backends.local import LocalShellBackend
+from repro.core.backends.multiprocess import MultiprocessBackend
+
+__all__ = ["Backend", "CallableBackend", "LocalShellBackend", "MultiprocessBackend"]

@@ -1,0 +1,40 @@
+"""Execution backend interface.
+
+A backend turns one :class:`~repro.core.job.Job` into a
+:class:`~repro.core.job.JobResult`, blocking for the job's duration.  The
+scheduler owns all concurrency; backends only know how to run one job.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.job import Job, JobResult
+from repro.core.options import Options
+
+__all__ = ["Backend"]
+
+
+class Backend(abc.ABC):
+    """Runs jobs; one instance is shared by all of a run's worker threads."""
+
+    #: Reported in joblogs and results as the execution host.
+    host: str = "local"
+
+    @abc.abstractmethod
+    def run_job(
+        self, job: Job, slot: int, options: Options, timeout: float | None = None
+    ) -> JobResult:
+        """Execute ``job`` to completion and return its result.
+
+        ``timeout`` is the effective per-job wall-clock limit computed by
+        the scheduler (seconds; None = unlimited) — backends must honour it
+        by returning a TIMED_OUT result.  Backends must never raise for an
+        ordinary job failure; failures are results, not exceptions.
+        """
+
+    def cancel_all(self) -> None:
+        """Best-effort termination of everything in flight (``--halt now``)."""
+
+    def close(self) -> None:
+        """Release backend resources after a run."""

@@ -1,0 +1,132 @@
+"""Local shell backend: runs rendered commands as real subprocesses.
+
+This is the engine's production path — functionally the same as what GNU
+Parallel does (fork + exec via the shell), with output capture, timeouts,
+working-directory and niceness support, and kill-on-halt.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import threading
+import time
+
+from repro.core.backends.base import Backend
+from repro.core.job import Job, JobResult, JobState
+from repro.core.options import Options
+
+__all__ = ["LocalShellBackend"]
+
+
+class LocalShellBackend(Backend):
+    """Executes each job's command string through ``/bin/sh -c``.
+
+    Each spawned process gets its own process group so that ``--halt now``
+    and timeouts kill the whole job tree, not just the shell.
+    """
+
+    def __init__(self, shell: str = "/bin/sh"):
+        self.shell = shell
+        self.host = os.uname().nodename if hasattr(os, "uname") else "local"
+        self._procs: dict[int, subprocess.Popen] = {}
+        self._lock = threading.Lock()
+        self._cancelled = threading.Event()
+
+    def run_job(
+        self, job: Job, slot: int, options: Options, timeout: float | None = None
+    ) -> JobResult:
+        if self._cancelled.is_set():
+            return self._result(job, slot, -1, "", "", time.time(), time.time(), JobState.KILLED)
+
+        env = None
+        if options.env:
+            env = dict(os.environ)
+            env.update(options.env)
+
+        def preexec():  # runs in the child between fork and exec
+            os.setpgrp()
+            if options.nice is not None:
+                os.nice(options.nice)
+
+        start = time.time()
+        try:
+            proc = subprocess.Popen(
+                [self.shell, "-c", job.command],
+                stdin=subprocess.PIPE if job.stdin_data is not None else subprocess.DEVNULL,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                cwd=options.workdir,
+                env=env,
+                text=True,
+                preexec_fn=preexec if os.name == "posix" else None,
+            )
+        except OSError as exc:
+            end = time.time()
+            return self._result(
+                job, slot, 127, "", f"spawn failed: {exc}", start, end, JobState.FAILED
+            )
+
+        with self._lock:
+            self._procs[proc.pid] = proc
+        try:
+            try:
+                stdout, stderr = proc.communicate(
+                    input=job.stdin_data, timeout=timeout
+                )
+                state = JobState.SUCCEEDED if proc.returncode == 0 else JobState.FAILED
+            except subprocess.TimeoutExpired:
+                self._kill_group(proc)
+                stdout, stderr = proc.communicate()
+                state = JobState.TIMED_OUT
+        finally:
+            with self._lock:
+                self._procs.pop(proc.pid, None)
+        end = time.time()
+        if self._cancelled.is_set() and state is JobState.FAILED:
+            state = JobState.KILLED
+        return self._result(job, slot, proc.returncode, stdout, stderr, start, end, state)
+
+    def cancel_all(self) -> None:
+        self._cancelled.set()
+        with self._lock:
+            procs = list(self._procs.values())
+        for proc in procs:
+            self._kill_group(proc)
+
+    @staticmethod
+    def _kill_group(proc: subprocess.Popen) -> None:
+        try:
+            if os.name == "posix":
+                os.killpg(proc.pid, signal.SIGTERM)
+            else:  # pragma: no cover - non-posix fallback
+                proc.terminate()
+        except (ProcessLookupError, PermissionError):
+            pass
+
+    def _result(
+        self,
+        job: Job,
+        slot: int,
+        code: int,
+        stdout: str,
+        stderr: str,
+        start: float,
+        end: float,
+        state: JobState,
+    ) -> JobResult:
+        return JobResult(
+            seq=job.seq,
+            args=job.args,
+            command=job.command,
+            exit_code=code,
+            stdout=stdout,
+            stderr=stderr,
+            start_time=start,
+            end_time=end,
+            slot=slot,
+            host=self.host,
+            attempt=job.attempt,
+            state=state,
+        )

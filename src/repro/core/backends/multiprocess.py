@@ -1,0 +1,106 @@
+"""Multiprocessing backend: run Python callables in worker *processes*.
+
+The thread-based :class:`~repro.core.backends.callable_backend.CallableBackend`
+is ideal for I/O-bound tasks but serializes CPU-bound Python on the GIL.
+This backend executes each job in a pool of OS processes instead —
+matching GNU Parallel's actual execution model (one process per job) for
+pure-Python workloads.
+
+Constraints inherent to multiprocessing: the callable and its arguments
+must be picklable (no lambdas/closures), and return values travel back by
+pickle.  Timeouts are enforced by abandoning the future (the worker is
+recycled by the pool); ``cancel_all`` tears the whole pool down.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+import traceback
+from typing import Callable, Optional
+
+from repro.core.backends.base import Backend
+from repro.core.job import Job, JobResult, JobState
+from repro.core.options import Options
+
+__all__ = ["MultiprocessBackend"]
+
+
+def _call(func: Callable[..., object], args: tuple[str, ...]):
+    """Top-level trampoline (must be picklable) returning (ok, value_or_tb)."""
+    try:
+        return True, func(*args)
+    except Exception:
+        return False, traceback.format_exc()
+
+
+class MultiprocessBackend(Backend):
+    """Executes ``func(*job.args)`` in a process pool."""
+
+    def __init__(self, func: Callable[..., object], max_workers: Optional[int] = None):
+        if not callable(func):
+            raise TypeError(f"MultiprocessBackend needs a callable, got {func!r}")
+        self.func = func
+        self.host = "local"
+        self._max_workers = max_workers
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self._max_workers
+            )
+        return self._pool
+
+    def run_job(
+        self, job: Job, slot: int, options: Options, timeout: float | None = None
+    ) -> JobResult:
+        start = time.time()
+        pool = self._ensure_pool()
+        try:
+            future = pool.submit(_call, self.func, job.args)
+        except RuntimeError as exc:  # pool already shut down by cancel_all
+            now = time.time()
+            return self._result(job, slot, -1, None, "", f"{exc}", start, now,
+                                JobState.KILLED)
+        try:
+            ok, payload = future.result(timeout=timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            end = time.time()
+            return self._result(
+                job, slot, -1, None, "", f"timeout after {timeout}s", start, end,
+                JobState.TIMED_OUT,
+            )
+        except concurrent.futures.process.BrokenProcessPool as exc:
+            end = time.time()
+            self._pool = None  # rebuild on next job
+            return self._result(
+                job, slot, 134, None, "", f"worker died: {exc}", start, end,
+                JobState.FAILED,
+            )
+        end = time.time()
+        if ok:
+            stdout = "" if payload is None else str(payload)
+            return self._result(job, slot, 0, payload, stdout, "", start, end,
+                                JobState.SUCCEEDED)
+        return self._result(job, slot, 1, None, "", str(payload), start, end,
+                            JobState.FAILED)
+
+    def cancel_all(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _result(self, job, slot, code, value, stdout, stderr, start, end, state):
+        return JobResult(
+            seq=job.seq, args=job.args, command=job.command, exit_code=code,
+            stdout=stdout, stderr=stderr, start_time=start, end_time=end,
+            slot=slot, host=self.host, attempt=job.attempt, state=state,
+            value=value,
+        )

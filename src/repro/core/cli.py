@@ -1,0 +1,204 @@
+"""``pyparallel`` — a GNU Parallel-compatible command-line front end.
+
+Supports the paper's usage patterns, e.g.::
+
+    pyparallel -j128 ./payload.sh {} :::: inputs.txt
+    pyparallel -j8 'HIP_VISIBLE_DEVICES=$(({%} - 1)) celer-sim {}' ::: *.inp.json
+    pyparallel -j36 python3 ./darshan_arch.py ::: $(seq 1 12) ::: 0 1 2
+    cat files.txt | pyparallel -j32 rsync -R -Ha {} /dest/
+
+Input-source separators: ``:::`` (literal args), ``::::`` (arg files),
+``:::+`` (linked literal args).  With no separator, newline-separated
+arguments are read from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.engine import Parallel
+from repro.core.inputs import combine, from_file, link
+from repro.core.options import DEFAULT_JOBS, Options
+from repro.errors import ReproError
+
+__all__ = ["main", "build_arg_parser", "split_command_line"]
+
+SEPARATORS = (":::", "::::", ":::+")
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The option parser for everything left of the first separator."""
+    p = argparse.ArgumentParser(
+        prog="pyparallel",
+        description="Run commands in parallel (GNU Parallel work-alike).",
+    )
+    p.add_argument("-j", "--jobs", default=str(DEFAULT_JOBS),
+                   help="concurrent jobs: N, 0 (all at once), +N, -N, or N%%")
+    p.add_argument("-k", "--keep-order", action="store_true",
+                   help="emit output in input order")
+    p.add_argument("--halt", default="never",
+                   help="halt policy, e.g. now,fail=1 or soon,fail=30%%")
+    p.add_argument("--retries", type=int, default=0,
+                   help="run failing jobs up to N times in total")
+    p.add_argument("--timeout", default=None,
+                   help="per-job timeout: seconds, or N%% of median runtime")
+    p.add_argument("--pipe", action="store_true",
+                   help="split stdin into blocks fed to jobs' standard input")
+    p.add_argument("--block", type=int, default=1 << 20, metavar="BYTES",
+                   help="target block size for --pipe (default 1M)")
+    p.add_argument("-N", "--max-replace-args", type=int, default=None,
+                   metavar="N", help="records per block in --pipe mode")
+    p.add_argument("-n", "--max-args", type=int, default=None, metavar="N",
+                   help="arguments per job (packed into {1}..{N})")
+    p.add_argument("--colsep", default=None, metavar="REGEX",
+                   help="split input lines into columns on REGEX ({1}, {2}, ...)")
+    p.add_argument("--load", type=float, default=None, dest="max_load",
+                   help="do not start jobs while 1-min load average exceeds this")
+    p.add_argument("--bar", action="store_true",
+                   help="show a progress bar on stderr")
+    p.add_argument("-q", "--quote", action="store_true",
+                   help="shell-quote substituted input values")
+    p.add_argument("--delay", type=float, default=0.0,
+                   help="minimum seconds between job starts")
+    p.add_argument("--dry-run", action="store_true",
+                   help="print commands without running them")
+    p.add_argument("--tag", action="store_true",
+                   help="prefix output lines with the input arguments")
+    p.add_argument("--tagstring", default=None,
+                   help="custom tag template (implies --tag)")
+    p.add_argument("--shuf", action="store_true",
+                   help="shuffle the input order (deterministic seed)")
+    p.add_argument("--seed", type=int, default=None, help="seed for --shuf")
+    p.add_argument("--joblog", default=None, help="write a GNU Parallel joblog")
+    p.add_argument("--resume", action="store_true",
+                   help="skip inputs already successful in --joblog")
+    p.add_argument("--resume-failed", action="store_true",
+                   help="like --resume but re-run previous failures")
+    p.add_argument("--results", default=None,
+                   help="directory for per-job stdout/stderr trees")
+    p.add_argument("-u", "--ungroup", action="store_true",
+                   help="stream output unbuffered")
+    p.add_argument("--link", action="store_true",
+                   help="link (zip) input sources instead of crossing them")
+    p.add_argument("--wd", dest="workdir", default=None,
+                   help="working directory for jobs")
+    p.add_argument("--nice", type=int, default=None,
+                   help="niceness for spawned jobs")
+    p.add_argument("-a", "--arg-file", action="append", default=[],
+                   metavar="FILE", help="read arguments from FILE (repeatable)")
+    p.add_argument("command", nargs=argparse.REMAINDER,
+                   help="command template (replacement strings supported)")
+    return p
+
+
+def split_command_line(
+    argv: Sequence[str],
+) -> tuple[list[str], list[tuple[str, list[str]]]]:
+    """Split argv into (head, sources).
+
+    ``head`` is everything before the first separator (options + command);
+    ``sources`` is a list of (separator, tokens) chunks.
+    """
+    head: list[str] = []
+    sources: list[tuple[str, list[str]]] = []
+    current: Optional[list[str]] = None
+    for token in argv:
+        if token in SEPARATORS:
+            current = []
+            sources.append((token, current))
+        elif current is not None:
+            current.append(token)
+        else:
+            head.append(token)
+    return head, sources
+
+
+def _build_input(
+    sources: list[tuple[str, list[str]]],
+    arg_files: list[str],
+    use_link: bool,
+    stdin,
+):
+    """Materialize the run's input stream from separators/files/stdin."""
+    lists: list[list[str]] = []
+    linked = use_link
+    for sep, tokens in sources:
+        if sep == ":::":
+            lists.append(tokens)
+        elif sep == ":::+":
+            linked = True
+            lists.append(tokens)
+        else:  # '::::'
+            for path in tokens:
+                lists.append([g[0] for g in from_file(path)])
+    for path in arg_files:
+        lists.append([g[0] for g in from_file(path)])
+    if not lists:
+        return (line.rstrip("\n") for line in stdin), False
+    if len(lists) == 1:
+        return lists[0], linked
+    return (link(lists) if linked else combine(lists)), linked
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``pyparallel`` console script."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    head, sources = split_command_line(argv)
+    parser = build_arg_parser()
+    ns = parser.parse_args(head)
+    if not ns.command:
+        parser.error("no command template given")
+
+    try:
+        options = Options(
+            jobs=ns.jobs,
+            keep_order=ns.keep_order,
+            halt=ns.halt,
+            retries=ns.retries,
+            timeout=ns.timeout,
+            delay=ns.delay,
+            dry_run=ns.dry_run,
+            tag=ns.tag,
+            tagstring=ns.tagstring,
+            shuf=ns.shuf,
+            seed=ns.seed,
+            joblog=ns.joblog,
+            resume=ns.resume,
+            resume_failed=ns.resume_failed,
+            results=ns.results,
+            ungroup=ns.ungroup,
+            link=ns.link,
+            workdir=ns.workdir,
+            nice=ns.nice,
+            colsep=ns.colsep,
+            max_load=ns.max_load,
+            quote=ns.quote,
+            max_args=ns.max_args,
+        )
+        command = " ".join(ns.command) if len(ns.command) > 1 else ns.command[0]
+        progress = None
+        if ns.bar:
+            from repro.core.progress import ProgressBar
+
+            progress = ProgressBar(sys.stderr)
+        engine = Parallel(command, output=sys.stdout, options=options,
+                          progress=progress)
+        if ns.pipe:
+            summary = engine.pipe(
+                sys.stdin, block_size=ns.block, n_records=ns.max_replace_args
+            )
+        else:
+            inputs, _linked = _build_input(sources, ns.arg_file, ns.link, sys.stdin)
+            summary = engine.run(inputs)
+    except ReproError as exc:
+        print(f"pyparallel: error: {exc}", file=sys.stderr)
+        return 255
+    if summary.halted:
+        print(f"pyparallel: {summary.halt_reason}", file=sys.stderr)
+    return summary.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

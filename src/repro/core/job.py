@@ -1,0 +1,146 @@
+"""Job and result records shared by every backend."""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["JobState", "Job", "JobResult", "RunSummary"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job inside the engine."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    TIMED_OUT = "timed_out"
+    KILLED = "killed"  # halted by --halt now
+    SKIPPED = "skipped"  # --resume skipped it
+
+
+@dataclass
+class Job:
+    """One unit of work: an argument group bound to a sequence number."""
+
+    seq: int  # 1-based, assigned in input order
+    args: tuple[str, ...]
+    command: str = ""  # rendered at dispatch (needs the slot number)
+    state: JobState = JobState.PENDING
+    attempt: int = 0  # 0 = not yet started; 1 = first attempt
+    #: ``--pipe`` mode: the block of input fed to the job's stdin.
+    stdin_data: "str | None" = None
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job attempt (the last attempt, after retries)."""
+
+    seq: int
+    args: tuple[str, ...]
+    command: str
+    exit_code: int
+    stdout: str = ""
+    stderr: str = ""
+    #: Wall-clock (real backend) or simulated (sim backend) start time.
+    start_time: float = 0.0
+    end_time: float = 0.0
+    slot: int = 0
+    #: Hostname (real) or simulated node name.
+    host: str = ""
+    attempt: int = 1
+    state: JobState = JobState.SUCCEEDED
+    #: Python-level return value when running callables instead of commands.
+    value: object = None
+
+    @property
+    def runtime(self) -> float:
+        """Duration of the recorded attempt."""
+        return self.end_time - self.start_time
+
+    @property
+    def ok(self) -> bool:
+        """True for a zero exit code."""
+        return self.exit_code == 0
+
+
+@dataclass
+class RunSummary:
+    """Aggregate statistics for one engine run."""
+
+    results: list[JobResult] = field(default_factory=list)
+    n_dispatched: int = 0
+    n_succeeded: int = 0
+    n_failed: int = 0
+    n_skipped: int = 0
+    halted: bool = False
+    halt_reason: Optional[str] = None
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing failed and the run was not halted."""
+        return self.n_failed == 0 and not self.halted
+
+    @property
+    def exit_code(self) -> int:
+        """GNU Parallel-style exit status: min(number of failed jobs, 101)."""
+        return min(self.n_failed, 101)
+
+    def sorted_results(self) -> list[JobResult]:
+        """Results in input (sequence) order regardless of completion order."""
+        return sorted(self.results, key=lambda r: r.seq)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (drops Python ``value`` payloads)."""
+        return {
+            "n_dispatched": self.n_dispatched,
+            "n_succeeded": self.n_succeeded,
+            "n_failed": self.n_failed,
+            "n_skipped": self.n_skipped,
+            "halted": self.halted,
+            "halt_reason": self.halt_reason,
+            "wall_time": self.wall_time,
+            "exit_code": self.exit_code,
+            "results": [
+                {
+                    "seq": r.seq,
+                    "args": list(r.args),
+                    "command": r.command,
+                    "exit_code": r.exit_code,
+                    "start_time": r.start_time,
+                    "end_time": r.end_time,
+                    "runtime": r.runtime,
+                    "slot": r.slot,
+                    "host": r.host,
+                    "attempt": r.attempt,
+                    "state": r.state.value,
+                }
+                for r in self.sorted_results()
+            ],
+        }
+
+    def write_json(self, path: str) -> None:
+        """Persist :meth:`to_dict` for offline analysis of a run's profile.
+
+        This is the "extract parallel profiles from application executions"
+        use the paper's conclusion highlights: a machine-readable timeline
+        of every job's start/end/slot.
+        """
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=1)
+
+    @staticmethod
+    def launch_rate(results: Sequence[JobResult]) -> float:
+        """Jobs started per second across ``results`` (the Fig. 3-5 metric)."""
+        if not results:
+            return 0.0
+        starts = [r.start_time for r in results]
+        span = max(starts) - min(starts)
+        if span <= 0:
+            return float("inf")
+        # N starts over `span` seconds means N-1 inter-start gaps.
+        return (len(results) - 1) / span

@@ -1,0 +1,139 @@
+"""``--joblog`` writing and ``--resume`` / ``--resume-failed`` reading.
+
+The log format is byte-compatible with GNU Parallel's::
+
+    Seq\tHost\tStarttime\tJobRuntime\tSend\tReceive\tExitval\tSignal\tCommand
+
+so existing post-processing tooling (and GNU Parallel itself, for
+cross-resume) can read our logs and vice versa.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Optional, TextIO
+
+from repro.core.job import JobResult
+
+__all__ = ["JOBLOG_HEADER", "JoblogWriter", "JoblogEntry", "read_joblog", "completed_seqs"]
+
+JOBLOG_HEADER = "Seq\tHost\tStarttime\tJobRuntime\tSend\tReceive\tExitval\tSignal\tCommand"
+
+
+@dataclass(frozen=True)
+class JoblogEntry:
+    """One parsed joblog line."""
+
+    seq: int
+    host: str
+    start_time: float
+    runtime: float
+    send: int
+    receive: int
+    exitval: int
+    signal: int
+    command: str
+
+    @property
+    def ok(self) -> bool:
+        return self.exitval == 0 and self.signal == 0
+
+
+class JoblogWriter:
+    """Appends joblog lines as jobs finish.  Thread-safe.
+
+    Opens in append mode when resuming so prior history is preserved,
+    matching GNU Parallel.
+    """
+
+    def __init__(self, path: str, append: bool = False):
+        self.path = path
+        self._lock = threading.Lock()
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        mode = "a" if append and exists else "w"
+        self._fh: Optional[TextIO] = open(path, mode, encoding="utf-8")
+        if mode == "w":
+            self._fh.write(JOBLOG_HEADER + "\n")
+            self._fh.flush()
+
+    def write(self, result: JobResult) -> None:
+        """Record one finished job attempt."""
+        line = "\t".join(
+            [
+                str(result.seq),
+                result.host or "local",
+                f"{result.start_time:.3f}",
+                f"{result.runtime:.3f}",
+                str(len(result.stdout.encode("utf-8", "replace")) if result.stdout else 0),
+                str(len(result.stderr.encode("utf-8", "replace")) if result.stderr else 0),
+                str(result.exit_code),
+                "0",
+                result.command.replace("\t", " ").replace("\n", " "),
+            ]
+        )
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JoblogWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_joblog(path: str) -> list[JoblogEntry]:
+    """Parse a joblog file; tolerates a missing file (returns [])."""
+    if not os.path.exists(path):
+        return []
+    entries: list[JoblogEntry] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh):
+            line = line.rstrip("\n")
+            if not line or line.startswith("Seq\t"):
+                continue
+            parts = line.split("\t", 8)
+            if len(parts) != 9:
+                continue  # truncated line from a crashed run; skip
+            try:
+                entries.append(
+                    JoblogEntry(
+                        seq=int(parts[0]),
+                        host=parts[1],
+                        start_time=float(parts[2]),
+                        runtime=float(parts[3]),
+                        send=int(parts[4]),
+                        receive=int(parts[5]),
+                        exitval=int(parts[6]),
+                        signal=int(parts[7]),
+                        command=parts[8],
+                    )
+                )
+            except ValueError:
+                continue  # malformed line; skip rather than abort a resume
+    return entries
+
+
+def completed_seqs(path: str, include_failed: bool = False) -> set[int]:
+    """Sequence numbers to skip on resume.
+
+    ``include_failed=False`` (``--resume-failed``) skips only successes;
+    ``include_failed=True`` (plain ``--resume``) skips everything already
+    attempted, success or failure — matching GNU Parallel, where plain
+    ``--resume`` does not re-run failed jobs but ``--resume-failed`` does.
+    """
+    done: set[int] = set()
+    for entry in read_joblog(path):
+        if entry.ok or include_failed:
+            done.add(entry.seq)
+    return done

@@ -1,0 +1,260 @@
+"""Typed engine options mirroring the GNU Parallel CLI flags we support.
+
+The subset implemented is the one the paper's workflows exercise, plus the
+bookkeeping flags (joblog/resume/results) any production use needs:
+
+``-j/--jobs`` (counts, ``0``, ``+N``, ``-N`` and ``N%`` forms),
+``-k/--keep-order``, ``--halt``, ``--retries``, ``--timeout`` (seconds or
+``N%`` of the median runtime), ``--delay``, ``--dry-run``,
+``--tag``/``--tagstring``, ``--shuf``, ``--joblog``, ``--resume``,
+``--resume-failed``, ``--results``, ``--ungroup``, ``--link``,
+``--colsep``, ``--load`` (dispatch throttling on system load),
+``--nice`` (applied on POSIX), ``--wd``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import OptionsError
+
+__all__ = ["HaltSpec", "Options", "DEFAULT_JOBS", "parse_jobs", "parse_timeout"]
+
+#: GNU Parallel's ``-j`` default is one job per CPU core.
+DEFAULT_JOBS = os.cpu_count() or 1
+
+
+def parse_jobs(spec: Union[int, str], cores: Optional[int] = None) -> int:
+    """Resolve a GNU Parallel ``-j`` specification to a slot count.
+
+    Accepted forms (``man parallel``): an integer, ``0`` ("as many as
+    inputs", resolved later by :meth:`Options.effective_jobs`), ``+N``
+    (cores + N), ``-N`` (cores − N, min 1), and ``N%`` (percentage of
+    cores, rounded up, min 1).
+    """
+    cores = cores if cores is not None else DEFAULT_JOBS
+    if isinstance(spec, int):
+        if spec < 0:
+            raise OptionsError(f"--jobs must be >= 0, got {spec}")
+        return spec
+    text = spec.strip()
+    try:
+        if text.startswith("+") and text[1:].isdigit():
+            return cores + int(text[1:])
+        if text.startswith("-") and text[1:].isdigit():
+            return max(1, cores - int(text[1:]))
+        if text.endswith("%") and text[:-1].isdigit():
+            pct = int(text[:-1])
+            if pct <= 0:
+                raise OptionsError(f"--jobs percentage must be > 0: {spec!r}")
+            return max(1, -(-cores * pct // 100))  # ceil division
+        if not text.isdigit():
+            raise ValueError(text)
+        value = int(text)
+    except ValueError:
+        raise OptionsError(f"bad --jobs specification: {spec!r}") from None
+    if value < 0:
+        raise OptionsError(f"--jobs must be >= 0, got {value}")
+    return value
+
+
+def parse_timeout(spec: Union[float, int, str, None]) -> "tuple[Optional[float], Optional[float]]":
+    """Parse ``--timeout``: seconds, or ``N%`` of the median job runtime.
+
+    Returns ``(seconds, percent)`` — exactly one is non-None (or both None
+    when no timeout was requested).  The percentage form mirrors GNU
+    Parallel's dynamic timeout: kill jobs slower than N% of the median
+    runtime observed so far.
+    """
+    if spec is None:
+        return None, None
+    if isinstance(spec, (int, float)):
+        if spec <= 0:
+            raise OptionsError(f"--timeout must be > 0, got {spec}")
+        return float(spec), None
+    text = spec.strip()
+    if text.endswith("%"):
+        try:
+            pct = float(text[:-1])
+        except ValueError:
+            raise OptionsError(f"bad --timeout: {spec!r}") from None
+        if pct <= 0:
+            raise OptionsError(f"--timeout percentage must be > 0: {spec!r}")
+        return None, pct / 100.0
+    try:
+        seconds = float(text)
+    except ValueError:
+        raise OptionsError(f"bad --timeout: {spec!r}") from None
+    if seconds <= 0:
+        raise OptionsError(f"--timeout must be > 0, got {seconds}")
+    return seconds, None
+
+_HALT_RE = re.compile(
+    r"^(?P<when>now|soon)?,?(?P<what>fail|success|done)=(?P<n>\d+%?)$"
+)
+
+
+@dataclass(frozen=True)
+class HaltSpec:
+    """Parsed ``--halt`` policy.
+
+    ``when``
+        ``"never"`` (default), ``"now"`` (kill running jobs) or ``"soon"``
+        (let running jobs finish, start no new ones).
+    ``what``
+        ``"fail"``, ``"success"`` or ``"done"`` — which outcomes count.
+    ``threshold``
+        Absolute count, or fraction in (0, 1] when ``percent`` is True.
+    """
+
+    when: str = "never"
+    what: str = "fail"
+    threshold: float = 0.0
+    percent: bool = False
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> "HaltSpec":
+        """Parse a ``--halt`` string like ``now,fail=1`` or ``soon,fail=30%``."""
+        if not spec or spec == "never":
+            return cls()
+        m = _HALT_RE.match(spec.strip())
+        if not m:
+            raise OptionsError(
+                f"bad --halt spec {spec!r}; expected e.g. 'now,fail=1', "
+                "'soon,fail=30%', 'now,success=1'"
+            )
+        when = m.group("when") or "now"
+        what = m.group("what")
+        n = m.group("n")
+        if n.endswith("%"):
+            value = int(n[:-1])
+            if not 0 < value <= 100:
+                raise OptionsError(f"--halt percentage out of range: {n}")
+            return cls(when=when, what=what, threshold=value / 100.0, percent=True)
+        value = int(n)
+        if value < 1:
+            raise OptionsError(f"--halt count must be >= 1: {n}")
+        return cls(when=when, what=what, threshold=float(value), percent=False)
+
+    @property
+    def active(self) -> bool:
+        """True unless the policy is ``never``."""
+        return self.when != "never"
+
+
+@dataclass
+class Options:
+    """Engine configuration.  Field names follow the long CLI flags."""
+
+    #: Number of concurrent job slots (``-j``).  0 means "as many as
+    #: inputs".  Accepts GNU Parallel string forms too: ``"+2"``, ``"-1"``,
+    #: ``"50%"`` (resolved against the CPU count in ``__post_init__``).
+    jobs: Union[int, str] = DEFAULT_JOBS
+    #: Emit job output in input order (``-k`` / ``--keep-order``).
+    keep_order: bool = False
+    #: Halt policy string, e.g. ``"now,fail=1"``.
+    halt: str = "never"
+    #: Run failing jobs up to this many times in total (``--retries``, GNU
+    #: Parallel semantics).  0 (default) and 1 both mean "run once".
+    retries: int = 0
+    #: Per-job wall-clock timeout (``--timeout``): seconds, or ``"N%"`` of
+    #: the median runtime observed so far.  None = no timeout.
+    timeout: Union[float, str, None] = None
+    #: Minimum delay between job starts, seconds (``--delay``).
+    delay: float = 0.0
+    #: Print commands without running them (``--dry-run``).
+    dry_run: bool = False
+    #: Prefix each output line with the job's arguments (``--tag``).
+    tag: bool = False
+    #: Custom tag template (``--tagstring``); implies ``tag``.
+    tagstring: Optional[str] = None
+    #: Shuffle input order deterministically (``--shuf``).
+    shuf: bool = False
+    #: Seed for ``--shuf``.
+    seed: Optional[int] = None
+    #: Path of the job log (``--joblog``).
+    joblog: Optional[str] = None
+    #: Skip inputs already completed successfully in the joblog (``--resume``).
+    resume: bool = False
+    #: Like resume, but also re-run previously failed inputs (``--resume-failed``).
+    resume_failed: bool = False
+    #: Directory for per-job stdout/stderr capture (``--results``).
+    results: Optional[str] = None
+    #: Stream output unbuffered instead of grouping per job (``--ungroup``).
+    ungroup: bool = False
+    #: Treat the input sources as linked rather than crossed (``--link``).
+    link: bool = False
+    #: Working directory for jobs (``--wd``).
+    workdir: Optional[str] = None
+    #: POSIX niceness applied to spawned processes (``--nice``).
+    nice: Optional[int] = None
+    #: Extra environment variables exported to every job (``--env`` analog).
+    env: dict[str, str] = field(default_factory=dict)
+    #: Split each input line into multiple arguments on this regex
+    #: (``--colsep``); the pieces populate ``{1}``, ``{2}``, ...
+    colsep: Optional[str] = None
+    #: Do not start new jobs while the 1-minute load average exceeds this
+    #: (``--load``).  None = no throttling.
+    max_load: Optional[float] = None
+    #: Load probe used by ``--load`` (returns the 1-minute load average);
+    #: injectable for tests.  None = ``os.getloadavg``.
+    load_probe: Optional[object] = field(default=None, repr=False)
+    #: Do not start new jobs while available memory is below this many
+    #: bytes (``--memfree``).  None = no memory throttling.
+    memfree: Optional[int] = None
+    #: Memory probe used by ``--memfree`` (returns available bytes);
+    #: injectable for tests.  None = read /proc/meminfo MemAvailable.
+    memfree_probe: Optional[object] = field(default=None, repr=False)
+    #: ``--pipe`` mode: each input "argument" is a block of text delivered
+    #: on the job's stdin instead of substituted into the command line.
+    pipe_mode: bool = False
+    #: Shell-quote substituted values (``-q``/``--quote``): inputs with
+    #: spaces or shell metacharacters cannot break the command.
+    quote: bool = False
+    #: Pack this many consecutive arguments into each job (``-n``); the
+    #: packed values fill ``{1}``..``{n}`` (and ``{}`` space-joined).
+    max_args: Optional[int] = None
+
+    # Parsed halt policy (computed in __post_init__).
+    halt_spec: HaltSpec = field(init=False, repr=False)
+    #: Resolved timeout forms (seconds, or fraction-of-median).
+    timeout_s: Optional[float] = field(init=False, repr=False)
+    timeout_pct: Optional[float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.jobs = parse_jobs(self.jobs)
+        if self.retries < 0:
+            raise OptionsError(f"--retries must be >= 0, got {self.retries}")
+        self.timeout_s, self.timeout_pct = parse_timeout(self.timeout)
+        if self.max_load is not None and self.max_load <= 0:
+            raise OptionsError(f"--load must be > 0, got {self.max_load}")
+        if self.memfree is not None and self.memfree <= 0:
+            raise OptionsError(f"--memfree must be > 0, got {self.memfree}")
+        if self.max_args is not None and self.max_args < 1:
+            raise OptionsError(f"-n/--max-args must be >= 1, got {self.max_args}")
+        if self.colsep is not None:
+            try:
+                re.compile(self.colsep)
+            except re.error as exc:
+                raise OptionsError(f"bad --colsep regex {self.colsep!r}: {exc}") from None
+        if self.delay < 0:
+            raise OptionsError(f"--delay must be >= 0, got {self.delay}")
+        if self.resume_failed:
+            # --resume-failed implies --resume bookkeeping.
+            self.resume = True
+        if (self.resume or self.resume_failed) and not self.joblog:
+            raise OptionsError("--resume/--resume-failed require --joblog")
+        if self.tagstring is not None:
+            self.tag = True
+        self.halt_spec = HaltSpec.parse(self.halt)
+
+    def effective_jobs(self, n_inputs: Optional[int] = None) -> int:
+        """Resolve ``jobs=0`` ("run everything at once") against input count."""
+        if self.jobs > 0:
+            return self.jobs
+        if n_inputs is None:
+            raise OptionsError("jobs=0 requires a finite, known input count")
+        return max(1, n_inputs)

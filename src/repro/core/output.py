@@ -1,0 +1,93 @@
+"""Output grouping, ordering (``--keep-order``) and tagging (``--tag``).
+
+GNU Parallel buffers each job's output and emits it as a unit when the job
+finishes ("grouping"); with ``-k`` it additionally holds completed output
+until all earlier-sequence jobs have emitted.  :class:`OutputSequencer`
+implements that hold-and-release logic as pure, backend-agnostic code so
+both the real and simulated schedulers share it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.job import JobResult
+from repro.core.options import Options
+from repro.core.template import CommandTemplate
+
+__all__ = ["OutputSequencer", "format_output"]
+
+
+def format_output(result: JobResult, options: Options) -> str:
+    """Render one job's stdout per the tagging options.
+
+    ``--tag`` prefixes every line with the input arguments (tab-joined);
+    ``--tagstring`` uses a replacement-string template instead.
+    """
+    text = result.stdout
+    if not options.tag:
+        return text
+    if options.tagstring:
+        tag = CommandTemplate(options.tagstring, implicit_append=False).render(
+            result.args, seq=result.seq, slot=result.slot
+        )
+    else:
+        tag = "\t".join(result.args)
+    if not text:
+        return ""
+    lines = text.splitlines(keepends=True)
+    return "".join(f"{tag}\t{line}" for line in lines)
+
+
+class OutputSequencer:
+    """Emit job outputs, optionally in input (sequence) order.
+
+    ``emit`` is called once per job with the formatted text.  With
+    ``keep_order`` False, emission happens on push; with True, results are
+    held until every lower sequence number has been pushed (or declared
+    skipped via :meth:`skip`).
+    """
+
+    def __init__(
+        self,
+        emit: Callable[[JobResult, str], None],
+        options: Options,
+        keep_order: Optional[bool] = None,
+    ):
+        self._emit = emit
+        self._options = options
+        self._keep = options.keep_order if keep_order is None else keep_order
+        self._next_seq = 1
+        self._held: dict[int, JobResult] = {}
+        self._skipped: set[int] = set()
+
+    def skip(self, seq: int) -> None:
+        """Declare a sequence number that will never produce output."""
+        self._skipped.add(seq)
+        if self._keep:
+            self._flush()
+
+    def push(self, result: JobResult) -> None:
+        """Offer one finished job's result for emission."""
+        if not self._keep:
+            self._emit(result, format_output(result, self._options))
+            return
+        self._held[result.seq] = result
+        self._flush()
+
+    def _flush(self) -> None:
+        while True:
+            if self._next_seq in self._skipped:
+                self._skipped.discard(self._next_seq)
+                self._next_seq += 1
+                continue
+            result = self._held.pop(self._next_seq, None)
+            if result is None:
+                return
+            self._emit(result, format_output(result, self._options))
+            self._next_seq += 1
+
+    @property
+    def pending(self) -> int:
+        """Number of results held back waiting for earlier sequences."""
+        return len(self._held)

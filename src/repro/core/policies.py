@@ -1,0 +1,79 @@
+"""Run-control policies shared by the real and simulated schedulers.
+
+Factoring halt/retry decisions out of the dispatch loops keeps GNU Parallel
+semantics in exactly one place: both the thread-based local scheduler and
+the discrete-event simulated scheduler delegate here, so a behavioural fix
+applies to both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.job import Job, JobState
+from repro.core.options import HaltSpec
+
+__all__ = ["HaltTracker", "should_retry"]
+
+
+@dataclass
+class HaltTracker:
+    """Tracks outcomes and decides when a ``--halt`` policy fires.
+
+    Percentage thresholds are evaluated against the total number of inputs
+    (when known), exactly as GNU Parallel computes ``fail=X%``.
+    """
+
+    spec: HaltSpec
+    total_jobs: Optional[int] = None
+    n_failed: int = 0
+    n_succeeded: int = 0
+    triggered: bool = False
+    reason: Optional[str] = None
+
+    def record(self, state: JobState) -> bool:
+        """Record a final job outcome; return True if the run must halt."""
+        if state in (JobState.SUCCEEDED,):
+            self.n_succeeded += 1
+        elif state in (JobState.FAILED, JobState.TIMED_OUT):
+            self.n_failed += 1
+        if not self.spec.active or self.triggered:
+            return self.triggered
+        count = {
+            "fail": self.n_failed,
+            "success": self.n_succeeded,
+            "done": self.n_failed + self.n_succeeded,
+        }[self.spec.what]
+        if self.spec.percent:
+            if self.total_jobs:
+                hit = count / self.total_jobs >= self.spec.threshold
+            else:
+                hit = False  # unbounded input: percentage can never be hit
+        else:
+            hit = count >= self.spec.threshold
+        if hit:
+            self.triggered = True
+            self.reason = (
+                f"halt {self.spec.when},{self.spec.what}="
+                f"{self.spec.threshold:g}{'%' if self.spec.percent else ''} "
+                f"reached ({count} {self.spec.what})"
+            )
+        return self.triggered
+
+    @property
+    def kill_running(self) -> bool:
+        """True if running jobs must be terminated (``now``), not drained."""
+        return self.triggered and self.spec.when == "now"
+
+
+def should_retry(job: Job, exit_code: int, retries: int) -> bool:
+    """GNU Parallel ``--retries``: re-run failures up to ``retries`` attempts.
+
+    ``--retries N`` in GNU Parallel means a job runs at most N times in
+    total; we follow that: a job whose ``attempt`` counter has reached N is
+    not retried.  ``retries=0`` (our default) disables retrying entirely.
+    """
+    if exit_code == 0 or retries <= 0:
+        return False
+    return job.attempt < max(retries, 1)

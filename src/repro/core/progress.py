@@ -1,0 +1,92 @@
+"""Progress reporting (GNU Parallel's ``--bar``/``--eta``).
+
+The scheduler invokes a progress callback after every final job outcome;
+:class:`ProgressBar` is a ready-made callback rendering GNU Parallel's
+``--bar`` style line (percentage, counts, elapsed, ETA) to any stream::
+
+    from repro.core.progress import ProgressBar
+    Parallel("work {}", jobs=8, progress=ProgressBar(sys.stderr)).run(items)
+
+Custom callbacks receive a :class:`Progress` snapshot — handy for GUIs,
+logging, or the paper's "quick prototyping to extract parallel profiles"
+use (record the completion timeline, plot it later).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Progress", "ProgressBar"]
+
+
+@dataclass(frozen=True)
+class Progress:
+    """One progress snapshot, passed to progress callbacks."""
+
+    done: int
+    failed: int
+    total: Optional[int]  # None for unbounded (streaming) input
+    elapsed: float
+
+    @property
+    def fraction(self) -> Optional[float]:
+        """Completed fraction, or None when the total is unknown."""
+        if not self.total:
+            return None
+        return min(1.0, self.done / self.total)
+
+    @property
+    def rate(self) -> float:
+        """Completed jobs per second so far."""
+        return self.done / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Estimated seconds remaining (None when unknowable)."""
+        if not self.total or self.done == 0:
+            return None
+        remaining = self.total - self.done
+        return remaining / self.rate if self.rate > 0 else None
+
+
+class ProgressBar:
+    """Renders ``--bar``-style progress lines to a stream.
+
+    Throttled to at most one render per ``min_interval`` seconds (plus a
+    final render at 100%) so tight loops don't flood the terminal.
+    """
+
+    def __init__(self, stream, width: int = 30, min_interval: float = 0.1):
+        self.stream = stream
+        self.width = width
+        self.min_interval = min_interval
+        self._last_render = 0.0
+        self.renders = 0
+
+    def __call__(self, progress: Progress) -> None:
+        now = time.time()
+        finished = progress.total is not None and progress.done >= progress.total
+        if not finished and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        self.renders += 1
+        self.stream.write("\r" + self.format(progress))
+        if finished:
+            self.stream.write("\n")
+        self.stream.flush()
+
+    def format(self, p: Progress) -> str:
+        """The rendered line (separate from writing, for tests)."""
+        if p.fraction is None:
+            return f"{p.done} done ({p.rate:.1f}/s, {p.elapsed:.0f}s elapsed)"
+        filled = int(round(self.width * p.fraction))
+        bar = "#" * filled + "-" * (self.width - filled)
+        eta = p.eta_s
+        eta_txt = f" ETA {eta:.0f}s" if eta is not None else ""
+        fail_txt = f" {p.failed} failed" if p.failed else ""
+        return (
+            f"[{bar}] {p.fraction * 100:3.0f}% {p.done}/{p.total}"
+            f"{fail_txt}{eta_txt}"
+        )

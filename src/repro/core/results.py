@@ -1,0 +1,63 @@
+"""``--results`` directory layout.
+
+GNU Parallel's ``--results mydir`` stores, for each job, files::
+
+    mydir/1/<value of source 1>/[2/<value of source 2>/...]/stdout
+    .../stderr
+    .../seq
+
+(the numbered level names the input source, the next level its value).
+We reproduce that layout so downstream tooling written against GNU
+Parallel result trees works unchanged.  Values are sanitized for path
+safety (``/`` → ``_``), a divergence GNU Parallel handles with encoding;
+documented here for clarity.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+
+from repro.core.job import JobResult
+
+__all__ = ["ResultsWriter", "result_dir_for"]
+
+_UNSAFE = re.compile(r"[/\x00]")
+
+
+def _sanitize(value: str) -> str:
+    """Make an input value usable as a single path component."""
+    out = _UNSAFE.sub("_", value)
+    return out if out not in ("", ".", "..") else f"_{out}_"
+
+
+def result_dir_for(root: str, args: tuple[str, ...]) -> str:
+    """The per-job directory for an argument group under ``root``."""
+    parts: list[str] = [root]
+    for i, value in enumerate(args, start=1):
+        parts.append(str(i))
+        parts.append(_sanitize(value))
+    return os.path.join(*parts)
+
+
+class ResultsWriter:
+    """Writes the per-job stdout/stderr/seq files.  Thread-safe."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def write(self, result: JobResult) -> str:
+        """Persist one job's capture; returns the job's directory."""
+        job_dir = result_dir_for(self.root, result.args)
+        with self._lock:
+            os.makedirs(job_dir, exist_ok=True)
+        with open(os.path.join(job_dir, "stdout"), "w", encoding="utf-8") as fh:
+            fh.write(result.stdout)
+        with open(os.path.join(job_dir, "stderr"), "w", encoding="utf-8") as fh:
+            fh.write(result.stderr)
+        with open(os.path.join(job_dir, "seq"), "w", encoding="utf-8") as fh:
+            fh.write(f"{result.seq}\n")
+        return job_dir

@@ -1,0 +1,342 @@
+"""The engine's dispatch loop (real-execution path).
+
+Reproduces GNU Parallel's job-control behaviour:
+
+* a pool of ``-j`` slots, freed slots reused lowest-first (``{%}``),
+* lazy input consumption — unbounded sources (queues, pipes) stream,
+* ``--delay`` pacing between starts,
+* ``--retries`` with failed jobs re-queued ahead of new input,
+* ``--halt`` policies (never / soon / now, fail/success/done, counts or
+  percentages),
+* ``--resume`` / ``--resume-failed`` against a ``--joblog``,
+* ``--keep-order`` output sequencing, ``--tag`` prefixes,
+* ``--results`` capture trees, ``--dry-run``.
+
+One OS thread runs per in-flight job (GNU Parallel forks one process per
+job; a Python thread per job is the analogous cost model, and the real
+work happens in a subprocess anyway for the shell backend).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue
+import re
+import statistics
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.core.backends.base import Backend
+from repro.core.inputs import ArgGroup, normalize, shuffled
+from repro.core.job import Job, JobResult, JobState, RunSummary
+from repro.core.joblog import JoblogWriter, completed_seqs
+from repro.core.options import Options
+from repro.core.output import OutputSequencer
+from repro.core.policies import HaltTracker, should_retry
+from repro.core.results import ResultsWriter
+from repro.core.slots import SlotPool
+from repro.core.template import CommandTemplate
+
+__all__ = ["run_scheduler"]
+
+_DONE = "done"
+
+
+def _read_mem_available() -> int:
+    """Available memory in bytes from /proc/meminfo (inf when unreadable)."""
+    try:
+        with open("/proc/meminfo", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return 2**63  # no probe available: never throttle
+
+
+def run_scheduler(
+    template: Optional[CommandTemplate],
+    source: Iterable[object],
+    options: Options,
+    backend: Backend,
+    emit: Optional[Callable[[JobResult, str], None]] = None,
+    progress: Optional[Callable[..., None]] = None,
+) -> RunSummary:
+    """Run every input through ``backend`` under GNU Parallel semantics.
+
+    ``template`` may be None when the backend does not need a rendered
+    command (callable backends); the command recorded is then a synthetic
+    ``func(args...)`` string for joblog purposes.
+    """
+    known_total: Optional[int] = None
+    if options.shuf:
+        source = shuffled(normalize(source), seed=options.seed)
+        known_total = None  # length recomputed below
+    if hasattr(source, "__len__"):
+        known_total = len(source)  # type: ignore[arg-type]
+
+    groups: Iterator[ArgGroup] = normalize(source)
+    if options.shuf and known_total is None:
+        materialized = list(groups)
+        known_total = len(materialized)
+        groups = iter(materialized)
+    if options.colsep:
+        colsep_re = re.compile(options.colsep)
+        groups = (
+            tuple(colsep_re.split(g[0])) if len(g) == 1 else g for g in groups
+        )
+    if options.max_args is not None:
+        from repro.core.inputs import group_args
+
+        groups = group_args(groups, options.max_args)
+        if known_total is not None:
+            known_total = -(-known_total // options.max_args)  # ceil
+
+    jobs_cap = options.effective_jobs(known_total) if options.jobs == 0 else options.jobs
+    slots = SlotPool(jobs_cap)
+    halt = HaltTracker(options.halt_spec, total_jobs=known_total)
+
+    joblog: Optional[JoblogWriter] = None
+    skip: set[int] = set()
+    if options.joblog:
+        if options.resume:
+            skip = completed_seqs(options.joblog, include_failed=not options.resume_failed)
+        joblog = JoblogWriter(options.joblog, append=options.resume)
+
+    results_writer = ResultsWriter(options.results) if options.results else None
+    sequencer = OutputSequencer(emit or (lambda r, text: None), options)
+
+    summary = RunSummary()
+
+    def notify_progress() -> None:
+        if progress is None:
+            return
+        from repro.core.progress import Progress
+
+        progress(
+            Progress(
+                done=len(summary.results) + summary.n_skipped,
+                failed=summary.n_failed,
+                total=known_total,
+                elapsed=time.time() - wall_start,
+            )
+        )
+
+    done_q: "queue.Queue[tuple[str, Job, Optional[JobResult]]]" = queue.Queue()
+    retry_q: deque[Job] = deque()
+    active = 0
+    halted_soon = False
+    seq_counter = itertools.count(1)
+    wall_start = time.time()
+    last_dispatch = -float("inf")
+
+    def describe(args: ArgGroup, seq: int, slot: int) -> str:
+        if template is not None:
+            if options.pipe_mode:
+                # --pipe: the block goes to stdin, not the command line.
+                return template.render(("",), seq=seq, slot=slot).rstrip()
+            return template.render(args, seq=seq, slot=slot, quote=options.quote)
+        return f"{getattr(backend, 'func', backend)!r}({', '.join(args)})"
+
+    # --timeout: fixed seconds, or N% of the median runtime seen so far
+    # (GNU Parallel's dynamic form; needs >= 3 completed jobs to engage).
+    runtimes: list[float] = []
+    runtimes_lock = threading.Lock()
+
+    def effective_timeout() -> Optional[float]:
+        if options.timeout_s is not None:
+            return options.timeout_s
+        if options.timeout_pct is not None:
+            with runtimes_lock:
+                if len(runtimes) >= 3:
+                    return statistics.median(runtimes) * options.timeout_pct
+        return None
+
+    # --load: stall dispatch while the 1-minute load average is too high.
+    load_probe = options.load_probe or (
+        (lambda: os.getloadavg()[0]) if hasattr(os, "getloadavg") else (lambda: 0.0)
+    )
+
+    # --memfree: stall dispatch while available memory is too low.
+    mem_probe = options.memfree_probe or _read_mem_available
+
+    def wait_for_load() -> None:
+        if options.max_load is not None:
+            while load_probe() > options.max_load:
+                time.sleep(0.05)
+        if options.memfree is not None:
+            while mem_probe() < options.memfree:
+                time.sleep(0.05)
+
+    def worker(job: Job, slot: int) -> None:
+        try:
+            result = backend.run_job(job, slot, options, timeout=effective_timeout())
+            if result.state == JobState.SUCCEEDED:
+                with runtimes_lock:
+                    runtimes.append(result.runtime)
+        except Exception as exc:  # backend bug; convert to a failed result
+            now = time.time()
+            result = JobResult(
+                seq=job.seq,
+                args=job.args,
+                command=job.command,
+                exit_code=126,
+                stderr=f"backend error: {exc!r}",
+                start_time=now,
+                end_time=now,
+                slot=slot,
+                host=backend.host,
+                attempt=job.attempt,
+                state=JobState.FAILED,
+            )
+        finally:
+            slots.release(slot)
+        done_q.put((_DONE, job, result))
+
+    def next_job() -> Optional[Job]:
+        """Next dispatchable job: retries first, then fresh input."""
+        if retry_q:
+            return retry_q.popleft()
+        for args in groups:
+            seq = next(seq_counter)
+            if seq in skip:
+                summary.n_skipped += 1
+                sequencer.skip(seq)
+                continue
+            return Job(seq=seq, args=args)
+        return None
+
+    pending: Optional[Job] = next_job()
+    exhausted = pending is None
+
+    while pending is not None or active > 0:
+        can_dispatch = (
+            pending is not None
+            and not halted_soon
+            and not halt.triggered
+        )
+        if can_dispatch:
+            slot = slots.acquire(blocking=False)
+            if slot is None:
+                # All slots busy: wait for a completion, then loop.
+                kind, job, result = done_q.get()
+                active -= 1
+                _handle_completion(
+                    job, result, options, halt, retry_q, summary,
+                    sequencer, joblog, results_writer,
+                )
+                notify_progress()
+                if halt.triggered:
+                    halted_soon = True
+                    if halt.kill_running:
+                        backend.cancel_all()
+                continue
+            # Pace dispatches per --delay and throttle on --load.
+            if options.delay > 0:
+                gap = time.time() - last_dispatch
+                if gap < options.delay:
+                    time.sleep(options.delay - gap)
+            wait_for_load()
+            # Retries outrank fresh input at every dispatch point (a failed
+            # job must not starve behind a stream of new work).
+            if retry_q:
+                job = retry_q.popleft()
+            else:
+                job, pending = pending, None
+            job.attempt += 1
+            if options.pipe_mode and job.stdin_data is None:
+                job.stdin_data = job.args[0]
+                job.args = (f"<block {job.seq}>",)
+            job.command = describe(job.args, job.seq, slot)
+            job.state = JobState.RUNNING
+            last_dispatch = time.time()
+            summary.n_dispatched += 1
+            if options.dry_run:
+                slots.release(slot)
+                now = time.time()
+                result = JobResult(
+                    seq=job.seq, args=job.args, command=job.command,
+                    exit_code=0, start_time=now, end_time=now, slot=slot,
+                    host=backend.host, attempt=job.attempt,
+                    state=JobState.SUCCEEDED, stdout=job.command + "\n",
+                )
+                _handle_completion(
+                    job, result, options, halt, retry_q, summary,
+                    sequencer, joblog, results_writer, dry_run=True,
+                )
+                notify_progress()
+            else:
+                threading.Thread(target=worker, args=(job, slot), daemon=True).start()
+                active += 1
+            if pending is None:
+                pending = next_job()
+            if pending is None:
+                exhausted = True
+            continue
+
+        if active > 0:
+            kind, job, result = done_q.get()
+            active -= 1
+            _handle_completion(
+                job, result, options, halt, retry_q, summary,
+                sequencer, joblog, results_writer,
+            )
+            notify_progress()
+            if halt.triggered:
+                halted_soon = True
+                if halt.kill_running:
+                    backend.cancel_all()
+            if pending is None and retry_q and not halted_soon:
+                pending = retry_q.popleft()
+            continue
+
+        if pending is not None and (halted_soon or halt.triggered):
+            break  # input remains but we must not start it
+        break
+
+    summary.halted = halt.triggered
+    summary.halt_reason = halt.reason
+    summary.wall_time = time.time() - wall_start
+    if joblog is not None:
+        joblog.close()
+    backend.close()
+    return summary
+
+
+def _handle_completion(
+    job: Job,
+    result: Optional[JobResult],
+    options: Options,
+    halt: HaltTracker,
+    retry_q: deque[Job],
+    summary: RunSummary,
+    sequencer: OutputSequencer,
+    joblog: Optional[JoblogWriter],
+    results_writer: Optional[ResultsWriter],
+    dry_run: bool = False,
+) -> None:
+    assert result is not None
+    if joblog is not None and not dry_run:
+        joblog.write(result)
+    if (
+        not dry_run
+        and result.state in (JobState.FAILED, JobState.TIMED_OUT)
+        and should_retry(job, result.exit_code, options.retries)
+        and not halt.triggered
+    ):
+        job.state = JobState.PENDING
+        retry_q.append(job)
+        return
+    job.state = result.state
+    summary.results.append(result)
+    if result.state == JobState.SUCCEEDED:
+        summary.n_succeeded += 1
+    elif result.state in (JobState.FAILED, JobState.TIMED_OUT):
+        summary.n_failed += 1
+    halt.record(result.state)
+    if results_writer is not None and not dry_run:
+        results_writer.write(result)
+    sequencer.push(result)

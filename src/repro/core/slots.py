@@ -1,0 +1,55 @@
+"""Job-slot bookkeeping.
+
+GNU Parallel numbers its concurrent execution slots 1..N and exposes the
+slot number to jobs as ``{%}``.  Freed slot numbers are reused
+lowest-first, so with ``-j8`` the slot number is always in 1..8 — the
+property the paper's GPU-isolation idiom depends on
+(``HIP_VISIBLE_DEVICES=$(({%} - 1))`` must always land on a valid GPU
+index).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+from repro.errors import OptionsError
+
+__all__ = ["SlotPool"]
+
+
+class SlotPool:
+    """Thread-safe pool of slot numbers 1..capacity, granted lowest-first."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise OptionsError(f"slot pool capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._free = list(range(1, capacity + 1))
+        heapq.heapify(self._free)
+        self._lock = threading.Lock()
+        self._available = threading.Semaphore(capacity)
+
+    def acquire(self, blocking: bool = True, timeout: float | None = None) -> int | None:
+        """Take the lowest free slot number; None on timeout/non-blocking miss."""
+        acquired = self._available.acquire(blocking=blocking, timeout=timeout)
+        if not acquired:
+            return None
+        with self._lock:
+            return heapq.heappop(self._free)
+
+    def release(self, slot: int) -> None:
+        """Return ``slot`` to the pool."""
+        if not 1 <= slot <= self.capacity:
+            raise OptionsError(f"slot {slot} out of range 1..{self.capacity}")
+        with self._lock:
+            if slot in self._free:
+                raise OptionsError(f"slot {slot} released twice")
+            heapq.heappush(self._free, slot)
+        self._available.release()
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        with self._lock:
+            return self.capacity - len(self._free)

@@ -1,0 +1,222 @@
+"""GNU Parallel replacement strings.
+
+Implements the full set of *positional* and *path-manipulating* replacement
+strings from GNU Parallel (``man parallel``, REPLACEMENT STRINGS):
+
+===========  ==============================================================
+``{}``       the input line, unchanged
+``{.}``      input with its (last) extension removed
+``{/}``      basename of input
+``{//}``     dirname of input
+``{/.}``     basename with extension removed
+``{#}``      job sequence number (1-based)
+``{%}``      job slot number (1-based) — the key to the paper's GPU
+             isolation idiom (``HIP_VISIBLE_DEVICES=$(({%} - 1))``)
+``{N}``      argument from the N-th input source (1-based)
+``{N.}``     positional + extension removal, likewise ``{N/}``, ``{N//}``,
+             ``{N/.}``
+``{=expr=}`` **not supported** (requires embedded Perl); raises
+             :class:`~repro.errors.TemplateError`
+===========  ==============================================================
+
+As in GNU Parallel, a command with *no* replacement string has ``{}``
+appended implicitly.
+
+The implementation tokenizes once at construction (``parse``) and renders
+per job — rendering is on the engine's hot dispatch path, so no regex work
+happens per job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.errors import TemplateError
+
+__all__ = ["CommandTemplate", "render_token", "SEQ_TOKEN", "SLOT_TOKEN"]
+
+#: Marker objects distinguishing literal text from replacement tokens.
+SEQ_TOKEN = "{#}"
+SLOT_TOKEN = "{%}"
+
+# {}, {.}, {/}, {//}, {/.}, {#}, {%}, {3}, {3.}, {3/}, {3//}, {3/.}
+_TOKEN_RE = re.compile(
+    r"\{(?P<pos>\d+)?(?P<op>\.|/\.|//|/|#|%)?\}"
+)
+_PERL_EXPR_RE = re.compile(r"\{=.*?=\}", re.DOTALL)
+
+
+@dataclass(frozen=True)
+class _Token:
+    """One replacement token: optional 1-based position + path operation."""
+
+    pos: int | None  # None = whole current argument group joined / arg 1
+    op: str  # "", ".", "/", "//", "/.", "#", "%"
+
+
+Piece = Union[str, _Token]
+
+
+def _apply_op(value: str, op: str) -> str:
+    """Apply a path-manipulation operation to one argument value."""
+    if op == "":
+        return value
+    if op == ".":
+        root, _ext = os.path.splitext(value)
+        return root
+    if op == "/":
+        return os.path.basename(value)
+    if op == "//":
+        return os.path.dirname(value)
+    if op == "/.":
+        root, _ext = os.path.splitext(os.path.basename(value))
+        return root
+    raise TemplateError(f"unknown replacement operation {op!r}")
+
+
+def render_token(
+    token: _Token, args: Sequence[str], seq: int, slot: int
+) -> str:
+    """Render a single token against an argument group."""
+    if token.op == "#":
+        return str(seq)
+    if token.op == "%":
+        return str(slot)
+    if token.pos is None:
+        # {} over a multi-source argument group joins with a space —
+        # matches GNU Parallel when sources are linked/combined.
+        if len(args) == 1:
+            return _apply_op(args[0], token.op)
+        return " ".join(_apply_op(a, token.op) for a in args)
+    index = token.pos - 1
+    if index < 0 or index >= len(args):
+        raise TemplateError(
+            f"replacement {{{token.pos}}} out of range for {len(args)} input source(s)"
+        )
+    return _apply_op(args[index], token.op)
+
+
+class CommandTemplate:
+    """A parsed command template, renderable per job.
+
+    Parameters
+    ----------
+    command:
+        Either a single shell-command string (tokens substituted textually,
+        as GNU Parallel does) or a pre-split argv list (substitution happens
+        per argv element; safer, no shell interpretation).
+    """
+
+    def __init__(self, command: Union[str, Sequence[str]], implicit_append: bool = True):
+        if isinstance(command, str):
+            self._argv_mode = False
+            self._pieces: list[Piece] = self._parse(command)
+            self._source = command
+        else:
+            command = list(command)
+            if not command:
+                raise TemplateError("empty command")
+            self._argv_mode = True
+            self._argv_pieces = [self._parse(word) for word in command]
+            self._source = shlex.join(command)
+            self._pieces = [p for word in self._argv_pieces for p in word]
+        if implicit_append and not self.has_any_token:
+            # GNU Parallel appends the input only when the command contains
+            # no replacement string at all ({#}/{%} count as replacement
+            # strings even though they don't consume the input).
+            if self._argv_mode:
+                self._argv_pieces.append([_Token(None, "")])
+            else:
+                self._pieces = self._pieces + [" ", _Token(None, "")]
+
+    @staticmethod
+    def _parse(text: str) -> list[Piece]:
+        if _PERL_EXPR_RE.search(text):
+            raise TemplateError(
+                "{=perl expression=} replacement strings are not supported "
+                "(see DESIGN.md, out of scope)"
+            )
+        pieces: list[Piece] = []
+        last = 0
+        for m in _TOKEN_RE.finditer(text):
+            if m.start() > last:
+                pieces.append(text[last : m.start()])
+            pos = int(m.group("pos")) if m.group("pos") else None
+            op = m.group("op") or ""
+            if pos is not None and op in ("#", "%"):
+                raise TemplateError(f"positional {{{pos}{op}}} is not a valid token")
+            pieces.append(_Token(pos, op))
+            last = m.end()
+        if last < len(text):
+            pieces.append(text[last:])
+        return pieces
+
+    @property
+    def source(self) -> str:
+        """The original template text."""
+        return self._source
+
+    @property
+    def has_any_token(self) -> bool:
+        """True if the template contains any replacement string."""
+        return any(isinstance(p, _Token) for p in self._pieces)
+
+    @property
+    def has_input_token(self) -> bool:
+        """True if any token consumes the input argument(s)."""
+        return any(
+            isinstance(p, _Token) and p.op not in ("#", "%")
+            for p in self._pieces
+        )
+
+    @property
+    def uses_slot(self) -> bool:
+        """True if the template references ``{%}`` (GPU-isolation idiom)."""
+        return any(isinstance(p, _Token) and p.op == "%" for p in self._pieces)
+
+    def render(
+        self, args: Sequence[str], seq: int = 1, slot: int = 1, quote: bool = False
+    ) -> str:
+        """Render to a single shell-command string.
+
+        ``quote=True`` (GNU Parallel ``-q``) shell-quotes every substituted
+        input value, so arguments containing spaces, quotes, ``;`` or ``$``
+        cannot be reinterpreted by the job's shell.  ``{#}``/``{%}`` are
+        never quoted (they are always plain integers).
+        """
+        if self._argv_mode:
+            return shlex.join(self.render_argv(args, seq, slot))
+        out: list[str] = []
+        for piece in self._pieces:
+            if isinstance(piece, _Token):
+                value = render_token(piece, args, seq, slot)
+                if quote and piece.op not in ("#", "%"):
+                    value = shlex.quote(value)
+                out.append(value)
+            else:
+                out.append(piece)
+        return "".join(out)
+
+    def render_argv(
+        self, args: Sequence[str], seq: int = 1, slot: int = 1
+    ) -> list[str]:
+        """Render to an argv list (argv-mode templates only)."""
+        if not self._argv_mode:
+            raise TemplateError(
+                "render_argv() requires a template built from an argv list"
+            )
+        argv: list[str] = []
+        for word_pieces in self._argv_pieces:
+            word = "".join(
+                render_token(p, args, seq, slot) if isinstance(p, _Token) else p
+                for p in word_pieces
+            )
+            argv.append(word)
+        return argv
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CommandTemplate({self._source!r})"

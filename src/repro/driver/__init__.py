@@ -1,0 +1,17 @@
+"""Multi-node driver: Listing-1 sharding, per-node engine launches, and
+the local multi-instance analog."""
+
+from repro.driver.distribute import shard_block, shard_cyclic, shard_sizes
+from repro.driver.local_multi import ShardedRun, run_local_sharded
+from repro.driver.multinode import MultiNodeRun, run_multinode, run_multinode_batch
+
+__all__ = [
+    "shard_cyclic",
+    "shard_block",
+    "shard_sizes",
+    "MultiNodeRun",
+    "run_multinode",
+    "run_multinode_batch",
+    "ShardedRun",
+    "run_local_sharded",
+]

@@ -1,0 +1,70 @@
+"""Input sharding across nodes — the paper's Listing-1 driver script.
+
+The one-liner::
+
+    cat $1 | awk -v NNODE="$SLURM_NNODES" -v NODEID="$SLURM_NODEID" \
+        'NR % NNODE == NODEID' | parallel -j128 ./payload.sh {}
+
+assigns line ``NR`` (awk's 1-based record number) to the node where
+``NR % NNODE == NODEID``.  :func:`shard_cyclic` reproduces that exactly —
+including the quirk that node 0 gets lines NNODE, 2·NNODE, ... (line 1
+goes to node 1) — so our shards are bit-identical to the paper's.
+
+:func:`shard_block` is the contiguous alternative used by the ablation
+benchmark (DESIGN.md §5): block sharding puts all-early or all-late lines
+on one node, which matters when line cost correlates with position.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+from repro.errors import ReproError
+
+__all__ = ["shard_cyclic", "shard_block", "shard_sizes"]
+
+T = TypeVar("T")
+
+
+def _check(nnodes: int, nodeid: int) -> None:
+    if nnodes < 1:
+        raise ReproError(f"NNODE must be >= 1, got {nnodes}")
+    if not 0 <= nodeid < nnodes:
+        raise ReproError(f"NODEID {nodeid} out of range 0..{nnodes - 1}")
+
+
+def shard_cyclic(items: Iterable[T], nnodes: int, nodeid: int) -> Iterator[T]:
+    """Yield the items awk's ``NR % NNODE == NODEID`` selects for a node.
+
+    awk's NR is 1-based: with 4 nodes, node 1 gets lines 1, 5, 9, ...;
+    node 0 gets lines 4, 8, 12, ...  Works on unbounded iterables.
+    """
+    _check(nnodes, nodeid)
+    for nr, item in enumerate(items, start=1):
+        if nr % nnodes == nodeid:
+            yield item
+
+
+def shard_block(items: Sequence[T], nnodes: int, nodeid: int) -> list[T]:
+    """Contiguous block sharding (ablation comparator; needs a sequence).
+
+    Splits ``items`` into ``nnodes`` nearly equal consecutive blocks, the
+    first ``len(items) % nnodes`` blocks one element longer.
+    """
+    _check(nnodes, nodeid)
+    n = len(items)
+    base, extra = divmod(n, nnodes)
+    start = nodeid * base + min(nodeid, extra)
+    size = base + (1 if nodeid < extra else 0)
+    return list(items[start : start + size])
+
+
+def shard_sizes(n_items: int, nnodes: int) -> list[int]:
+    """Per-node shard sizes under cyclic sharding of ``n_items`` lines."""
+    if n_items < 0:
+        raise ReproError(f"n_items must be >= 0, got {n_items}")
+    _check(nnodes, 0)
+    sizes = [0] * nnodes
+    for nr in range(1, n_items + 1):
+        sizes[nr % nnodes] += 1
+    return sizes

@@ -1,0 +1,9 @@
+"""DTN-cluster parallel data motion (§IV-E)."""
+
+from repro.dtn.cluster import (
+    DataMotionReport,
+    run_dtn_transfer,
+    run_sequential_transfer,
+)
+
+__all__ = ["DataMotionReport", "run_dtn_transfer", "run_sequential_transfer"]

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class InterruptError(SimulationError):
+    """Raised inside a simulated process when it is interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.kernel.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class TemplateError(ReproError):
+    """Raised for malformed command templates or replacement strings."""
+
+
+class InputSourceError(ReproError):
+    """Raised for malformed or inconsistent input-source specifications."""
+
+
+class OptionsError(ReproError):
+    """Raised for invalid or conflicting engine options."""
+
+
+class HaltError(ReproError):
+    """Raised when a ``--halt`` policy stops the run early.
+
+    Mirrors GNU Parallel's behaviour of ``--halt now,fail=1`` and friends:
+    the run terminates and the exit status reflects the failing job.
+    """
+
+    def __init__(self, message: str, exit_code: int = 1):
+        super().__init__(message)
+        self.exit_code = exit_code
+
+
+class BackendError(ReproError):
+    """Raised when an execution backend cannot run a job."""
+
+
+class StorageError(ReproError):
+    """Raised for filesystem-model misuse (missing paths, double create)."""
+
+
+class ContainerError(ReproError):
+    """Raised when a simulated container launch fails.
+
+    The ``reason`` attribute names the failure mode (e.g. ``"user_namespace"``,
+    ``"db_lock"``, ``"setgid"``, ``"tmpdir"``) matching the Podman-HPC
+    reliability issues reported in the paper.
+    """
+
+    def __init__(self, message: str, reason: str = "unknown"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class SlurmError(ReproError):
+    """Raised for scheduler-model misuse (bad allocation, unknown node)."""

@@ -1,0 +1,17 @@
+"""GPU devices and the {%}-based isolation idiom (§IV-D)."""
+
+from repro.gpu.device import (
+    GpuBusyError,
+    GpuDevice,
+    GpuPool,
+    parse_visible_devices,
+    slot_to_device,
+)
+
+__all__ = [
+    "GpuBusyError",
+    "GpuDevice",
+    "GpuPool",
+    "parse_visible_devices",
+    "slot_to_device",
+]

@@ -1,0 +1,106 @@
+"""GPU devices and visibility masks.
+
+Implements the semantics behind the paper's "GPU isolation" idiom
+(§IV-D): a process that sets ``HIP_VISIBLE_DEVICES=<k>`` sees exactly one
+device, and GNU Parallel's slot number ``{%}`` guarantees ``k`` is unique
+among concurrent jobs when ``-j`` equals the GPU count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+
+__all__ = ["GpuDevice", "GpuPool", "parse_visible_devices", "slot_to_device"]
+
+
+class GpuBusyError(ReproError):
+    """Raised when two jobs claim the same GPU concurrently (a correctness
+    failure of the isolation scheme, surfaced loudly rather than silently
+    oversubscribing)."""
+
+
+@dataclass
+class GpuDevice:
+    """One schedulable GPU (a GCD on Frontier's MI250X)."""
+
+    index: int
+    busy_by: Optional[str] = None
+    #: Total completed kernels/tasks, for utilization accounting.
+    tasks_completed: int = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.busy_by is not None
+
+    def claim(self, owner: str) -> None:
+        """Mark the device in use by ``owner``; raises if already busy."""
+        if self.busy_by is not None:
+            raise GpuBusyError(
+                f"GPU {self.index} already claimed by {self.busy_by!r}; "
+                f"rejected claim by {owner!r}"
+            )
+        self.busy_by = owner
+
+    def release(self, owner: str) -> None:
+        if self.busy_by != owner:
+            raise GpuBusyError(
+                f"GPU {self.index} released by {owner!r} but owned by {self.busy_by!r}"
+            )
+        self.busy_by = None
+        self.tasks_completed += 1
+
+
+class GpuPool:
+    """The GPUs of one node."""
+
+    def __init__(self, count: int):
+        if count < 0:
+            raise ReproError(f"GPU count must be >= 0, got {count}")
+        self.devices = [GpuDevice(i) for i in range(count)]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def device(self, index: int) -> GpuDevice:
+        try:
+            return self.devices[index]
+        except IndexError:
+            raise ReproError(
+                f"GPU index {index} out of range (node has {len(self.devices)})"
+            ) from None
+
+    @property
+    def busy_count(self) -> int:
+        return sum(1 for d in self.devices if d.busy)
+
+
+def parse_visible_devices(value: str) -> list[int]:
+    """Parse a ``HIP_VISIBLE_DEVICES``/``CUDA_VISIBLE_DEVICES`` value."""
+    value = value.strip()
+    if not value:
+        return []
+    try:
+        return [int(part) for part in value.split(",")]
+    except ValueError:
+        raise ReproError(f"bad VISIBLE_DEVICES value: {value!r}") from None
+
+
+def slot_to_device(slot: int, gpus_per_node: int) -> int:
+    """The paper's mapping: ``HIP_VISIBLE_DEVICES=$(({%} - 1))``.
+
+    Valid only when the engine runs with ``-j <= gpus_per_node``; with a
+    larger ``-j`` two slots would map onto the same device, which is
+    exactly the bug the idiom avoids — so we raise rather than wrap.
+    """
+    if slot < 1:
+        raise ReproError(f"slot numbers are 1-based, got {slot}")
+    device = slot - 1
+    if device >= gpus_per_node:
+        raise ReproError(
+            f"slot {slot} maps to GPU {device} but the node has only "
+            f"{gpus_per_node}; run with -j{gpus_per_node} or fewer"
+        )
+    return device

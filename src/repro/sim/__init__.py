@@ -1,0 +1,39 @@
+"""Discrete-event simulation substrate.
+
+Public surface:
+
+* :class:`~repro.sim.kernel.Environment`, events, processes — the kernel;
+* :class:`~repro.sim.resources.Resource`, :class:`~repro.sim.resources.Store`,
+  :class:`~repro.sim.resources.FairShareLink` — shared resources;
+* :class:`~repro.sim.random.RngRegistry` — reproducible RNG streams;
+* :class:`~repro.sim.monitor.Monitor` — trace collection.
+"""
+
+from repro.sim.kernel import (
+    Environment,
+    Event,
+    Process,
+    Timeout,
+    all_of,
+    any_of,
+)
+from repro.sim.monitor import Monitor, Sample
+from repro.sim.random import RngRegistry
+from repro.sim.resources import FairShareLink, RateStation, Request, Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "all_of",
+    "any_of",
+    "Monitor",
+    "Sample",
+    "RngRegistry",
+    "FairShareLink",
+    "RateStation",
+    "Request",
+    "Resource",
+    "Store",
+]

@@ -1,0 +1,421 @@
+"""Discrete-event simulation kernel.
+
+A small, from-scratch, generator-based discrete-event engine in the style
+of SimPy: simulated *processes* are Python generators that ``yield`` events;
+the :class:`Environment` advances a virtual clock and resumes processes when
+the events they wait on fire.
+
+Only the features the cluster substrates need are implemented:
+
+* :class:`Event` — one-shot triggerable with success/failure and callbacks,
+* :class:`Timeout` — fires after a virtual delay,
+* :class:`Process` — runs a generator, is itself an event (fires on return),
+* :class:`Condition` via :func:`all_of` / :func:`any_of`,
+* process interruption (:meth:`Process.interrupt`).
+
+The event loop is a binary heap ordered by ``(time, priority, sequence)``
+giving deterministic FIFO ordering among simultaneous events — determinism
+matters because benchmark results must be reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import InterruptError, SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "all_of",
+    "any_of",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for urgent events (interrupts) — processed before
+#: normal events scheduled at the same instant.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+#: Sentinel for "event not yet fired".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling its callbacks to run at the current simulated
+    instant.  Processes wait on events by ``yield``-ing them.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: Set when a failure value has been retrieved or handled, so the
+        #: kernel can detect unhandled simulated exceptions.
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is in the past)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception, for failed events)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value`` as its payload."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` thrown."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel won't re-raise it."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after its creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a newly created :class:`Process`."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, priority=URGENT)
+
+
+class _Interrupt(Event):
+    """Internal urgent event carrying an interruption into a process."""
+
+    def __init__(self, env: "Environment", process: "Process", cause: Any):
+        super().__init__(env)
+        self._ok = False
+        self._value = InterruptError(cause)
+        self._defused = True
+        self.callbacks.append(process._resume_interrupt)
+        env._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A simulated process driving a generator of events.
+
+    The process is itself an event: it triggers (with the generator's return
+    value) when the generator finishes, so processes can wait on each other
+    simply by yielding the :class:`Process` object.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None when running
+        #: or finished).
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptError` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        twice before it resumes queues both interrupts (matching SimPy).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self._target is None and self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        _Interrupt(self.env, self, cause)
+
+    # -- kernel plumbing ----------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        if not self.is_alive:  # finished in the meantime; drop the interrupt
+            return
+        # Detach from whatever we were waiting for.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._target = None
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active = self
+        while True:
+            if event._ok:
+                try:
+                    next_ev = self._generator.send(event._value)
+                except StopIteration as stop:
+                    self._finish(True, stop.value)
+                    break
+                except BaseException as exc:
+                    self._finish(False, exc)
+                    break
+            else:
+                event._defused = True
+                exc = event._value
+                try:
+                    next_ev = self._generator.throw(exc)
+                except StopIteration as stop:
+                    self._finish(True, stop.value)
+                    break
+                except BaseException as raised:
+                    if raised is exc and not isinstance(raised, InterruptError):
+                        # Unhandled simulated failure: propagate as process
+                        # failure rather than crashing the kernel.
+                        self._finish(False, raised)
+                        break
+                    self._finish(False, raised)
+                    break
+
+            if not isinstance(next_ev, Event):
+                self._finish(
+                    False,
+                    SimulationError(
+                        f"process {self.name!r} yielded non-event {next_ev!r}"
+                    ),
+                )
+                break
+            if next_ev.callbacks is None:
+                # Already processed: resume immediately with its value.
+                event = next_ev
+                continue
+            next_ev.callbacks.append(self._resume)
+            self._target = next_ev
+            break
+        self.env._active = None
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self._target = None
+        self._ok = ok
+        self._value = value
+        if not ok and isinstance(value, BaseException):
+            # Will be re-raised by Environment.run() if nobody waits on us.
+            pass
+        self.env._schedule(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class Condition(Event):
+    """Composite event over several sub-events.
+
+    Fires when ``evaluate(events, n_triggered_ok)`` returns True, or fails as
+    soon as any sub-event fails.  Use :func:`all_of` / :func:`any_of`.
+    The success value is a dict mapping each *triggered* sub-event to its
+    value, in trigger order.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        self._results: dict[Event, Any] = {}
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+        if not self._events:
+            self.succeed(self._results)
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        self._results[event] = event._value
+        if self._evaluate(self._events, self._count):
+            self.succeed(dict(self._results))
+
+
+def all_of(env: "Environment", events: Iterable[Event]) -> Condition:
+    """Event that fires once *all* of ``events`` have fired successfully."""
+    return Condition(env, lambda evs, n: n == len(evs), events)
+
+
+def any_of(env: "Environment", events: Iterable[Event]) -> Condition:
+    """Event that fires once *any* of ``events`` has fired successfully."""
+    return Condition(env, lambda evs, n: n >= 1, events)
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event loop."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new simulated process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """See :func:`all_of`."""
+        return all_of(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        """See :func:`any_of`."""
+        return any_of(self, events)
+
+    # -- scheduling and the loop --------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process one event: advance the clock and run its callbacks."""
+        if not self._queue:
+            raise SimulationError("step() on empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        * ``until`` is None — run until no events remain.
+        * ``until`` is a number — run until the clock reaches it.
+        * ``until`` is an :class:`Event` — run until it fires, returning its
+          value (raising its exception if it failed).
+        """
+        stop_at: Optional[float] = None
+        stop_ev: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_ev = until
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(f"until={stop_at} is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_ev is not None and stop_ev.processed:
+                break
+            if stop_at is not None and self.peek() > stop_at:
+                self._now = stop_at
+                return None
+            self.step()
+
+        if stop_ev is not None:
+            if not stop_ev.triggered:
+                raise SimulationError("run(until=event) exhausted schedule before event fired")
+            if not stop_ev._ok:
+                stop_ev._defused = True
+                raise stop_ev._value
+            return stop_ev._value
+        if stop_at is not None:
+            self._now = stop_at
+        return None

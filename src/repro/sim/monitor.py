@@ -1,0 +1,56 @@
+"""Trace collection for simulation runs.
+
+A :class:`Monitor` records timestamped samples into named series; the
+analysis layer (``repro.analysis``) turns these into the statistics the
+paper's figures report (makespans, interquartile ranges, launch rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["Monitor", "Sample"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One observation: simulated ``time``, numeric ``value``, optional tag."""
+
+    time: float
+    value: float
+    tag: Any = None
+
+
+@dataclass
+class Monitor:
+    """Named series of :class:`Sample` observations."""
+
+    series: dict[str, list[Sample]] = field(default_factory=dict)
+
+    def record(self, name: str, time: float, value: float, tag: Any = None) -> None:
+        """Append one sample to series ``name``."""
+        self.series.setdefault(name, []).append(Sample(time, float(value), tag))
+
+    def values(self, name: str) -> np.ndarray:
+        """All values of series ``name`` as an array (empty if absent)."""
+        return np.array([s.value for s in self.series.get(name, [])], dtype=float)
+
+    def times(self, name: str) -> np.ndarray:
+        """All timestamps of series ``name`` as an array (empty if absent)."""
+        return np.array([s.time for s in self.series.get(name, [])], dtype=float)
+
+    def count(self, name: str) -> int:
+        """Number of samples in series ``name``."""
+        return len(self.series.get(name, []))
+
+    def names(self) -> Iterable[str]:
+        """All series names."""
+        return self.series.keys()
+
+    def merge(self, other: "Monitor") -> None:
+        """Append all of ``other``'s samples into this monitor."""
+        for name, samples in other.series.items():
+            self.series.setdefault(name, []).extend(samples)

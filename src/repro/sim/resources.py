@@ -1,0 +1,350 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three primitives cover every substrate in this package:
+
+* :class:`Resource` — counted capacity with FIFO queueing (CPU slots, GPU
+  slots, rsync streams, fork bandwidth tokens).
+* :class:`Store` — a queue of items with blocking get/put (work queues,
+  the ``tail -f q.proc`` queue file in the fetch-process workflow).
+* :class:`FairShareLink` — a processor-sharing bandwidth pipe (Lustre OSTs,
+  NVMe devices, NICs): N concurrent flows each progress at ``rate / N``,
+  recomputed whenever a flow arrives or departs.  This is the standard
+  fluid model for shared storage/network bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["Resource", "Request", "Store", "FairShareLink", "RateStation"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when capacity is granted.
+
+    Supports the context-manager protocol *conceptually* via
+    :meth:`Resource.release`; simulated processes typically do::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """Counted capacity with FIFO grant order.
+
+    ``capacity`` units exist; each granted :class:`Request` holds one unit
+    until released.  Grants are strictly FIFO, which models GNU Parallel's
+    slot queue and Slurm's per-node core allocation adequately.
+    """
+
+    def __init__(self, env: Environment, capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._waiting: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of capacity units currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for capacity."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim one capacity unit; the returned event fires when granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return the capacity unit held by ``request``.
+
+        Releasing an ungranted-but-waiting request cancels it; releasing a
+        request twice is an error.
+        """
+        if request in self._users:
+            self._users.discard(request)
+            self._grant_next()
+        else:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                raise SimulationError("release() of a request not held or queued") from None
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            req = self._waiting.popleft()
+            self._users.add(req)
+            req.succeed()
+
+
+class Store:
+    """An unbounded (or bounded) FIFO of items with blocking get/put."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list[Any]:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Add ``item``; fires immediately unless the store is full."""
+        ev = Event(self.env)
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self._putters.append((ev, item))
+        else:
+            self._items.append(item)
+            ev.succeed()
+            self._wake_getters()
+        return ev
+
+    def get(self) -> Event:
+        """Remove and return the oldest item; blocks while empty."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+            self._admit_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _wake_getters(self) -> None:
+        while self._getters and self._items:
+            self._getters.popleft().succeed(self._items.popleft())
+            self._admit_putters()
+
+    def _admit_putters(self) -> None:
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            ev.succeed()
+        self._wake_getters()
+
+
+class RateStation:
+    """A serialized service point with a fixed maximum throughput.
+
+    Models anything that processes requests one at a time at ``rate``
+    operations/second: a GNU Parallel dispatcher (~470 jobs/s), a node's
+    kernel fork path (~6,400 forks/s), a Lustre metadata server, Podman's
+    database lock (~65 launches/s), a Slurm controller.
+
+    ``serve()`` returns an event that fires once the request has received
+    its ``1/rate`` (or custom) service time; requests are served FIFO.
+    The long-run completion rate can never exceed ``rate``, which is
+    exactly the "launch-rate ceiling" phenomenon in the paper's Figs. 3-5.
+    """
+
+    def __init__(self, env: Environment, rate: float, name: str = ""):
+        if rate <= 0:
+            raise SimulationError(f"station rate must be > 0, got {rate}")
+        self.env = env
+        self.rate = float(rate)
+        self.name = name
+        self._gate = Resource(env, 1)
+        #: Completed service count (monotone).
+        self.served = 0
+
+    @property
+    def service_time(self) -> float:
+        """Default per-request service time, seconds."""
+        return 1.0 / self.rate
+
+    def serve(self, work: float = 1.0) -> Event:
+        """Request ``work`` units of service (default one operation)."""
+        if work < 0:
+            raise SimulationError(f"negative work: {work}")
+        done = Event(self.env)
+        self.env.process(self._serve_one(work, done), name=f"station:{self.name}")
+        return done
+
+    def _serve_one(self, work: float, done: Event):
+        req = self._gate.request()
+        yield req
+        try:
+            yield self.env.timeout(work * self.service_time)
+        finally:
+            self._gate.release(req)
+        self.served += 1
+        done.succeed(self.env.now)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for service."""
+        return self._gate.queue_length
+
+
+class _Flow:
+    __slots__ = ("size", "remaining", "event", "last_update", "weight")
+
+    def __init__(self, size: float, event: Event, now: float, weight: float):
+        self.size = float(size)
+        self.remaining = float(size)
+        self.event = event
+        self.last_update = now
+        self.weight = float(weight)
+
+
+class FairShareLink:
+    """A processor-sharing pipe: total ``rate`` split among active flows.
+
+    Each active flow with weight *w* progresses at ``rate * w / W`` where
+    *W* is the sum of active weights.  Completion times are recomputed on
+    every arrival/departure — the classic fluid approximation used for
+    shared filesystem and network bandwidth.
+
+    ``rate`` and ``size`` units are arbitrary but must agree (we use bytes
+    and bytes/second throughout the storage models).
+
+    An optional ``max_flows`` bounds concurrency (e.g. a Lustre client cap);
+    excess transfers FIFO-queue.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rate: float,
+        max_flows: Optional[int] = None,
+        name: str = "",
+    ):
+        if rate <= 0:
+            raise SimulationError(f"link rate must be > 0, got {rate}")
+        self.env = env
+        self.rate = float(rate)
+        self.name = name
+        self.max_flows = max_flows
+        self._flows: list[_Flow] = []
+        self._pending: deque[tuple[float, float, Event]] = deque()
+        self._completion: Optional[Event] = None  # timer for next finish
+        self._timer_proc = None
+        #: Total units transferred through this link (monotone counter).
+        self.total_transferred = 0.0
+
+    @property
+    def active_flows(self) -> int:
+        """Number of flows currently sharing the link."""
+        return len(self._flows)
+
+    def transfer(self, size: float, weight: float = 1.0) -> Event:
+        """Move ``size`` units through the link; fires on completion.
+
+        Zero-size transfers complete at the current instant (but still via
+        the event loop, preserving causality).
+        """
+        if size < 0:
+            raise SimulationError(f"negative transfer size: {size}")
+        if weight <= 0:
+            raise SimulationError(f"transfer weight must be > 0, got {weight}")
+        done = Event(self.env)
+        if size == 0:
+            done.succeed(0.0)
+            return done
+        if self.max_flows is not None and len(self._flows) >= self.max_flows:
+            self._pending.append((size, weight, done))
+        else:
+            self._admit(size, weight, done)
+        return done
+
+    # -- internals -----------------------------------------------------------
+    def _admit(self, size: float, weight: float, done: Event) -> None:
+        self._settle()
+        self._flows.append(_Flow(size, done, self.env.now, weight))
+        self._rearm()
+
+    def _total_weight(self) -> float:
+        return sum(f.weight for f in self._flows)
+
+    def _settle(self) -> None:
+        """Account progress made since the last settle at the old share rates."""
+        if not self._flows:
+            return
+        now = self.env.now
+        total_w = self._total_weight()
+        for f in self._flows:
+            elapsed = now - f.last_update
+            if elapsed > 0:
+                progressed = self.rate * (f.weight / total_w) * elapsed
+                f.remaining = max(0.0, f.remaining - progressed)
+            f.last_update = now
+
+    def _rearm(self) -> None:
+        """(Re)start the timer for the earliest flow completion."""
+        if self._timer_proc is not None and self._timer_proc.is_alive:
+            self._timer_proc.interrupt("rearm")
+            self._timer_proc = None
+        if not self._flows:
+            return
+        total_w = self._total_weight()
+        soonest = min(
+            f.remaining / (self.rate * (f.weight / total_w)) for f in self._flows
+        )
+        self._timer_proc = self.env.process(
+            self._wait_and_complete(soonest), name=f"link-timer:{self.name}"
+        )
+
+    def _wait_and_complete(self, delay: float):
+        from repro.errors import InterruptError
+
+        try:
+            yield self.env.timeout(delay)
+        except InterruptError:
+            return
+        self._timer_proc = None  # we are the timer; don't self-interrupt in _rearm
+        self._settle()
+        # A flow is done when its residual *time* is below the clock's
+        # resolution at the current instant: with very fast links (or a
+        # large `now`) the remaining work can be too small for the float
+        # clock to ever advance, which would otherwise spin the timer
+        # forever at one timestamp.
+        total_w = self._total_weight()
+        eps_t = max(1e-12, 4.0 * math.ulp(self.env.now))
+        def _done(f: _Flow) -> bool:
+            share = self.rate * (f.weight / total_w)
+            return f.remaining <= 1e-9 or f.remaining / share <= eps_t
+        finished = [f for f in self._flows if _done(f)]
+        self._flows = [f for f in self._flows if not _done(f)]
+        for f in finished:
+            self.total_transferred += f.size
+            f.event.succeed(self.env.now)
+        while self._pending and (
+            self.max_flows is None or len(self._flows) < self.max_flows
+        ):
+            size, weight, done = self._pending.popleft()
+            self._flows.append(_Flow(size, done, self.env.now, weight))
+        self._rearm()

@@ -1,0 +1,16 @@
+"""The simulated GNU Parallel engine and its vectorized batch model."""
+
+from repro.simengine.batch import batch_completion_times, batch_makespan
+from repro.simengine.export import to_profile, write_joblog
+from repro.simengine.parallel import SimParallel
+from repro.simengine.task import SimTask, SimTaskResult
+
+__all__ = [
+    "SimParallel",
+    "SimTask",
+    "SimTaskResult",
+    "batch_completion_times",
+    "batch_makespan",
+    "write_joblog",
+    "to_profile",
+]

@@ -1,0 +1,58 @@
+"""Export simulated results in real-tool formats.
+
+Simulated runs become most useful when they flow into the same analysis
+tooling as real runs:
+
+* :func:`write_joblog` — a GNU Parallel-compatible ``--joblog`` file from
+  :class:`~repro.simengine.task.SimTaskResult` records (readable by
+  :func:`repro.core.joblog.read_joblog` and by GNU Parallel itself);
+* :func:`to_profile` — a :class:`~repro.analysis.profile.ParallelProfile`
+  of the simulated run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.profile import ParallelProfile, profile_intervals
+from repro.core.joblog import JOBLOG_HEADER
+from repro.simengine.task import SimTaskResult
+
+__all__ = ["write_joblog", "to_profile"]
+
+
+def write_joblog(path: str, results: Sequence[SimTaskResult], command: str = "sim-task") -> None:
+    """Write simulated results as a GNU Parallel joblog.
+
+    Failed launches get exit value 1; the command column records the
+    failure mode so post-mortems can group by cause.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(JOBLOG_HEADER + "\n")
+        for r in sorted(results, key=lambda x: x.seq):
+            exitval = 0 if r.ok else 1
+            cmd = command if r.ok else f"{command} [{r.failure_mode}]"
+            fh.write(
+                "\t".join(
+                    [
+                        str(r.seq),
+                        r.node,
+                        f"{r.launch_time:.3f}",
+                        f"{r.runtime:.3f}",
+                        "0",
+                        "0",
+                        str(exitval),
+                        "0",
+                        cmd,
+                    ]
+                )
+                + "\n"
+            )
+
+
+def to_profile(results: Sequence[SimTaskResult]) -> ParallelProfile:
+    """The simulated run's parallel profile (successful tasks only)."""
+    ok = [r for r in results if r.ok]
+    return profile_intervals(
+        [r.launch_time for r in ok], [r.end_time for r in ok]
+    )

@@ -1,0 +1,211 @@
+"""A simulated GNU Parallel instance running on a :class:`SimNode`.
+
+Models the structure that sets the engine's measured launch rates:
+
+* one *dispatcher* per instance — a serialized loop that takes a free job
+  slot, spends ``1/dispatch_rate`` seconds of bookkeeping (the ~2.1 ms/job
+  that caps a single instance at ~470 jobs/s in Fig. 3), then hands the
+  job to the node;
+* every job start then passes through the node-wide *fork station*
+  (~6,400/s) and, when containerized, the runtime's own serialization
+  point (Shifter ~5,200/s, Podman-HPC ~65/s) — so running N instances
+  raises throughput until the node-wide station saturates, exactly the
+  multi-instance scaling of Figs. 3-5;
+* slots are numbered 1..jobs and reused lowest-first, feeding the
+  GPU-isolation mapping ``device = slot - 1`` when ``gpu_isolation`` is
+  on; the :class:`~repro.gpu.GpuPool` raises if isolation is ever
+  violated, making the invariant checkable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Optional
+
+from repro.cluster.machines import ENGINE_DISPATCH_RATE
+from repro.cluster.node import SimNode
+from repro.containers.runtime import BARE_METAL, ContainerRuntime
+from repro.errors import SimulationError
+from repro.gpu.device import slot_to_device
+from repro.sim.kernel import Environment, Process
+from repro.sim.resources import RateStation, Resource, Store
+from repro.simengine.task import SimTask, SimTaskResult
+
+__all__ = ["SimParallel"]
+
+#: Work-queue sentinel: wakes the dispatcher once all jobs are final.
+_DONE = object()
+
+
+class SimParallel:
+    """One GNU Parallel instance bound to a node."""
+
+    def __init__(
+        self,
+        node: SimNode,
+        jobs: int,
+        dispatch_rate: float = ENGINE_DISPATCH_RATE,
+        runtime: ContainerRuntime = BARE_METAL,
+        gpu_isolation: bool = False,
+        retries: int = 0,
+        name: str = "parallel",
+        monitor: "object | None" = None,
+    ):
+        if jobs < 1:
+            raise SimulationError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise SimulationError(f"retries must be >= 0, got {retries}")
+        if gpu_isolation and jobs > len(node.gpus):
+            raise SimulationError(
+                f"GPU isolation requires -j <= {len(node.gpus)} on {node.name}, got -j{jobs}"
+            )
+        self.node = node
+        self.env: Environment = node.env
+        self.jobs = jobs
+        self.runtime = runtime
+        self.gpu_isolation = gpu_isolation
+        #: GNU Parallel ``--retries`` semantics: total attempts per job
+        #: (0 and 1 both mean "run once").  Applies to container-launch
+        #: failures and injected task failures alike.
+        self.retries = retries
+        self.name = name
+        #: Optional :class:`~repro.sim.monitor.Monitor`: the instance
+        #: records per-launch events into series ``"<name>:launches"`` so
+        #: launch-rate timeseries can be analyzed after a run.
+        self.monitor = monitor
+        self.dispatcher = RateStation(self.env, dispatch_rate, name=f"{name}:dispatch")
+        self._slots = Resource(self.env, jobs)
+        self._free_slot_numbers = list(range(1, jobs + 1))
+        heapq.heapify(self._free_slot_numbers)
+        self.results: list[SimTaskResult] = []
+
+    def run(self, tasks: Iterable[SimTask]) -> Process:
+        """Start the instance; the returned process yields the result list."""
+        return self.env.process(self._dispatch_loop(list(tasks)), name=self.name)
+
+    # -- internals --------------------------------------------------------------
+    def _dispatch_loop(self, tasks: list[SimTask]):
+        expected = len(tasks)
+        if expected == 0:
+            return []
+        queue = Store(self.env)
+        self._finals = 0
+        self._expected = expected
+        self._queue = queue
+        for seq, task in enumerate(tasks, start=1):
+            queue.put((seq, task, 1))
+        while self._finals < expected:
+            item = yield queue.get()
+            if item is _DONE:
+                break
+            seq, task, attempt = item
+            req = self._slots.request()
+            yield req
+            slot = heapq.heappop(self._free_slot_numbers)
+            # The dispatcher's own serialized per-job work (~1/470 s).
+            yield self.dispatcher.serve()
+            self.env.process(
+                self._job(task, seq, slot, req, attempt),
+                name=f"{self.name}:job{seq}.{attempt}",
+            )
+        return list(self.results)
+
+    def _finalize(self, result: SimTaskResult) -> None:
+        """Record a final outcome and wake the dispatcher when all done."""
+        self.results.append(result)
+        self._finals += 1
+        if self._finals >= self._expected:
+            self._queue.put(_DONE)
+
+    def _fail_or_retry(self, task, seq, attempt, mode, launch_time) -> None:
+        """Route a failed attempt: back to the queue, or a final failure."""
+        if 0 < attempt < max(self.retries, 1):
+            self._queue.put((seq, task, attempt + 1))
+            return
+        self._finalize(
+            SimTaskResult(
+                seq=seq, node=self.node.name, slot=0,
+                launch_time=launch_time, start_time=launch_time,
+                end_time=self.env.now, ok=False, failure_mode=mode,
+                attempt=attempt,
+            )
+        )
+
+    def _job(self, task: SimTask, seq: int, slot: int, slot_req, attempt: int = 1):
+        node = self.node
+        gpu_index: Optional[int] = None
+        failure: Optional[str] = None
+        try:
+            # Kernel fork path (node-wide ceiling).
+            yield node.fork()
+            # Container runtime serialization + per-launch setup + failures.
+            node.launches_in_flight += 1
+            try:
+                station = node.runtime_station(self.runtime)
+                if station is not None:
+                    yield station.serve()
+                failure = self.runtime.draw_failure(
+                    node.rng, node.launches_in_flight
+                )
+                if self.runtime.per_launch_latency > 0:
+                    yield self.env.timeout(self.runtime.per_launch_latency)
+            finally:
+                node.launches_in_flight -= 1
+            launch_time = self.env.now
+            if self.monitor is not None:
+                self.monitor.record(
+                    f"{self.name}:launches", launch_time, seq, tag=self.node.name
+                )
+            if failure is not None:
+                node.record_launch_failure(failure)
+                self._fail_or_retry(task, seq, attempt, failure, launch_time)
+                return
+            # GPU isolation: claim the slot's device for the task's lifetime.
+            owner = f"{self.name}:job{seq}"
+            if self.gpu_isolation and task.gpu:
+                gpu_index = slot_to_device(slot, len(node.gpus))
+                node.gpus.device(gpu_index).claim(owner)
+            core_req = node.cores.request()
+            yield core_req
+            try:
+                if task.nvme_read:
+                    yield node.nvme.read(task.nvme_read)
+                if task.lustre_read:
+                    yield self._lustre().read(task.lustre_read)
+                start_time = self.env.now
+                if task.duration > 0:
+                    yield self.env.timeout(task.duration)
+                if task.nvme_write:
+                    yield node.nvme.write(task.nvme_write)
+                if task.lustre_metadata_ops:
+                    yield self._lustre().metadata_op(task.lustre_metadata_ops)
+                if task.lustre_write:
+                    yield self._lustre().write(task.lustre_write)
+            finally:
+                node.cores.release(core_req)
+                if gpu_index is not None:
+                    node.gpus.device(gpu_index).release(owner)
+            # Injected task failure (crash at completion): retry or record.
+            if task.fail_prob > 0 and node.rng.random() < task.fail_prob:
+                self._fail_or_retry(task, seq, attempt, "task_error", launch_time)
+                return
+            node.tasks_completed += 1
+            self._finalize(
+                SimTaskResult(
+                    seq=seq, node=node.name, slot=slot,
+                    launch_time=launch_time, start_time=start_time,
+                    end_time=self.env.now, ok=True, gpu_index=gpu_index,
+                    attempt=attempt,
+                )
+            )
+        finally:
+            heapq.heappush(self._free_slot_numbers, slot)
+            self._slots.release(slot_req)
+
+    def _lustre(self):
+        if self.node.lustre is None:
+            raise SimulationError(
+                f"task on {self.node.name} needs Lustre but the machine was "
+                "built with with_lustre=False"
+            )
+        return self.node.lustre

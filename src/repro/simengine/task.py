@@ -1,0 +1,63 @@
+"""Task descriptors for the simulated engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["SimTask", "SimTaskResult"]
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One simulated job: compute time plus optional GPU/container/I/O needs.
+
+    ``duration`` is the task's pure compute time holding one core.  I/O
+    fields add bandwidth-shared transfers (bytes) to the named filesystem
+    around the compute phase: reads happen before compute, writes after —
+    the fetch/compute/store structure of the paper's workloads.
+    """
+
+    duration: float
+    gpu: bool = False
+    nvme_read: int = 0
+    nvme_write: int = 0
+    lustre_read: int = 0
+    lustre_write: int = 0
+    #: Metadata ops on Lustre (file creates — the small-file anti-pattern).
+    lustre_metadata_ops: int = 0
+    #: Probability the task itself crashes (failure injection for
+    #: resilience experiments; independent of container-launch failures).
+    fail_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative task duration: {self.duration}")
+        if not 0.0 <= self.fail_prob <= 1.0:
+            raise ValueError(f"fail_prob must be in [0, 1], got {self.fail_prob}")
+        for name in ("nvme_read", "nvme_write", "lustre_read", "lustre_write"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"negative {name}")
+
+
+@dataclass(frozen=True)
+class SimTaskResult:
+    """Outcome of one simulated job."""
+
+    seq: int
+    node: str
+    slot: int
+    #: Simulated time the process existed (post-fork) — the "launched" stamp
+    #: used for launch-rate metrics.
+    launch_time: float
+    start_time: float  # compute began (core held, inputs staged)
+    end_time: float
+    ok: bool = True
+    failure_mode: Optional[str] = None
+    gpu_index: Optional[int] = None
+    #: 1-based attempt number (with ``retries``, the recorded final attempt).
+    attempt: int = 1
+
+    @property
+    def runtime(self) -> float:
+        return self.end_time - self.launch_time

@@ -1,0 +1,20 @@
+"""Slurm substrate: allocations, env vars, srun cost model, sbatch scripts."""
+
+from repro.slurm.allocation import Allocation, NodeEnv
+from repro.slurm.queue import QueuedJob, QueueSchedule, schedule_fifo_backfill
+from repro.slurm.sbatch import SbatchJob, parse_sbatch, parse_walltime
+from repro.slurm.srun import DEFAULT_SRUN_COST, SlurmController, SrunCostModel
+
+__all__ = [
+    "Allocation",
+    "NodeEnv",
+    "SlurmController",
+    "SrunCostModel",
+    "DEFAULT_SRUN_COST",
+    "QueuedJob",
+    "QueueSchedule",
+    "schedule_fifo_backfill",
+    "SbatchJob",
+    "parse_sbatch",
+    "parse_walltime",
+]

@@ -1,0 +1,74 @@
+"""Slurm allocations and the per-node environment.
+
+An :class:`Allocation` holds N nodes of a machine, each becoming ready
+after its drawn delay (allocation + straggler models).  Per-node
+environments expose ``SLURM_NNODES`` and ``SLURM_NODEID`` — the two
+variables the paper's Listing-1 driver script consumes to shard inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.machine import SimMachine
+from repro.cluster.node import SimNode
+from repro.cluster.variability import node_ready_times
+from repro.errors import SlurmError
+
+__all__ = ["Allocation", "NodeEnv"]
+
+
+@dataclass(frozen=True)
+class NodeEnv:
+    """The Slurm environment visible on one node of an allocation."""
+
+    nnodes: int
+    nodeid: int
+
+    def as_dict(self) -> dict[str, str]:
+        """Environment-variable form, as a job script would see it."""
+        return {
+            "SLURM_NNODES": str(self.nnodes),
+            "SLURM_NODEID": str(self.nodeid),
+        }
+
+
+class Allocation:
+    """N nodes of a machine, with per-node readiness times."""
+
+    def __init__(self, machine: SimMachine, n_nodes: int, job_id: int = 1):
+        if n_nodes < 1:
+            raise SlurmError(f"allocation needs >= 1 node, got {n_nodes}")
+        if n_nodes > machine.spec.total_nodes:
+            raise SlurmError(
+                f"requested {n_nodes} nodes but {machine.spec.name} has "
+                f"{machine.spec.total_nodes}"
+            )
+        self.machine = machine
+        self.n_nodes = n_nodes
+        self.job_id = job_id
+        rng = machine.rng_registry.stream(f"alloc:{job_id}")
+        #: Seconds after allocation start at which each node is usable.
+        self.ready_times: np.ndarray = node_ready_times(
+            machine.spec, n_nodes, rng
+        )
+
+    def node(self, nodeid: int) -> SimNode:
+        """The compute node for ``nodeid`` (0-based within the allocation)."""
+        if not 0 <= nodeid < self.n_nodes:
+            raise SlurmError(f"nodeid {nodeid} out of range 0..{self.n_nodes - 1}")
+        return self.machine.node(nodeid)
+
+    def env_for(self, nodeid: int) -> NodeEnv:
+        """The Slurm environment on node ``nodeid``."""
+        if not 0 <= nodeid < self.n_nodes:
+            raise SlurmError(f"nodeid {nodeid} out of range 0..{self.n_nodes - 1}")
+        return NodeEnv(nnodes=self.n_nodes, nodeid=nodeid)
+
+    def ready_time(self, nodeid: int) -> float:
+        """When node ``nodeid`` becomes usable (s after allocation start)."""
+        if not 0 <= nodeid < self.n_nodes:
+            raise SlurmError(f"nodeid {nodeid} out of range 0..{self.n_nodes - 1}")
+        return float(self.ready_times[nodeid])

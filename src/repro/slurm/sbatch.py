@@ -1,0 +1,164 @@
+"""Batch-script parsing: ``#SBATCH`` directives + runnable body.
+
+Closes the loop on the paper's listings: a job script like Listing 5 can
+be parsed, its resource directives inspected, and its ``parallel``
+command line executed through the engine (via :mod:`repro.compat`)::
+
+    job = parse_sbatch(LISTING_5_PARALLEL_SCRIPT)
+    assert job.nodes == 1
+    summary = job.run_parallel_lines(dry_run=True)
+
+Only the directives the paper's scripts use are interpreted
+(``-N/--nodes``, ``-n/--ntasks``, ``-t/--time``, ``-J/--job-name``);
+everything else is retained verbatim in ``directives``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import SlurmError
+
+__all__ = ["SbatchJob", "parse_sbatch", "parse_walltime"]
+
+_SBATCH_RE = re.compile(r"^#SBATCH\s+(.*)$")
+
+
+def parse_walltime(spec: str) -> int:
+    """Parse a Slurm time limit into seconds.
+
+    Accepted: ``MM``, ``MM:SS``, ``HH:MM:SS``, ``D-HH``, ``D-HH:MM``,
+    ``D-HH:MM:SS`` (the forms ``man sbatch`` documents).
+    """
+    spec = spec.strip()
+    days = 0
+    if "-" in spec:
+        day_part, spec = spec.split("-", 1)
+        try:
+            days = int(day_part)
+        except ValueError:
+            raise SlurmError(f"bad walltime: {spec!r}") from None
+        parts = spec.split(":")
+        try:
+            nums = [int(p) for p in parts]
+        except ValueError:
+            raise SlurmError(f"bad walltime: {spec!r}") from None
+        if len(nums) == 1:
+            h, m, s = nums[0], 0, 0
+        elif len(nums) == 2:
+            h, m, s = nums[0], nums[1], 0
+        elif len(nums) == 3:
+            h, m, s = nums
+        else:
+            raise SlurmError(f"bad walltime: {spec!r}")
+    else:
+        parts = spec.split(":")
+        try:
+            nums = [int(p) for p in parts]
+        except ValueError:
+            raise SlurmError(f"bad walltime: {spec!r}") from None
+        if len(nums) == 1:
+            h, m, s = 0, nums[0], 0
+        elif len(nums) == 2:
+            h, m, s = 0, nums[0], nums[1]
+        elif len(nums) == 3:
+            h, m, s = nums
+        else:
+            raise SlurmError(f"bad walltime: {spec!r}")
+    return ((days * 24 + h) * 60 + m) * 60 + s
+
+
+@dataclass
+class SbatchJob:
+    """A parsed batch script."""
+
+    directives: list[str] = field(default_factory=list)
+    body: list[str] = field(default_factory=list)
+    nodes: int = 1
+    ntasks: int | None = None
+    job_name: str | None = None
+    walltime_s: int | None = None
+    modules: list[str] = field(default_factory=list)
+
+    def parallel_lines(self) -> list[str]:
+        """The body lines that invoke GNU Parallel (possibly multi-line)."""
+        joined: list[str] = []
+        acc = ""
+        for line in self.body:
+            stripped = line.rstrip()
+            if acc:
+                acc += " " + stripped.rstrip("\\").strip()
+                if not stripped.endswith("\\"):
+                    joined.append(acc)
+                    acc = ""
+                continue
+            if stripped.lstrip().startswith("parallel"):
+                if stripped.endswith("\\"):
+                    acc = stripped.rstrip("\\").strip()
+                else:
+                    joined.append(stripped.strip())
+        if acc:
+            joined.append(acc)
+        return joined
+
+    def run_parallel_lines(self, dry_run: bool = True, output=None):
+        """Execute every ``parallel`` invocation in the body via the engine.
+
+        Returns the list of :class:`~repro.core.job.RunSummary` objects,
+        one per invocation.  ``dry_run=True`` (default) renders commands
+        without running them — batch scripts reference site binaries.
+        """
+        from repro.compat import run_gnu_parallel
+
+        lines = self.parallel_lines()
+        if not lines:
+            raise SlurmError("script contains no `parallel` invocation")
+        return [
+            run_gnu_parallel(line, dry_run=dry_run, output=output) for line in lines
+        ]
+
+
+def parse_sbatch(script: str) -> SbatchJob:
+    """Parse a batch script's directives and body."""
+    job = SbatchJob()
+    for raw in script.splitlines():
+        m = _SBATCH_RE.match(raw.strip())
+        if m:
+            directive = m.group(1).strip()
+            job.directives.append(directive)
+            _apply_directive(job, directive)
+            continue
+        stripped = raw.strip()
+        if stripped.startswith("#!") or not stripped:
+            continue
+        if stripped.startswith("module load"):
+            job.modules.extend(stripped.split()[2:])
+        if not stripped.startswith("#"):
+            job.body.append(raw)
+    return job
+
+
+def _apply_directive(job: SbatchJob, directive: str) -> None:
+    tokens = directive.split()
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        value = None
+        if "=" in tok:
+            tok, value = tok.split("=", 1)
+        elif i + 1 < len(tokens) and not tokens[i + 1].startswith("-"):
+            value = tokens[i + 1]
+            i += 1
+        if tok in ("-N", "--nodes") and value is not None:
+            try:
+                job.nodes = int(value)
+            except ValueError:
+                raise SlurmError(f"bad node count: {value!r}") from None
+        elif tok in ("-n", "--ntasks") and value is not None:
+            job.ntasks = int(value)
+        elif tok in ("-J", "--job-name") and value is not None:
+            job.job_name = value
+        elif tok in ("-t", "--time") and value is not None:
+            job.walltime_s = parse_walltime(value)
+        i += 1

@@ -1,0 +1,21 @@
+"""Simulated storage substrate: Lustre, NVMe, rsync, synthetic datasets."""
+
+from repro.storage.datasets import lognormal_tree, uniform_files
+from repro.storage.filesystem import FileEntry, Filesystem, make_lustre, make_nvme
+from repro.storage.rsync import RsyncCostModel, RsyncStats, rsync_process
+from repro.storage.staging import StagingConfig, StagingReport, run_staging_pipeline
+
+__all__ = [
+    "FileEntry",
+    "Filesystem",
+    "make_lustre",
+    "make_nvme",
+    "RsyncCostModel",
+    "RsyncStats",
+    "rsync_process",
+    "StagingConfig",
+    "StagingReport",
+    "run_staging_pipeline",
+    "lognormal_tree",
+    "uniform_files",
+]

@@ -1,0 +1,151 @@
+"""Simulated filesystems: shared parallel FS (Lustre) and node-local NVMe.
+
+A :class:`Filesystem` combines
+
+* a read and a write :class:`~repro.sim.resources.FairShareLink`
+  (processor-sharing bandwidth, optionally flow-capped), and
+* a :class:`~repro.sim.resources.RateStation` for metadata operations
+  (create/stat/unlink), which is what actually melts under "writing small
+  files to Lustre" — the anti-pattern the paper's NVMe staging avoids,
+
+plus a lightweight namespace (path → size) so dataset-level workflows
+(rsync trees, Darshan archives) can enumerate real file lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import StorageError
+from repro.sim.kernel import Environment, Event
+from repro.sim.resources import FairShareLink, RateStation
+
+__all__ = ["FileEntry", "Filesystem", "make_lustre", "make_nvme"]
+
+_GB = 1024**3
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One file in a simulated namespace."""
+
+    path: str
+    size: int  # bytes
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise StorageError(f"negative file size: {self.size}")
+
+
+class Filesystem:
+    """A bandwidth + metadata model with a flat path namespace."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        read_bw: float,
+        write_bw: float,
+        metadata_rate: float = 1e9,
+        max_flows: Optional[int] = None,
+    ):
+        self.env = env
+        self.name = name
+        self.read_link = FairShareLink(env, read_bw, max_flows=max_flows, name=f"{name}:read")
+        self.write_link = FairShareLink(env, write_bw, max_flows=max_flows, name=f"{name}:write")
+        self.metadata = RateStation(env, metadata_rate, name=f"{name}:mds")
+        self._files: dict[str, int] = {}
+        #: Counters for I/O accounting (the "fewer Lustre hits" claim).
+        self.n_reads = 0
+        self.n_writes = 0
+        self.n_metadata_ops = 0
+
+    # -- namespace ------------------------------------------------------------
+    def add_file(self, path: str, size: int) -> None:
+        """Register a file without simulating I/O (dataset setup)."""
+        if size < 0:
+            raise StorageError(f"negative file size: {size}")
+        self._files[path] = size
+
+    def add_files(self, entries: Iterable[FileEntry]) -> None:
+        """Bulk-register files."""
+        for e in entries:
+            self.add_file(e.path, e.size)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def size_of(self, path: str) -> int:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise StorageError(f"{self.name}: no such file {path!r}") from None
+
+    def remove(self, path: str) -> None:
+        if path not in self._files:
+            raise StorageError(f"{self.name}: cannot remove missing {path!r}")
+        del self._files[path]
+
+    def list_files(self, prefix: str = "") -> Iterator[FileEntry]:
+        """All files under ``prefix`` (sorted for determinism)."""
+        for path in sorted(self._files):
+            if path.startswith(prefix):
+                yield FileEntry(path, self._files[path])
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all registered file sizes."""
+        return sum(self._files.values())
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    # -- simulated I/O ----------------------------------------------------------
+    def read(self, nbytes: float, weight: float = 1.0) -> Event:
+        """Stream ``nbytes`` from the filesystem (shares read bandwidth)."""
+        self.n_reads += 1
+        return self.read_link.transfer(nbytes, weight=weight)
+
+    def write(self, nbytes: float, weight: float = 1.0) -> Event:
+        """Stream ``nbytes`` to the filesystem (shares write bandwidth)."""
+        self.n_writes += 1
+        return self.write_link.transfer(nbytes, weight=weight)
+
+    def metadata_op(self, count: float = 1.0) -> Event:
+        """Perform ``count`` metadata operations (serialized at the MDS)."""
+        self.n_metadata_ops += int(count)
+        return self.metadata.serve(count)
+
+    def create(self, path: str, size: int):
+        """Simulated file creation: one metadata op + a data write.
+
+        A generator — use as ``yield from fs.create(...)`` inside a sim
+        process.
+        """
+        yield self.metadata_op()
+        yield self.write(size)
+        self.add_file(path, size)
+
+
+def make_lustre(
+    env: Environment,
+    read_bw: float = 5e12,
+    write_bw: float = 5e12,
+    metadata_rate: float = 50_000.0,
+    max_flows: int = 512,
+    name: str = "lustre",
+) -> Filesystem:
+    """A site-wide Lustre: huge aggregate bandwidth, finite MDS, flow cap."""
+    return Filesystem(env, name, read_bw, write_bw, metadata_rate, max_flows)
+
+
+def make_nvme(
+    env: Environment,
+    read_bw: float = 5.5 * _GB,
+    write_bw: float = 3.5 * _GB,
+    name: str = "nvme",
+) -> Filesystem:
+    """A node-local NVMe: private bandwidth, effectively free metadata."""
+    return Filesystem(env, name, read_bw, write_bw, metadata_rate=1e6, max_flows=None)

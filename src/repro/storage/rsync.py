@@ -1,0 +1,126 @@
+"""An rsync cost-and-semantics model.
+
+Reproduces what §IV-E of the paper relies on:
+
+* ``-R`` (``--relative``): destination paths recreate the source tree;
+* ``-a``-ish semantics: copies preserve sizes; already-identical files are
+  skipped (the *incremental* property that made petabyte migration safe to
+  restart);
+* ``-X``-style argument batching from GNU Parallel: one rsync process
+  handles many files, amortizing its startup cost;
+* a cost model with three paper-relevant components per rsync invocation:
+  process startup, per-file protocol overhead (the reason sequential
+  transfers of many small files are catastrophically slow), and the actual
+  data movement through the source read link, the destination write link
+  and the node's NIC.
+
+Cost constants are module-level and documented so the data-motion
+benchmark can cite them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import StorageError
+from repro.sim.kernel import Environment
+from repro.sim.resources import FairShareLink
+from repro.storage.filesystem import FileEntry, Filesystem
+
+__all__ = ["RsyncCostModel", "RsyncStats", "rsync_process"]
+
+
+@dataclass(frozen=True)
+class RsyncCostModel:
+    """Per-invocation and per-file overheads for one rsync process.
+
+    Defaults reflect common measurements of rsync against a parallel
+    filesystem: ~0.3 s process startup + destination handshake, and
+    ~25 ms/file of protocol chatter (stat, checksum negotiation, create)
+    dominated by metadata latency.  The paper's 200× sequential→parallel
+    speed-up emerges from the per-file term: a petabyte in ~1M files
+    sequentially pays 1M × 25 ms ≈ 7 h of pure overhead on top of
+    single-stream bandwidth, while 256 streams amortize both terms.
+    """
+
+    startup_s: float = 0.3
+    per_file_s: float = 0.025
+    #: rsync single-stream ceiling (bytes/s) — one stream cannot saturate
+    #: a fat NIC; ~150 MB/s is typical for rsync-over-ssh on DTNs.
+    stream_bw: float = 150e6
+
+
+@dataclass
+class RsyncStats:
+    """What one rsync invocation did."""
+
+    files_considered: int = 0
+    files_transferred: int = 0
+    files_skipped: int = 0
+    bytes_transferred: int = 0
+    start_time: float = 0.0
+    end_time: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def throughput(self) -> float:
+        """Bytes/s over the invocation's lifetime."""
+        return self.bytes_transferred / self.duration if self.duration > 0 else 0.0
+
+
+def rsync_process(
+    env: Environment,
+    src: Filesystem,
+    dst: Filesystem,
+    files: Sequence[FileEntry],
+    cost: RsyncCostModel = RsyncCostModel(),
+    nic: Optional[FairShareLink] = None,
+    relative: bool = True,
+    delete_source: bool = False,
+):
+    """Simulate one rsync invocation copying ``files`` from src to dst.
+
+    A generator: run it with ``env.process(rsync_process(...))``; the
+    process returns an :class:`RsyncStats`.
+
+    Incremental semantics: a destination file with the same path and size
+    is skipped (only the per-file stat cost is paid).  ``relative`` keeps
+    source paths; otherwise only the basename lands in the destination.
+    ``nic`` optionally throttles this transfer through the DTN node's NIC.
+    """
+    stats = RsyncStats(start_time=env.now)
+    yield env.timeout(cost.startup_s)
+    for entry in files:
+        if not src.exists(entry.path):
+            raise StorageError(f"rsync: source file vanished: {entry.path!r}")
+        dst_path = entry.path if relative else entry.path.rsplit("/", 1)[-1]
+        stats.files_considered += 1
+        # Per-file protocol overhead: paid for every file, skipped or not.
+        yield env.timeout(cost.per_file_s)
+        yield dst.metadata_op()
+        if dst.exists(dst_path) and dst.size_of(dst_path) == entry.size:
+            stats.files_skipped += 1
+            continue
+        # Move the bytes: source read, destination write, NIC, and the
+        # stream's own ceiling all apply; the slowest leg dominates
+        # (they progress concurrently, as in a real pipeline).
+        size = entry.size
+        legs = [
+            src.read(size),
+            dst.write(size),
+            env.timeout(size / cost.stream_bw),
+        ]
+        if nic is not None:
+            legs.append(nic.transfer(size))
+        yield env.all_of(legs)
+        dst.add_file(dst_path, size)
+        stats.files_transferred += 1
+        stats.bytes_transferred += size
+        if delete_source:
+            src.remove(entry.path)
+    stats.end_time = env.now
+    return stats

@@ -1,0 +1,108 @@
+"""The paper's application workloads (§IV), real and simulated forms."""
+
+from repro.workloads.celeritas import (
+    CELERITAS_TASK_MEAN_S,
+    TransportConfig,
+    TransportResult,
+    celeritas_duration_sampler,
+    run_input_file,
+    transport,
+    write_input_file,
+)
+from repro.workloads.darshan import (
+    DarshanPipelineConfig,
+    DarshanRecord,
+    PipelineReport,
+    aggregate_records,
+    darshan_arch,
+    generate_archive,
+    generate_darshan_log,
+    parse_darshan_log,
+    run_staged_pipeline,
+)
+from repro.workloads.fetchprocess import (
+    REGIONS,
+    FileQueue,
+    brightness_metric,
+    fetch_batch,
+    follow,
+    process_batch,
+    synth_region_image,
+)
+from repro.workloads.forge import curate_corpus  # noqa: E402
+from repro.workloads.forge_dedup import deduplicate, find_duplicate_pairs, minhash_signature, shingles
+from repro.workloads.generator import bimodal, constant, lognormal, uniform, with_stragglers
+from repro.workloads.forge import (
+    CuratedArticle,
+    RawArticle,
+    clean_text,
+    curate_article,
+    curation_stats,
+    extract_abstract,
+    extract_body,
+    is_english,
+    synthetic_corpus,
+)
+from repro.workloads.payload import (
+    PAYLOAD_MEAN_S,
+    PAYLOAD_SHELL,
+    PAYLOAD_STDOUT_BYTES,
+    payload,
+    payload_duration_sampler,
+)
+
+__all__ = [
+    # payload
+    "payload",
+    "PAYLOAD_SHELL",
+    "PAYLOAD_MEAN_S",
+    "PAYLOAD_STDOUT_BYTES",
+    "payload_duration_sampler",
+    # celeritas
+    "TransportConfig",
+    "TransportResult",
+    "transport",
+    "write_input_file",
+    "run_input_file",
+    "celeritas_duration_sampler",
+    "CELERITAS_TASK_MEAN_S",
+    # darshan
+    "DarshanRecord",
+    "generate_darshan_log",
+    "generate_archive",
+    "parse_darshan_log",
+    "aggregate_records",
+    "darshan_arch",
+    "DarshanPipelineConfig",
+    "PipelineReport",
+    "run_staged_pipeline",
+    # forge
+    "RawArticle",
+    "CuratedArticle",
+    "extract_abstract",
+    "extract_body",
+    "is_english",
+    "clean_text",
+    "curate_article",
+    "synthetic_corpus",
+    "curation_stats",
+    # forge dedup + generators
+    "curate_corpus",
+    "deduplicate",
+    "find_duplicate_pairs",
+    "minhash_signature",
+    "shingles",
+    "bimodal",
+    "constant",
+    "lognormal",
+    "uniform",
+    "with_stragglers",
+    # fetch-process
+    "REGIONS",
+    "synth_region_image",
+    "fetch_batch",
+    "brightness_metric",
+    "process_batch",
+    "FileQueue",
+    "follow",
+]

@@ -1,0 +1,44 @@
+"""``darshan_arch.py`` as a real command-line program.
+
+The paper's Listings 4-5 invoke ``python3 darshan_arch.py <month> <app>``;
+this module is that program, so the shell-backend engine (and the
+``pyparallel`` CLI, and GNU Parallel itself) can drive the analysis
+exactly as the paper does::
+
+    pyparallel -j36 python3 -m repro.workloads.darshan_cli \
+        --archive ./arch --out ./sums {1} {2} ::: {1..12} ::: {0..2}
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.workloads.darshan import darshan_arch
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="darshan_arch",
+        description="Aggregate one (month, app) slice of a Darshan archive.",
+    )
+    parser.add_argument("month", help="month number 1..12")
+    parser.add_argument("app", help="app index 0..2")
+    parser.add_argument("--archive", required=True, help="archive directory")
+    parser.add_argument("--out", required=True, help="output directory")
+    ns = parser.parse_args(argv)
+    try:
+        out_path = darshan_arch(ns.month, ns.app, ns.archive, ns.out)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"darshan_arch: error: {exc}", file=sys.stderr)
+        return 1
+    print(out_path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

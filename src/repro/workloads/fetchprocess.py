@@ -1,0 +1,170 @@
+"""The §IV-A fetch-process workflow: producer/consumer through a queue file.
+
+The paper's motivating example overlaps I/O with compute:
+
+* ``getdata`` downloads 8 regions' satellite images every cycle (GNU
+  Parallel ``-j8``) and appends the batch timestamp to ``q.proc``;
+* ``procdata`` runs ``tail -n+0 -f q.proc | parallel -k -j8 convert ...``,
+  computing a brightness statistic per batch as soon as it lands.
+
+We reproduce all the moving parts with local substitutes (no network in
+this environment; DESIGN.md documents the substitution):
+
+* :func:`synth_region_image` generates a synthetic "GOES sector" image
+  deterministically from (region, timestamp);
+* :func:`fetch_batch` plays ``getdata``'s inner ``parallel -j8 curl``:
+  it maps :func:`synth_region_image` over the regions with the real
+  engine and writes ``<region>_<ts>.npy`` files;
+* :class:`FileQueue` + :func:`follow` give ``q.proc`` / ``tail -f``
+  semantics across threads or processes;
+* :func:`brightness_metric` is the ImageMagick one-liner's statistic
+  (``-fuzz 10% ... -format "%[fx:100*mean]"``): the percentage of
+  non-white pixels' mean intensity, computed with NumPy.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import Parallel
+
+__all__ = [
+    "REGIONS",
+    "synth_region_image",
+    "fetch_batch",
+    "brightness_metric",
+    "process_batch",
+    "FileQueue",
+    "follow",
+]
+
+#: The 8 GOES-16 sectors the paper's getdata script downloads.
+REGIONS = ("cgl", "ne", "nr", "se", "sp", "sr", "pr", "pnw")
+
+
+def synth_region_image(
+    region: str, ts: int, size: int = 64, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """A synthetic grayscale sector image in [0, 1], deterministic in
+    (region, ts) unless an explicit ``rng`` is supplied.
+
+    Structure: a smooth 'cloud field' (low-frequency cosine mix) plus
+    noise, so brightness statistics vary by region and time the way real
+    imagery does.
+    """
+    if rng is None:
+        seed = (hash_region(region) * 1_000_003 + ts) % (2**32)
+        rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:size, 0:size] / size
+    phase = rng.uniform(0, 2 * np.pi, size=3)
+    field = (
+        0.5
+        + 0.25 * np.cos(2 * np.pi * xx + phase[0])
+        + 0.15 * np.sin(4 * np.pi * yy + phase[1])
+        + 0.10 * np.cos(6 * np.pi * (xx + yy) + phase[2])
+    )
+    noise = rng.normal(0, 0.05, size=(size, size))
+    return np.clip(field + noise, 0.0, 1.0)
+
+
+def hash_region(region: str) -> int:
+    """Stable small hash of a region code (Python's hash() is salted)."""
+    h = 0
+    for c in region:
+        h = (h * 131 + ord(c)) % 1_000_000_007
+    return h
+
+
+def fetch_batch(
+    data_dir: str,
+    ts: int,
+    regions: Sequence[str] = REGIONS,
+    jobs: int = 8,
+    size: int = 64,
+) -> list[str]:
+    """One ``getdata`` cycle: fetch all regions concurrently, save to disk.
+
+    Uses the real engine (callable backend, ``-j8``) exactly as the paper
+    uses ``parallel -j8 curl``; returns the written paths.
+    """
+    os.makedirs(data_dir, exist_ok=True)
+
+    def fetch_one(region: str) -> str:
+        img = synth_region_image(region, ts, size=size)
+        path = os.path.join(data_dir, f"{region}_{ts}.npy")
+        np.save(path, img)
+        return path
+
+    summary = Parallel(fetch_one, jobs=jobs).run(list(regions))
+    if summary.n_failed:
+        raise RuntimeError(f"{summary.n_failed} fetches failed")
+    return [str(r.value) for r in summary.sorted_results()]
+
+
+def brightness_metric(image: np.ndarray, fuzz: float = 0.10) -> float:
+    """The convert one-liner's statistic: 100 * mean of the thresholded image.
+
+    Pixels within ``fuzz`` of white are treated as white (masked out,
+    value 0 — the paper's ``-fuzz 10% -opaque white`` + fill-black step);
+    the result is 100 × the mean of what remains.
+    """
+    img = np.asarray(image, dtype=float)
+    masked = np.where(img >= 1.0 - fuzz, 0.0, img)
+    return float(100.0 * masked.mean())
+
+
+def process_batch(
+    data_dir: str, ts: str, regions: Sequence[str] = REGIONS
+) -> dict[str, float]:
+    """One ``procdata`` work item: brightness per region for batch ``ts``."""
+    out: dict[str, float] = {}
+    for region in regions:
+        path = os.path.join(data_dir, f"{region}_{ts}.npy")
+        out[region] = brightness_metric(np.load(path))
+    return out
+
+
+class FileQueue:
+    """The ``q.proc`` queue file: append-only lines, durable across processes."""
+
+    def __init__(self, path: str):
+        self.path = path
+        open(path, "a", encoding="utf-8").close()  # touch q.proc
+
+    def append(self, item: str) -> None:
+        """Append one line (atomic for line-sized writes on POSIX)."""
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(f"{item}\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+def follow(
+    path: str,
+    poll_s: float = 0.02,
+    stop: Optional[callable] = None,
+    timeout_s: float = 60.0,
+) -> Iterator[str]:
+    """``tail -n+0 -f`` semantics: yield every line, then wait for more.
+
+    Stops when ``stop()`` returns True *and* the file is fully drained,
+    or after ``timeout_s`` without progress (a safety net so tests can
+    never hang).
+    """
+    last_progress = time.monotonic()
+    with open(path, "r", encoding="utf-8") as fh:
+        while True:
+            line = fh.readline()
+            if line.endswith("\n"):
+                last_progress = time.monotonic()
+                yield line.rstrip("\n")
+                continue
+            if stop is not None and stop():
+                return
+            if time.monotonic() - last_progress > timeout_s:
+                raise TimeoutError(f"follow({path}): no new lines for {timeout_s}s")
+            time.sleep(poll_s)

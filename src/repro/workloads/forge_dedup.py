@@ -1,0 +1,160 @@
+"""Near-duplicate detection for FORGE curation (§IV-C).
+
+Publication databases are full of near-duplicates (preprints vs camera-
+ready, mirrored records); LLM training pipelines deduplicate before
+training.  This module implements the standard cheap pipeline:
+
+* word *shingles* (n-grams) per document,
+* MinHash signatures (k independent permutations via salted 64-bit
+  hashing),
+* pairwise Jaccard estimation over signature agreement, with candidate
+  pairs found by banding (locality-sensitive hashing), so the comparison
+  count stays near-linear instead of O(n²).
+
+Everything is deterministic for a given ``seed``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "shingles",
+    "minhash_signature",
+    "jaccard",
+    "estimated_jaccard",
+    "find_duplicate_pairs",
+    "deduplicate",
+]
+
+_MERSENNE = (1 << 61) - 1
+
+
+def shingles(text: str, n: int = 3) -> set[str]:
+    """Word n-gram shingles of ``text`` (lowercased, whitespace tokens)."""
+    if n < 1:
+        raise ValueError(f"shingle size must be >= 1, got {n}")
+    tokens = text.lower().split()
+    if len(tokens) < n:
+        return {" ".join(tokens)} if tokens else set()
+    return {" ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)}
+
+
+def _hash64(value: str) -> int:
+    h = 1469598103934665603
+    for b in value.encode("utf-8"):
+        h ^= b
+        h = (h * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def minhash_signature(
+    shingle_set: set[str], k: int = 64, seed: int = 0
+) -> np.ndarray:
+    """A k-element MinHash signature of a shingle set.
+
+    Uses k universal-hash permutations ``(a*x + b) mod p``; an empty set
+    gets an all-max signature (never similar to anything).
+    """
+    if k < 1:
+        raise ValueError(f"signature length must be >= 1, got {k}")
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, _MERSENNE, size=k, dtype=np.int64)
+    b = rng.integers(0, _MERSENNE, size=k, dtype=np.int64)
+    if not shingle_set:
+        return np.full(k, np.iinfo(np.int64).max, dtype=np.int64)
+    hashes = np.array([_hash64(s) & 0x7FFFFFFFFFFFFFFF for s in shingle_set],
+                      dtype=np.int64)
+    # (k, n) permuted values -> min along shingles.
+    permuted = (a[:, None] * hashes[None, :] + b[:, None]) % _MERSENNE
+    return permuted.min(axis=1)
+
+
+def jaccard(a: set[str], b: set[str]) -> float:
+    """Exact Jaccard similarity of two shingle sets."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+def estimated_jaccard(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+    """MinHash estimate: fraction of agreeing signature positions."""
+    if sig_a.shape != sig_b.shape:
+        raise ValueError("signatures must have identical shapes")
+    return float((sig_a == sig_b).mean())
+
+
+def find_duplicate_pairs(
+    signatures: Sequence[np.ndarray],
+    threshold: float = 0.8,
+    bands: int = 16,
+) -> list[tuple[int, int]]:
+    """Indices of probable-duplicate pairs via LSH banding + verification.
+
+    Documents sharing any identical signature band become candidates;
+    candidates are confirmed against ``threshold`` on the full-signature
+    estimate.  Pairs are returned (i, j) with i < j, sorted.
+    """
+    if not signatures:
+        return []
+    k = signatures[0].shape[0]
+    if bands < 1 or k % bands != 0:
+        raise ValueError(f"bands ({bands}) must divide the signature length ({k})")
+    rows = k // bands
+    buckets: dict[tuple[int, bytes], list[int]] = defaultdict(list)
+    for idx, sig in enumerate(signatures):
+        for band in range(bands):
+            key = (band, sig[band * rows : (band + 1) * rows].tobytes())
+            buckets[key].append(idx)
+    candidates: set[tuple[int, int]] = set()
+    for members in buckets.values():
+        if len(members) > 1:
+            for i_pos, i in enumerate(members):
+                for j in members[i_pos + 1 :]:
+                    candidates.add((min(i, j), max(i, j)))
+    confirmed = [
+        pair
+        for pair in candidates
+        if estimated_jaccard(signatures[pair[0]], signatures[pair[1]]) >= threshold
+    ]
+    return sorted(confirmed)
+
+
+@dataclass(frozen=True)
+class DedupReport:
+    """Outcome of a corpus deduplication pass."""
+
+    n_input: int
+    kept_indices: tuple[int, ...]
+    dropped_indices: tuple[int, ...]
+    duplicate_pairs: tuple[tuple[int, int], ...]
+
+
+def deduplicate(
+    texts: Iterable[str],
+    threshold: float = 0.8,
+    shingle_n: int = 3,
+    k: int = 64,
+    bands: int = 16,
+    seed: int = 0,
+) -> DedupReport:
+    """Drop near-duplicates, keeping the earliest document of each cluster."""
+    texts = list(texts)
+    sigs = [minhash_signature(shingles(t, shingle_n), k=k, seed=seed) for t in texts]
+    pairs = find_duplicate_pairs(sigs, threshold=threshold, bands=bands)
+    dropped: set[int] = set()
+    for i, j in pairs:  # pairs sorted, i < j: later duplicate is dropped
+        if i not in dropped:
+            dropped.add(j)
+    kept = tuple(i for i in range(len(texts)) if i not in dropped)
+    return DedupReport(
+        n_input=len(texts),
+        kept_indices=kept,
+        dropped_indices=tuple(sorted(dropped)),
+        duplicate_pairs=tuple(pairs),
+    )

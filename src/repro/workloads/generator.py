@@ -1,0 +1,105 @@
+"""Synthetic task-duration generators for workload studies.
+
+Scaling and utilization results depend heavily on the task-duration
+*distribution* — uniform bags behave nothing like straggler-heavy ones.
+These samplers cover the canonical HT-HPC shapes; each has the signature
+``(rng, n) -> np.ndarray`` expected by
+:func:`~repro.driver.run_multinode_batch` and the batch model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "DurationSampler",
+    "constant",
+    "uniform",
+    "lognormal",
+    "bimodal",
+    "with_stragglers",
+]
+
+DurationSampler = Callable[[np.random.Generator, int], np.ndarray]
+
+
+def constant(duration: float) -> DurationSampler:
+    """Every task takes exactly ``duration`` seconds."""
+    if duration < 0:
+        raise ValueError("duration must be >= 0")
+
+    def sample(rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, float(duration))
+
+    return sample
+
+
+def uniform(low: float, high: float) -> DurationSampler:
+    """Durations uniform in [low, high]."""
+    if not 0 <= low <= high:
+        raise ValueError("need 0 <= low <= high")
+
+    def sample(rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(low, high, size=n)
+
+    return sample
+
+
+def lognormal(mean: float, sigma: float = 0.5) -> DurationSampler:
+    """Lognormal durations with the given arithmetic ``mean``.
+
+    The right-skewed shape typical of data-dependent analysis tasks.
+    """
+    if mean <= 0 or sigma <= 0:
+        raise ValueError("mean and sigma must be > 0")
+    mu = np.log(mean) - sigma**2 / 2
+
+    def sample(rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(mean=mu, sigma=sigma, size=n)
+
+    return sample
+
+
+def bimodal(
+    short: float, long: float, long_fraction: float = 0.1
+) -> DurationSampler:
+    """A two-class mix: mostly ``short`` tasks, some ``long`` ones.
+
+    The shape of filter-then-analyze pipelines (most inputs rejected
+    quickly, hits processed thoroughly).
+    """
+    if not 0 <= long_fraction <= 1:
+        raise ValueError("long_fraction must be in [0, 1]")
+    if short < 0 or long < 0:
+        raise ValueError("durations must be >= 0")
+
+    def sample(rng: np.random.Generator, n: int) -> np.ndarray:
+        is_long = rng.random(n) < long_fraction
+        return np.where(is_long, float(long), float(short))
+
+    return sample
+
+
+def with_stragglers(
+    base: DurationSampler, prob: float = 0.01, factor: float = 10.0
+) -> DurationSampler:
+    """Wrap a sampler: each task independently becomes a straggler with
+    probability ``prob``, its duration multiplied by ``factor``.
+
+    The task-level analog of the node-level straggler model — useful for
+    studying how ``--timeout N%`` and retry policies interact with slow
+    tails.
+    """
+    if not 0 <= prob <= 1:
+        raise ValueError("prob must be in [0, 1]")
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+
+    def sample(rng: np.random.Generator, n: int) -> np.ndarray:
+        durations = base(rng, n)
+        hits = rng.random(n) < prob
+        return np.where(hits, durations * factor, durations)
+
+    return sample

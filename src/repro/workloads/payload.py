@@ -1,0 +1,53 @@
+"""The Fig. 1 payload: "record the hostname and timestamp to stdout".
+
+Both forms are provided:
+
+* :func:`payload` — the real Python callable (used with the engine's
+  callable backend locally);
+* :data:`PAYLOAD_SHELL` — the shell one-liner form (used with the
+  subprocess backend, matching the paper's ``payload.sh``);
+* :func:`payload_duration_sampler` — the simulated-duration model: a few
+  milliseconds of shell startup + clock/hostname work, lognormally
+  jittered, as measured for `/bin/sh -c 'hostname; date +%s.%N'`.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import numpy as np
+
+__all__ = [
+    "payload",
+    "PAYLOAD_SHELL",
+    "payload_duration_sampler",
+    "PAYLOAD_MEAN_S",
+    "PAYLOAD_STDOUT_BYTES",
+]
+
+#: The shell form from the paper's driver (Listing 1's ./payload.sh {}).
+PAYLOAD_SHELL = 'echo "$(hostname) $(date +%s.%N) {}"'
+
+#: Mean simulated payload duration (s): fork/exec of a shell plus two
+#: trivial commands.
+PAYLOAD_MEAN_S = 0.012
+
+#: Bytes of stdout one payload task emits (hostname + timestamp + arg).
+PAYLOAD_STDOUT_BYTES = 48
+
+
+def payload(tag: str = "") -> str:
+    """Run the payload for real: returns ``"<hostname> <unixtime> <tag>"``."""
+    return f"{socket.gethostname()} {time.time():.9f} {tag}".rstrip()
+
+
+def payload_duration_sampler(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Draw ``n`` simulated payload durations (seconds).
+
+    Lognormal around :data:`PAYLOAD_MEAN_S` with sigma 0.35 — short tasks
+    with occasional slow forks, always positive.
+    """
+    sigma = 0.35
+    mu = np.log(PAYLOAD_MEAN_S) - sigma**2 / 2
+    return rng.lognormal(mean=mu, sigma=sigma, size=n)

@@ -1,0 +1,107 @@
+"""Stats, metrics, and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    box_stats,
+    format_seconds,
+    full_utilization_task_floor,
+    iqr,
+    launch_rate,
+    makespan,
+    mb_per_s,
+    render_series,
+    render_table,
+    speedup,
+    trimmed_span,
+)
+
+
+def test_box_stats_five_numbers():
+    s = box_stats(np.arange(1, 102, dtype=float))  # 1..101
+    assert s.minimum == 1 and s.maximum == 101
+    assert s.median == 51
+    assert s.q1 == 26 and s.q3 == 76
+    assert s.iqr == 50
+    assert s.count == 101
+    assert s.mean == pytest.approx(51)
+
+
+def test_box_stats_row_keys():
+    row = box_stats(np.array([1.0, 2.0, 3.0])).row()
+    assert set(row) == {"n", "min", "p25", "median", "p75", "max", "mean"}
+
+
+def test_box_stats_empty_rejected():
+    with pytest.raises(ValueError):
+        box_stats(np.array([]))
+
+
+def test_iqr_and_trimmed_span():
+    vals = np.arange(101, dtype=float)
+    assert iqr(vals) == 50
+    assert trimmed_span(vals, 5, 95) == 90
+
+
+def test_launch_rate_basic():
+    # 11 launches over 1 second -> 10/s.
+    times = np.linspace(0, 1, 11)
+    assert launch_rate(times) == pytest.approx(10.0)
+
+
+def test_launch_rate_degenerate():
+    assert launch_rate([5.0]) == float("inf")
+    assert launch_rate([5.0, 5.0]) == float("inf")
+
+
+def test_full_utilization_floor_paper_numbers():
+    assert full_utilization_task_floor(256, 470.0) == pytest.approx(0.545, abs=0.001)
+    assert full_utilization_task_floor(256, 6400.0) == pytest.approx(0.040)
+    with pytest.raises(ValueError):
+        full_utilization_task_floor(0, 1.0)
+
+
+def test_speedup():
+    assert speedup(200.0, 1.0) == 200.0
+    with pytest.raises(ValueError):
+        speedup(1.0, 0.0)
+
+
+def test_mb_per_s():
+    # 1e6 bytes in 1 s = 8 Mb/s.
+    assert mb_per_s(1e6, 1.0) == pytest.approx(8.0)
+    assert mb_per_s(1e6, 1.0, bits=False) == pytest.approx(1.0)
+
+
+def test_makespan():
+    assert makespan([1.0, 2.0], [5.0, 9.0]) == 8.0
+    assert makespan([], []) == 0.0
+
+
+def test_format_seconds():
+    assert format_seconds(0.0005) == "0.5ms"
+    assert format_seconds(5.2) == "5.2s"
+    assert format_seconds(600) == "10.0m"
+    assert format_seconds(7200) == "2.00h"
+    assert format_seconds(-5.0) == "-5.0s"
+
+
+def test_render_table_alignment_and_missing():
+    out = render_table(
+        "T", ["a", "b"], [{"a": 1.23456, "b": "x"}, {"a": 2.0}]
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "1.235" in out and "-" in out
+
+
+def test_render_series_bars():
+    out = render_series("S", [1, 2], [10.0, 20.0], "nodes", "rate")
+    assert "nodes" in out and "#" in out
+    assert out.count("\n") >= 4
+
+
+def test_render_series_length_mismatch():
+    with pytest.raises(ValueError):
+        render_series("S", [1], [1.0, 2.0])

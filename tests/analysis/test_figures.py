@@ -1,0 +1,48 @@
+"""ASCII box-plot rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_boxplot
+
+
+def test_single_group_spans_scale():
+    out = render_boxplot("T", {"g": np.array([0.0, 5.0, 10.0])}, width=21)
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    row = lines[3]
+    assert row.strip().startswith("g")
+    # whisker endpoints at the extremes of the scale
+    bar = row.split("g ", 1)[1].split(" max")[0]
+    assert bar[0] == "|" and bar.rstrip()[-1] == "|"
+    assert "M" in bar
+
+
+def test_median_marker_position_monotone():
+    low = np.array([1.0, 2.0, 3.0])
+    high = np.array([8.0, 9.0, 10.0])
+    out = render_boxplot("T", {"lo": low, "hi": high}, width=40)
+    rows = out.splitlines()[3:]
+    pos_lo = rows[0].index("M")
+    pos_hi = rows[1].index("M")
+    assert pos_hi > pos_lo
+
+
+def test_max_annotated():
+    out = render_boxplot("T", {"a": np.array([2.0, 4.0])})
+    assert "max 4.0" in out
+
+
+def test_unit_in_scale_line():
+    out = render_boxplot("T", {"a": np.array([1.0])}, unit="sec")
+    assert "sec" in out.splitlines()[2]
+
+
+def test_empty_groups_rejected():
+    with pytest.raises(ValueError):
+        render_boxplot("T", {})
+
+
+def test_degenerate_constant_sample():
+    out = render_boxplot("T", {"c": np.array([5.0, 5.0, 5.0])})
+    assert "max 5.0" in out  # no division-by-zero on zero range

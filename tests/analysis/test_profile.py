@@ -1,0 +1,73 @@
+"""Parallel-profile extraction."""
+
+import numpy as np
+import pytest
+
+from repro import Parallel
+from repro.analysis import concurrency_timeline, profile_intervals
+
+
+def test_timeline_simple_overlap():
+    # Two jobs overlapping in the middle.
+    times, counts = concurrency_timeline([0.0, 1.0], [2.0, 3.0])
+    assert list(times) == [0.0, 1.0, 2.0, 3.0]
+    assert list(counts) == [1, 2, 1, 0]
+
+
+def test_timeline_empty():
+    times, counts = concurrency_timeline([], [])
+    assert times.size == 0 and counts.size == 0
+
+
+def test_timeline_validation():
+    with pytest.raises(ValueError):
+        concurrency_timeline([0.0], [])
+    with pytest.raises(ValueError):
+        concurrency_timeline([2.0], [1.0])
+
+
+def test_timeline_simultaneous_start_end():
+    # Back-to-back jobs sharing an instant: never dips below zero, the
+    # start at t=1 is counted before the end at t=1.
+    times, counts = concurrency_timeline([0.0, 1.0], [1.0, 2.0])
+    assert (counts >= 0).all()
+    assert counts[-1] == 0
+
+
+def test_profile_serial_run():
+    p = profile_intervals([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+    assert p.peak_concurrency == 1
+    assert p.serial_fraction == pytest.approx(1.0)
+    assert p.speedup_vs_serial == pytest.approx(1.0)
+    assert p.makespan == 3.0
+
+
+def test_profile_perfectly_parallel():
+    p = profile_intervals([0.0] * 4, [1.0] * 4)
+    assert p.peak_concurrency == 4
+    assert p.mean_concurrency == pytest.approx(4.0)
+    assert p.speedup_vs_serial == pytest.approx(4.0)
+    assert p.serial_fraction == 0.0
+    assert p.utilization(4) == pytest.approx(1.0)
+    assert p.utilization(8) == pytest.approx(0.5)
+
+
+def test_profile_empty():
+    p = profile_intervals([], [])
+    assert p.n_jobs == 0 and p.makespan == 0.0
+
+
+def test_utilization_validation():
+    p = profile_intervals([0.0], [1.0])
+    with pytest.raises(ValueError):
+        p.utilization(0)
+
+
+def test_profile_from_real_engine_run():
+    summary = Parallel("sleep 0.2 # {}", jobs=4).run(list(range(8)))
+    starts = [r.start_time for r in summary.results]
+    ends = [r.end_time for r in summary.results]
+    p = profile_intervals(starts, ends)
+    assert p.n_jobs == 8
+    assert 2 <= p.peak_concurrency <= 4  # bounded by -j4
+    assert p.speedup_vs_serial > 1.5  # parallelism clearly visible

@@ -1,0 +1,52 @@
+"""Parameter-sweep utility."""
+
+import pytest
+
+from repro.analysis import grid_points, sweep
+
+
+def test_grid_points_cartesian_last_fastest():
+    pts = grid_points({"a": [1, 2], "b": ["x", "y"]})
+    assert pts == [
+        {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+        {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
+    ]
+
+
+def test_grid_points_empty_grid():
+    assert grid_points({}) == [{}]
+
+
+def test_grid_points_empty_dimension():
+    assert grid_points({"a": []}) == []
+
+
+def test_grid_points_rejects_string_values():
+    with pytest.raises(TypeError):
+        grid_points({"a": "abc"})
+
+
+def test_sweep_merges_params_and_results():
+    rows = sweep(lambda a, b: {"total": a + b}, {"a": [1, 2], "b": [10]})
+    assert rows == [{"a": 1, "b": 10, "total": 11}, {"a": 2, "b": 10, "total": 12}]
+
+
+def test_sweep_repeats_add_repeat_column():
+    rows = sweep(lambda x, repeat: {"y": x * repeat}, {"x": [3]}, repeats=3)
+    assert [r["repeat"] for r in rows] == [0, 1, 2]
+    assert [r["y"] for r in rows] == [0, 3, 6]
+
+
+def test_sweep_collision_detected():
+    with pytest.raises(ValueError):
+        sweep(lambda a: {"a": 1}, {"a": [1]})
+
+
+def test_sweep_non_mapping_result_rejected():
+    with pytest.raises(TypeError):
+        sweep(lambda a: 42, {"a": [1]})
+
+
+def test_sweep_repeats_validation():
+    with pytest.raises(ValueError):
+        sweep(lambda: {}, {}, repeats=0)

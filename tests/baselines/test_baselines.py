@@ -1,0 +1,116 @@
+"""srun-loop, workflow-system, and ease-of-use baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LISTING_4_SRUN_SCRIPT,
+    LISTING_5_PARALLEL_SCRIPT,
+    WFBENCH_POINTS,
+    analytic_overhead,
+    bag_of_tasks,
+    fit_scan_cost,
+    listing4_task_set,
+    listing5_task_set,
+    run_srun_loop,
+    run_workflow_system,
+    script_complexity,
+)
+from repro.baselines.workflow_system import WmsCostModel
+from repro.errors import ReproError
+from repro.sim import Environment
+from repro.slurm import SrunCostModel
+
+import networkx as nx
+
+
+# ---------------------------------------------------------------- srun loop
+def test_srun_loop_launch_rate_capped_by_sleep():
+    env = Environment()
+    res = run_srun_loop(env, np.zeros(20))
+    # `sleep 0.2` caps launches at 5/s.
+    assert res.launch_rate <= 5.0 + 0.1
+
+
+def test_srun_loop_makespan_dominated_by_sleep():
+    env = Environment()
+    res = run_srun_loop(env, np.zeros(36))  # Listing 4's 36 tasks
+    assert res.makespan >= 36 * 0.2
+
+
+def test_srun_loop_tasks_overlap_in_background():
+    env = Environment()
+    # 2 s tasks launched 0.2 s apart: total far below serial 20*2 s.
+    res = run_srun_loop(env, np.full(20, 2.0))
+    assert res.makespan < 10.0
+    assert res.n_tasks == 20
+
+
+def test_srun_loop_counts():
+    env = Environment()
+    res = run_srun_loop(env, np.zeros(7))
+    assert len(res.launch_times) == 7 and len(res.end_times) == 7
+
+
+# ----------------------------------------------------------------- WMS model
+def test_fit_scan_cost_reproduces_calibration_point():
+    cost = fit_scan_cost()
+    n, overhead = WFBENCH_POINTS[0]
+    assert analytic_overhead(n, cost) == pytest.approx(overhead, rel=1e-6)
+
+
+def test_fit_rejects_impossible_calibration():
+    with pytest.raises(ReproError):
+        fit_scan_cost(n_tasks=1000, total_overhead_s=1.0, dispatch_s=0.01)
+
+
+def test_wms_overhead_superlinear():
+    cost = fit_scan_cost()
+    o1 = analytic_overhead(10_000, cost)
+    o2 = analytic_overhead(20_000, cost)
+    assert o2 > 2.5 * o1  # quadratic-ish growth
+
+
+def test_wms_sim_matches_analytic_for_bag():
+    cost = WmsCostModel(dispatch_s=0.001, scan_s_per_task=1e-5)
+    env = Environment()
+    res = run_workflow_system(env, bag_of_tasks(500), cost)
+    # Sim scan uses max(outstanding,1): analytic sum_{k=1..n} k plus n
+    # dispatches; allow small constant drift.
+    assert res.makespan == pytest.approx(analytic_overhead(500, cost), rel=0.02)
+
+
+def test_wms_respects_dependencies():
+    g = nx.DiGraph([(0, 1), (1, 2)])
+    cost = WmsCostModel(dispatch_s=0.01, scan_s_per_task=0.0)
+    env = Environment()
+    res = run_workflow_system(env, g, cost, task_duration=1.0)
+    # Chain of 3 one-second tasks must serialize.
+    assert res.makespan >= 3.0
+    assert list(res.launch_times) == sorted(res.launch_times)
+
+
+def test_wms_rejects_cycles():
+    g = nx.DiGraph([(0, 1), (1, 0)])
+    env = Environment()
+    with pytest.raises(ReproError):
+        run_workflow_system(env, g, WmsCostModel())
+
+
+# ----------------------------------------------------------------- ease of use
+def test_listing5_is_90_percent_smaller():
+    c4 = script_complexity(LISTING_4_SRUN_SCRIPT)
+    c5 = script_complexity(LISTING_5_PARALLEL_SCRIPT)
+    assert c5.reduction_vs(c4) >= 0.85  # paper: "over 90%"
+    assert c5.control_keywords == 0
+    assert c4.control_keywords >= 5
+
+
+def test_listings_describe_same_task_set():
+    assert listing4_task_set() == listing5_task_set()
+    assert len(listing5_task_set()) == 36  # 12 months x 3 apps
+
+
+def test_script_complexity_ignores_comments_and_blanks():
+    c = script_complexity("# comment\n\n  \necho hi\n")
+    assert c.lines == 1

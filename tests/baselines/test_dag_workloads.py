@@ -1,0 +1,70 @@
+"""WfBench-style DAG generators and their behaviour in the WMS baseline."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines import chain, diamond_stack, fork_join, run_workflow_system
+from repro.baselines.workflow_system import WmsCostModel
+from repro.errors import ReproError
+from repro.sim import Environment
+
+COST = WmsCostModel(dispatch_s=0.001, scan_s_per_task=0.0)
+
+
+def test_chain_shape():
+    g = chain(5)
+    assert g.number_of_nodes() == 5
+    assert nx.is_directed_acyclic_graph(g)
+    assert nx.dag_longest_path_length(g) == 4
+
+
+def test_chain_single():
+    assert chain(1).number_of_edges() == 0
+
+
+def test_fork_join_shape():
+    g = fork_join(8)
+    assert g.number_of_nodes() == 10  # split + 8 + merge
+    assert g.out_degree(0) == 8
+    assert g.in_degree(9) == 8
+    assert nx.dag_longest_path_length(g) == 2
+
+
+def test_diamond_stack_shape():
+    g = diamond_stack(levels=3, width=4)
+    assert nx.is_directed_acyclic_graph(g)
+    # head + 3 * (width + tail)
+    assert g.number_of_nodes() == 1 + 3 * 5
+    assert nx.dag_longest_path_length(g) == 6
+
+
+@pytest.mark.parametrize("factory", [lambda: chain(0), lambda: fork_join(0),
+                                     lambda: diamond_stack(0, 1),
+                                     lambda: diamond_stack(1, 0)])
+def test_validation(factory):
+    with pytest.raises(ReproError):
+        factory()
+
+
+def test_wms_runs_chain_serially():
+    env = Environment()
+    res = run_workflow_system(env, chain(4), COST, task_duration=0.5)
+    # 4 dependent tasks of 0.5 s: >= 2 s regardless of engine speed.
+    assert res.makespan >= 2.0
+    assert res.n_tasks == 4
+
+
+def test_wms_fork_join_dependencies_honoured():
+    env = Environment()
+    res = run_workflow_system(env, fork_join(5), COST, task_duration=0.1)
+    launches = list(res.launch_times)
+    # split launches first, merge launches last.
+    assert launches[0] == min(launches)
+    assert launches[-1] == max(launches)
+    assert res.n_tasks == 7
+
+
+def test_wms_diamond_stack_completes_all():
+    env = Environment()
+    res = run_workflow_system(env, diamond_stack(2, 3), COST)
+    assert res.n_tasks == 1 + 2 * 4

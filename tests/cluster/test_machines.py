@@ -1,0 +1,70 @@
+"""Machine presets and the paper's derived calibration identities."""
+
+import pytest
+
+from repro.cluster.machines import (
+    DTN_CLUSTER,
+    ENGINE_DISPATCH_RATE,
+    FRONTIER,
+    FRONTIER_NODE,
+    NODE_FORK_RATE,
+    PERLMUTTER_CPU,
+    PERLMUTTER_CPU_NODE,
+    PODMAN_LAUNCH_RATE,
+    SHIFTER_LAUNCH_RATE,
+    MachineSpec,
+    NodeSpec,
+)
+
+
+def test_frontier_node_matches_paper():
+    assert FRONTIER_NODE.cores == 128  # 64 dual-threaded cores
+    assert FRONTIER_NODE.gpus == 8  # 8 schedulable GCDs
+
+
+def test_perlmutter_cpu_node_matches_paper():
+    assert PERLMUTTER_CPU_NODE.cores == 256
+    assert PERLMUTTER_CPU_NODE.gpus == 0
+
+
+def test_frontier_scale_supports_9000_nodes():
+    # 9,000 nodes = 96% of Frontier (paper, Section III).
+    assert FRONTIER.total_nodes >= 9000
+    assert 9000 / FRONTIER.total_nodes == pytest.approx(0.96, abs=0.01)
+
+
+def test_full_utilization_floor_single_instance():
+    """256 threads / 470 jobs/s = 545 ms minimum task duration (paper)."""
+    floor = PERLMUTTER_CPU_NODE.cores / ENGINE_DISPATCH_RATE
+    assert floor == pytest.approx(0.545, abs=0.001)
+
+
+def test_full_utilization_floor_many_instances():
+    """256 threads / 6,400 jobs/s = 40 ms minimum task duration (paper)."""
+    floor = PERLMUTTER_CPU_NODE.cores / NODE_FORK_RATE
+    assert floor == pytest.approx(0.040, abs=0.0005)
+
+
+def test_shifter_overhead_is_19_percent():
+    overhead = 1.0 - SHIFTER_LAUNCH_RATE / NODE_FORK_RATE
+    assert overhead == pytest.approx(0.19, abs=0.005)
+
+
+def test_podman_two_orders_of_magnitude_below_shifter():
+    assert SHIFTER_LAUNCH_RATE / PODMAN_LAUNCH_RATE == pytest.approx(80, rel=0.3)
+
+
+def test_dtn_cluster_has_8_nodes():
+    assert DTN_CLUSTER.total_nodes == 8
+
+
+def test_node_spec_validation():
+    with pytest.raises(ValueError):
+        NodeSpec(name="bad", cores=0)
+    with pytest.raises(ValueError):
+        NodeSpec(name="bad", cores=1, fork_rate=0)
+
+
+def test_machine_spec_validation():
+    with pytest.raises(ValueError):
+        MachineSpec(name="bad", node=FRONTIER_NODE, total_nodes=0)

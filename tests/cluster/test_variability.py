@@ -1,0 +1,67 @@
+"""Allocation-delay and straggler models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machines import FRONTIER
+from repro.cluster.variability import (
+    allocation_delays,
+    node_ready_times,
+    straggler_delays,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_allocation_delays_positive_and_near_scaled_mean():
+    d = allocation_delays(FRONTIER, 5000, rng())
+    assert (d > 0).all()
+    expected = FRONTIER.alloc_delay_mean * (1 + 5000 / FRONTIER.total_nodes)
+    assert d.mean() == pytest.approx(expected, rel=0.1)
+
+
+def test_allocation_delay_mean_grows_with_scale():
+    small = allocation_delays(FRONTIER, 500, rng()).mean()
+    large = allocation_delays(FRONTIER, 9000, rng()).mean()
+    assert large > small
+
+
+def test_allocation_delays_shape():
+    assert allocation_delays(FRONTIER, 17, rng()).shape == (17,)
+    with pytest.raises(ValueError):
+        allocation_delays(FRONTIER, 0, rng())
+
+
+def test_stragglers_rare_at_small_scale():
+    d = straggler_delays(FRONTIER, 1000, rng())
+    frac = (d > 0).mean()
+    assert frac < 0.02  # well under 2% of nodes
+
+
+def test_straggler_rate_grows_at_extreme_scale():
+    r1, r2 = np.random.default_rng(1), np.random.default_rng(1)
+    small = (straggler_delays(FRONTIER, 5000, r1) > 0).mean()
+    big = (straggler_delays(FRONTIER, 9000, r2) > 0).mean()
+    assert big > small  # contention regime above 7,000 nodes
+
+
+def test_straggler_delays_heavy_tailed():
+    d = straggler_delays(FRONTIER, 9000, rng())
+    hits = d[d > 0]
+    assert hits.size > 0
+    # Lognormal: max should dwarf the median of the hit population.
+    assert hits.max() > 3 * np.median(hits)
+
+
+def test_node_ready_times_compose_both_models():
+    r = node_ready_times(FRONTIER, 2000, rng())
+    assert r.shape == (2000,)
+    assert (r > 0).all()
+
+
+def test_deterministic_given_seed():
+    a = node_ready_times(FRONTIER, 100, np.random.default_rng(7))
+    b = node_ready_times(FRONTIER, 100, np.random.default_rng(7))
+    assert np.array_equal(a, b)

@@ -1,0 +1,83 @@
+"""Bash brace expansion semantics."""
+
+import pytest
+
+from repro.compat import brace_expand
+
+
+def test_numeric_sequence():
+    assert brace_expand("{1..5}") == ["1", "2", "3", "4", "5"]
+
+
+def test_paper_listing5_sequences():
+    assert brace_expand("{1..12}") == [str(i) for i in range(1, 13)]
+    assert brace_expand("{0..2}") == ["0", "1", "2"]
+
+
+def test_descending_sequence():
+    assert brace_expand("{5..1}") == ["5", "4", "3", "2", "1"]
+
+
+def test_negative_sequence():
+    assert brace_expand("{-2..2}") == ["-2", "-1", "0", "1", "2"]
+
+
+def test_sequence_with_increment():
+    assert brace_expand("{0..10..5}") == ["0", "5", "10"]
+    assert brace_expand("{10..0..5}") == ["10", "5", "0"]
+
+
+def test_zero_padded_sequence():
+    assert brace_expand("{01..03}") == ["01", "02", "03"]
+    assert brace_expand("{08..11}") == ["08", "09", "10", "11"]
+
+
+def test_letter_sequence():
+    assert brace_expand("{a..e}") == ["a", "b", "c", "d", "e"]
+    assert brace_expand("{c..a}") == ["c", "b", "a"]
+
+
+def test_comma_list():
+    assert brace_expand("{x,y,z}") == ["x", "y", "z"]
+
+
+def test_prefix_suffix():
+    assert brace_expand("img{1..3}.png") == ["img1.png", "img2.png", "img3.png"]
+
+
+def test_multiple_groups_cartesian():
+    assert brace_expand("{a,b}{1,2}") == ["a1", "a2", "b1", "b2"]
+
+
+def test_nested_groups():
+    assert brace_expand("{a,b{1,2}}") == ["a", "b1", "b2"]
+
+
+def test_empty_alternative():
+    assert brace_expand("file{,.bak}") == ["file", "file.bak"]
+
+
+def test_replacement_strings_never_expand():
+    assert brace_expand("{}") == ["{}"]
+    assert brace_expand("{#}") == ["{#}"]
+    assert brace_expand("{%}") == ["{%}"]
+    assert brace_expand("{1}") == ["{1}"]
+    assert brace_expand("{1/.}") == ["{1/.}"]
+
+
+def test_single_item_brace_is_literal():
+    assert brace_expand("{foo}") == ["{foo}"]
+
+
+def test_unbalanced_braces_literal():
+    assert brace_expand("{a,b") == ["{a,b"]
+    assert brace_expand("a}b") == ["a}b"]
+
+
+def test_plain_word_unchanged():
+    assert brace_expand("hello") == ["hello"]
+    assert brace_expand("") == [""]
+
+
+def test_literal_group_followed_by_expandable():
+    assert brace_expand("{}{1..2}") == ["{}1", "{}2"]

@@ -1,0 +1,70 @@
+"""Container runtime models (Figs. 4-5 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.containers import (
+    BARE_METAL,
+    PODMAN_FAILURE_MODES,
+    PODMAN_HPC,
+    SHIFTER,
+    ContainerRuntime,
+)
+from repro.errors import ContainerError
+
+
+def test_bare_metal_ceiling_is_fork_rate():
+    assert BARE_METAL.effective_ceiling(6400.0) == 6400.0
+    assert BARE_METAL.startup_overhead_vs_bare(6400.0) == 0.0
+
+
+def test_shifter_ceiling_and_19_percent_overhead():
+    assert SHIFTER.effective_ceiling(6400.0) == 5200.0
+    assert SHIFTER.startup_overhead_vs_bare(6400.0) == pytest.approx(0.19, abs=0.005)
+
+
+def test_podman_ceiling_65():
+    assert PODMAN_HPC.effective_ceiling(6400.0) == 65.0
+
+
+def test_ceiling_never_exceeds_fork_rate():
+    rt = ContainerRuntime(name="x", serial_rate=10_000.0)
+    assert rt.effective_ceiling(6400.0) == 6400.0
+
+
+def test_failure_probability_grows_with_load():
+    p0 = PODMAN_HPC.failure_probability(0)
+    p100 = PODMAN_HPC.failure_probability(100)
+    assert p100 > p0 > 0
+
+
+def test_failure_probability_capped():
+    assert PODMAN_HPC.failure_probability(10**9) == PODMAN_HPC.max_failure_prob
+
+
+def test_shifter_effectively_reliable():
+    rng = np.random.default_rng(0)
+    fails = sum(SHIFTER.draw_failure(rng, 100) is not None for _ in range(2000))
+    assert fails == 0
+
+
+def test_podman_failures_use_reported_modes():
+    rng = np.random.default_rng(0)
+    modes = set()
+    for _ in range(5000):
+        m = PODMAN_HPC.draw_failure(rng, in_flight=500)
+        if m:
+            modes.add(m)
+    assert modes  # failures do occur under load
+    assert modes <= set(PODMAN_FAILURE_MODES)
+
+
+def test_raise_failure():
+    with pytest.raises(ContainerError) as ei:
+        PODMAN_HPC.raise_failure("db_lock")
+    assert ei.value.reason == "db_lock"
+
+
+def test_draw_failure_none_when_no_failure_model():
+    rng = np.random.default_rng(0)
+    assert BARE_METAL.draw_failure(rng, 1000) is None

@@ -1,0 +1,290 @@
+"""Integration tests: the engine running real subprocesses and callables."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro import Options, Parallel, QueueSource, run_parallel
+from repro.core.job import JobState
+
+
+# ------------------------------------------------------------- shell runs
+def test_echo_three_inputs():
+    summary = Parallel("echo {}", jobs=2).run(["a", "b", "c"])
+    assert summary.ok
+    assert summary.n_succeeded == 3
+    outs = sorted(r.stdout.strip() for r in summary.results)
+    assert outs == ["a", "b", "c"]
+
+
+def test_results_in_input_order_via_sorted():
+    summary = Parallel("echo {}", jobs=4).run([str(i) for i in range(10)])
+    ordered = summary.sorted_results()
+    assert [r.stdout.strip() for r in ordered] == [str(i) for i in range(10)]
+
+
+def test_exit_codes_captured():
+    summary = Parallel("exit {}", jobs=2).run(["0", "1", "7"])
+    assert summary.n_failed == 2
+    by_arg = {r.args[0]: r.exit_code for r in summary.results}
+    assert by_arg == {"0": 0, "1": 1, "7": 7}
+    assert summary.exit_code == 2  # GNU Parallel: number of failed jobs
+
+
+def test_stderr_captured():
+    summary = Parallel("echo err-{} 1>&2", jobs=1).run(["x"])
+    assert summary.results[0].stderr.strip() == "err-x"
+
+
+def test_seq_and_slot_rendered():
+    summary = Parallel("echo {#}:{%}", jobs=1, keep_order=True).run(["a", "b"])
+    outs = [r.stdout.strip() for r in summary.sorted_results()]
+    assert outs == ["1:1", "2:1"]
+
+
+def test_slot_bounded_by_jobs():
+    summary = Parallel("echo {%}", jobs=3).run(list(range(20)))
+    slots = {int(r.stdout) for r in summary.results}
+    assert slots <= {1, 2, 3}
+
+
+def test_concurrency_actually_happens():
+    start = time.time()
+    summary = Parallel("sleep 0.3 # {}", jobs=8).run(list(range(8)))
+    elapsed = time.time() - start
+    assert summary.ok
+    assert elapsed < 8 * 0.3  # ran concurrently, not serially
+
+
+def test_jobs_limit_enforced():
+    """With -j1, job spans must not overlap."""
+    summary = Parallel("sleep 0.05; echo done", jobs=1).run(["a", "b", "c"])
+    spans = sorted((r.start_time, r.end_time) for r in summary.results)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert s2 >= e1 - 0.01  # next starts after previous ends
+
+
+def test_multi_source_cartesian():
+    p = Parallel("echo {1}-{2}", jobs=4, keep_order=True)
+    summary = p.run_sources([["a", "b"], ["1", "2"]])
+    outs = [r.stdout.strip() for r in summary.sorted_results()]
+    assert outs == ["a-1", "a-2", "b-1", "b-2"]
+
+
+def test_multi_source_linked():
+    p = Parallel("echo {1}-{2}", jobs=4, keep_order=True, link=True)
+    summary = p.run_sources([["a", "b"], ["1", "2"]])
+    outs = [r.stdout.strip() for r in summary.sorted_results()]
+    assert outs == ["a-1", "b-2"]
+
+
+def test_dry_run_executes_nothing(tmp_path):
+    marker = tmp_path / "marker"
+    summary = Parallel(f"touch {marker}", dry_run=True, jobs=1).run(["x"])
+    assert summary.ok
+    assert not marker.exists()
+    assert str(marker) in summary.results[0].stdout
+
+
+def test_workdir_option(tmp_path):
+    summary = Parallel("pwd", jobs=1, workdir=str(tmp_path)).run(["x"])
+    assert summary.results[0].stdout.strip() == str(tmp_path)
+
+
+def test_env_option():
+    summary = Parallel("echo $MYVAR # {}", jobs=1, env={"MYVAR": "hello"}).run(["x"])
+    assert summary.results[0].stdout.strip() == "hello"
+
+
+def test_keep_order_output_stream():
+    emitted = []
+    p = Parallel(
+        "sleep 0.{}; echo {}", jobs=4, keep_order=True,
+        output=lambda r, text: emitted.append(text.strip()),
+    )
+    # Reverse sleep times so completion order is reversed; keep-order must fix it.
+    summary = p.run(["3", "2", "1", "0"])
+    assert summary.ok
+    assert emitted == ["3", "2", "1", "0"]
+
+
+# ---------------------------------------------------------------- retries
+def test_retries_eventually_succeeds(tmp_path):
+    flag = tmp_path / "flag"
+    # Fails the first time (flag absent), succeeds the second.
+    cmd = f"test -f {flag} || {{ touch {flag}; exit 1; }}"
+    summary = Parallel(cmd + " # {}", jobs=1, retries=2).run(["x"])
+    assert summary.n_succeeded == 1
+    assert summary.results[0].attempt == 2
+
+
+def test_retries_exhausted_counts_failed():
+    summary = Parallel("exit 1 # {}", jobs=1, retries=3).run(["x"])
+    assert summary.n_failed == 1
+    assert summary.results[0].attempt == 3
+
+
+# ------------------------------------------------------------------- halt
+def test_halt_now_fail_1_stops_early():
+    # 40 inputs, the 3rd fails; with -j1 and halt now,fail=1 we must not
+    # have dispatched all 40.
+    inputs = ["0"] * 2 + ["1"] + ["0"] * 37
+    summary = Parallel("exit {}", jobs=1, halt="now,fail=1").run(inputs)
+    assert summary.halted
+    assert summary.n_dispatched < 40
+    assert summary.exit_code >= 1
+
+
+def test_halt_soon_lets_running_finish():
+    summary = Parallel("exit {}", jobs=2, halt="soon,fail=1").run(
+        ["1", "0", "0", "0", "0", "0"]
+    )
+    assert summary.halted
+    # The failing job plus at most the in-flight ones completed.
+    assert summary.n_dispatched <= 3
+
+
+def test_halt_success_policy():
+    summary = Parallel("echo {}", jobs=1, halt="now,success=1").run(list("abcdef"))
+    assert summary.halted
+    assert summary.n_succeeded == 1
+
+
+# ---------------------------------------------------------------- timeout
+def test_timeout_kills_long_job():
+    start = time.time()
+    summary = Parallel("sleep 30 # {}", jobs=1, timeout=0.3).run(["x"])
+    assert time.time() - start < 10
+    assert summary.n_failed == 1
+    assert summary.results[0].state == JobState.TIMED_OUT
+
+
+def test_timeout_spares_quick_job():
+    summary = Parallel("echo quick # {}", jobs=1, timeout=5).run(["x"])
+    assert summary.ok
+
+
+# ------------------------------------------------------------------ delay
+def test_delay_paces_dispatch():
+    summary = Parallel("echo {}", jobs=4, delay=0.15).run(["a", "b", "c"])
+    starts = sorted(r.start_time for r in summary.results)
+    assert starts[1] - starts[0] >= 0.12
+    assert starts[2] - starts[1] >= 0.12
+
+
+# -------------------------------------------------------------- callables
+def test_callable_map():
+    assert Parallel(lambda x: int(x) * 2, jobs=4).map([1, 2, 3]) == [2, 4, 6]
+
+
+def test_callable_multi_arg():
+    p = Parallel(lambda a, b: f"{a}+{b}", jobs=2)
+    assert p.map([("x", "1"), ("y", "2")]) == ["x+1", "y+2"]
+
+
+def test_callable_exception_is_failure():
+    def boom(x):
+        raise ValueError(f"bad {x}")
+
+    summary = Parallel(boom, jobs=1).run(["a"])
+    assert summary.n_failed == 1
+    assert "ValueError" in summary.results[0].stderr
+
+
+def test_callable_map_raises_on_failure():
+    def sometimes(x):
+        if x == "b":
+            raise RuntimeError("nope")
+        return x
+
+    with pytest.raises(RuntimeError, match="failed"):
+        Parallel(sometimes, jobs=2).map(["a", "b", "c"])
+
+
+def test_callable_value_preserved():
+    summary = Parallel(lambda x: {"key": x}, jobs=1).run(["v"])
+    assert summary.results[0].value == {"key": "v"}
+
+
+# ------------------------------------------------------- joblog and resume
+def test_joblog_written(tmp_path):
+    log = str(tmp_path / "joblog")
+    summary = Parallel("echo {}", jobs=2, joblog=log).run(["a", "b"])
+    assert summary.ok
+    lines = open(log).read().splitlines()
+    assert len(lines) == 3  # header + 2 jobs
+    assert lines[0].startswith("Seq\t")
+
+
+def test_resume_skips_completed(tmp_path):
+    log = str(tmp_path / "joblog")
+    counter = tmp_path / "count"
+    cmd = f"echo . >> {counter}; exit {{}}"
+    # First run: 'b' fails.
+    first = Parallel(cmd, jobs=1, joblog=log).run(["0", "1", "0"])
+    assert first.n_failed == 1
+    assert len(open(counter).read().splitlines()) == 3
+    # Plain --resume: nothing re-runs (failures are NOT retried).
+    second = Parallel(cmd, jobs=1, joblog=log, resume=True).run(["0", "1", "0"])
+    assert second.n_skipped == 3
+    assert second.n_dispatched == 0
+    assert len(open(counter).read().splitlines()) == 3
+
+
+def test_resume_failed_reruns_failures(tmp_path):
+    log = str(tmp_path / "joblog")
+    first = Parallel("exit {}", jobs=1, joblog=log).run(["0", "1", "0"])
+    assert first.n_failed == 1
+    second = Parallel("exit 0 # {}", jobs=1, joblog=log, resume_failed=True).run(
+        ["0", "1", "0"]
+    )
+    assert second.n_skipped == 2
+    assert second.n_dispatched == 1
+    assert second.n_succeeded == 1
+
+
+# --------------------------------------------------------------- results
+def test_results_tree(tmp_path):
+    root = str(tmp_path / "res")
+    summary = Parallel("echo got-{}", jobs=2, results=root).run(["p", "q"])
+    assert summary.ok
+    assert open(os.path.join(root, "1", "p", "stdout")).read().strip() == "got-p"
+    assert open(os.path.join(root, "1", "q", "stdout")).read().strip() == "got-q"
+
+
+# ------------------------------------------------------------- streaming
+def test_queue_source_streams_through_engine():
+    q = QueueSource()
+    got = []
+    p = Parallel(lambda x: got.append(x) or x, jobs=2)
+
+    runner = threading.Thread(target=lambda: p.run(q))
+    runner.start()
+    for i in range(5):
+        q.put(f"item{i}")
+        time.sleep(0.01)
+    q.close()
+    runner.join(timeout=10)
+    assert not runner.is_alive()
+    assert sorted(got) == [f"item{i}" for i in range(5)]
+
+
+def test_shuf_deterministic_order():
+    order1, order2 = [], []
+    Parallel(lambda x: order1.append(x), jobs=1, shuf=True, seed=3).run(list("abcdef"))
+    Parallel(lambda x: order2.append(x), jobs=1, shuf=True, seed=3).run(list("abcdef"))
+    assert order1 == order2
+    assert sorted(order1) == list("abcdef")
+
+
+def test_run_parallel_convenience():
+    summary = run_parallel("echo {}", ["z"], jobs=1)
+    assert summary.ok and summary.results[0].stdout.strip() == "z"
+
+
+def test_launch_rate_metric():
+    summary = Parallel("true # {}", jobs=8).run(list(range(40)))
+    rate = summary.launch_rate(summary.results)
+    assert rate > 5  # dozens/s at minimum on any machine

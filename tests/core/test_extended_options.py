@@ -1,0 +1,191 @@
+"""Extended GNU Parallel options: -j forms, %-timeout, --colsep, --load."""
+
+import time
+
+import pytest
+
+from repro import Options, Parallel
+from repro.core.job import JobState
+from repro.core.options import parse_jobs, parse_timeout
+from repro.errors import OptionsError
+
+
+# ------------------------------------------------------------- parse_jobs
+def test_parse_jobs_int_passthrough():
+    assert parse_jobs(4) == 4
+    assert parse_jobs(0) == 0
+
+
+def test_parse_jobs_string_int():
+    assert parse_jobs("8") == 8
+
+
+def test_parse_jobs_plus_minus():
+    assert parse_jobs("+2", cores=16) == 18
+    assert parse_jobs("-4", cores=16) == 12
+    assert parse_jobs("-100", cores=16) == 1  # floor at 1
+
+
+def test_parse_jobs_percentage():
+    assert parse_jobs("50%", cores=16) == 8
+    assert parse_jobs("200%", cores=16) == 32
+    assert parse_jobs("1%", cores=16) == 1  # ceil, min 1
+
+
+@pytest.mark.parametrize("bad", ["x", "-1%", "0%", "++2", ""])
+def test_parse_jobs_rejects_garbage(bad):
+    with pytest.raises(OptionsError):
+        parse_jobs(bad, cores=8)
+
+
+def test_parse_jobs_negative_int_rejected():
+    with pytest.raises(OptionsError):
+        parse_jobs(-3)
+
+
+def test_options_accepts_jobs_string():
+    opts = Options(jobs="200%")
+    assert isinstance(opts.jobs, int) and opts.jobs >= 2
+
+
+# ----------------------------------------------------------- parse_timeout
+def test_parse_timeout_none():
+    assert parse_timeout(None) == (None, None)
+
+
+def test_parse_timeout_seconds():
+    assert parse_timeout(5) == (5.0, None)
+    assert parse_timeout("2.5") == (2.5, None)
+
+
+def test_parse_timeout_percent():
+    assert parse_timeout("200%") == (None, 2.0)
+
+
+@pytest.mark.parametrize("bad", [0, -1, "0%", "-5%", "abc"])
+def test_parse_timeout_rejects(bad):
+    with pytest.raises(OptionsError):
+        parse_timeout(bad)
+
+
+def test_percentage_timeout_kills_outlier_job():
+    """--timeout 300%: jobs 10x slower than the median are killed."""
+    # 6 quick jobs establish the median; the 'slow' job then exceeds 300%.
+    inputs = ["0.05"] * 6 + ["5"]
+    summary = Parallel("sleep {}", jobs=1, timeout="300%").run(inputs)
+    states = [r.state for r in summary.sorted_results()]
+    assert states[:6] == [JobState.SUCCEEDED] * 6
+    assert states[6] == JobState.TIMED_OUT
+
+
+def test_percentage_timeout_inactive_below_three_samples():
+    summary = Parallel("sleep 0.05 # {}", jobs=1, timeout="100%").run(["a", "b"])
+    assert summary.ok  # no median yet -> no timeout applied
+
+
+# ----------------------------------------------------------------- colsep
+def test_colsep_splits_line_into_positional_args():
+    opts_out = []
+    p = Parallel(
+        lambda a, b, c: opts_out.append((a, b, c)), jobs=1, colsep=r"\t"
+    )
+    p.run(["x\ty\tz", "1\t2\t3"])
+    assert opts_out == [("x", "y", "z"), ("1", "2", "3")]
+
+
+def test_colsep_with_shell_template():
+    summary = Parallel("echo {2}-{1}", jobs=1, keep_order=True, colsep=",").run(
+        ["a,b", "c,d"]
+    )
+    assert [r.stdout.strip() for r in summary.sorted_results()] == ["b-a", "d-c"]
+
+
+def test_colsep_regex_validated():
+    with pytest.raises(OptionsError):
+        Options(colsep="[unclosed")
+
+
+def test_colsep_leaves_multi_source_groups_alone():
+    got = []
+    p = Parallel(lambda *a: got.append(a), jobs=1, colsep=",")
+    p.run([("a,b", "c")])  # already a 2-source group: untouched
+    assert got == [("a,b", "c")]
+
+
+# ------------------------------------------------------------------- load
+def test_load_throttle_blocks_until_load_drops():
+    load_values = iter([9.0, 9.0, 0.5])  # two high readings, then OK
+    last = [0.5]
+
+    def probe():
+        last[0] = next(load_values, last[0])
+        return last[0]
+
+    opts = Options(jobs=1, max_load=1.0, load_probe=probe)
+    start = time.time()
+    summary = Parallel("echo {}", options=opts).run(["a"])
+    assert summary.ok
+    assert time.time() - start >= 0.08  # two 50 ms throttle sleeps
+
+
+def test_load_validation():
+    with pytest.raises(OptionsError):
+        Options(max_load=0)
+
+
+# ------------------------------------------------------------------ quote
+def test_quote_protects_hostile_arguments(tmp_path):
+    marker = tmp_path / "pwned"
+    hostile = f"x; touch {marker}"
+    unsafe = Parallel("echo {}", jobs=1).run([hostile])
+    assert marker.exists()  # without -q the shell runs the injected command
+    marker.unlink()
+    safe = Parallel("echo {}", jobs=1, quote=True).run([hostile])
+    assert not marker.exists()
+    assert safe.results[0].stdout.strip() == hostile
+
+
+def test_quote_preserves_spaces():
+    summary = Parallel("echo {}", jobs=1, quote=True).run(["two words"])
+    assert summary.results[0].stdout.strip() == "two words"
+
+
+def test_quote_leaves_seq_slot_plain():
+    summary = Parallel("echo {#} {%} {}", jobs=1, quote=True).run(["a b"])
+    assert summary.results[0].stdout.strip() == "1 1 a b"
+
+
+# ---------------------------------------------------------------- max_args
+def test_max_args_packs_arguments():
+    summary = Parallel("echo {}", jobs=1, keep_order=True, max_args=3).run(
+        ["a", "b", "c", "d", "e"]
+    )
+    outs = [r.stdout.strip() for r in summary.sorted_results()]
+    assert outs == ["a b c", "d e"]
+    assert summary.n_dispatched == 2
+
+
+def test_max_args_positional_tokens():
+    summary = Parallel("echo {2}-{1}", jobs=1, keep_order=True, max_args=2).run(
+        ["a", "b", "c", "d"]
+    )
+    outs = [r.stdout.strip() for r in summary.sorted_results()]
+    assert outs == ["b-a", "d-c"]
+
+
+def test_max_args_with_callable():
+    got = []
+    Parallel(lambda *a: got.append(a), jobs=1, max_args=2).run(["1", "2", "3"])
+    assert got == [("1", "2"), ("3",)]
+
+
+def test_max_args_validation():
+    with pytest.raises(OptionsError):
+        Options(max_args=0)
+
+
+def test_max_args_percent_halt_total_adjusted():
+    # 6 inputs packed in 2s -> 3 jobs; halting at fail=34% needs just one.
+    summary = Parallel("exit 1 # {}", jobs=1, max_args=2,
+                       halt="soon,fail=34%").run(["a"] * 6)
+    assert summary.halted

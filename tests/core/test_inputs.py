@@ -1,0 +1,140 @@
+"""Input-source composition semantics."""
+
+import threading
+
+import pytest
+
+from repro.core.inputs import (
+    QueueSource,
+    combine,
+    from_file,
+    from_items,
+    link,
+    normalize,
+    shuffled,
+)
+from repro.errors import InputSourceError
+
+
+def test_from_items_stringifies():
+    assert list(from_items([1, "a", 2.5])) == [("1",), ("a",), ("2.5",)]
+
+
+def test_from_file_reads_lines(tmp_path):
+    p = tmp_path / "inputs.txt"
+    p.write_text("alpha\nbeta\n\n  gamma  \n")
+    assert list(from_file(p)) == [("alpha",), ("beta",), ("gamma",)]
+
+
+def test_from_file_no_strip(tmp_path):
+    p = tmp_path / "inputs.txt"
+    p.write_text("  padded  \n")
+    assert list(from_file(p, strip=False)) == [("  padded  ",)]
+
+
+def test_combine_single_source():
+    assert list(combine([["a", "b"]])) == [("a",), ("b",)]
+
+
+def test_combine_cartesian_last_varies_fastest():
+    got = list(combine([["a", "b"], ["1", "2"]]))
+    assert got == [("a", "1"), ("a", "2"), ("b", "1"), ("b", "2")]
+
+
+def test_combine_three_sources():
+    got = list(combine([["a"], ["x", "y"], ["1", "2"]]))
+    assert got == [("a", "x", "1"), ("a", "x", "2"), ("a", "y", "1"), ("a", "y", "2")]
+
+
+def test_combine_empty_later_source_yields_nothing():
+    assert list(combine([["a", "b"], []])) == []
+
+
+def test_combine_streams_first_source():
+    def unbounded():
+        i = 0
+        while True:
+            yield i
+            i += 1
+
+    gen = combine([unbounded(), ["x", "y"]])
+    first_four = [next(gen) for _ in range(4)]
+    assert first_four == [("0", "x"), ("0", "y"), ("1", "x"), ("1", "y")]
+
+
+def test_combine_requires_sources():
+    with pytest.raises(InputSourceError):
+        list(combine([]))
+
+
+def test_link_zips():
+    got = list(link([["a", "b"], ["1", "2"]]))
+    assert got == [("a", "1"), ("b", "2")]
+
+
+def test_link_shorter_source_wraps():
+    got = list(link([["a", "b", "c"], ["1", "2"]]))
+    assert got == [("a", "1"), ("b", "2"), ("c", "1")]
+
+
+def test_link_first_shorter_wraps_too():
+    got = list(link([["a"], ["1", "2", "3"]]))
+    assert got == [("a", "1"), ("a", "2"), ("a", "3")]
+
+
+def test_link_empty_source_is_error():
+    with pytest.raises(InputSourceError):
+        list(link([["a"], []]))
+
+
+def test_shuffled_deterministic():
+    items = list(range(50))
+    a = list(shuffled(items, seed=7))
+    b = list(shuffled(items, seed=7))
+    assert a == b
+    assert sorted(int(g[0]) for g in a) == items
+    assert a != [(str(i),) for i in items]  # actually shuffled
+
+
+def test_shuffled_default_seed_stable():
+    a = list(shuffled(range(20)))
+    b = list(shuffled(range(20)))
+    assert a == b
+
+
+def test_normalize_passes_tuples_through():
+    assert list(normalize([("a", "b"), "c", 3])) == [("a", "b"), ("c",), ("3",)]
+
+
+# ------------------------------------------------------------- QueueSource
+def test_queue_source_streams_until_closed():
+    q = QueueSource()
+    got = []
+
+    def consumer():
+        for group in q:
+            got.append(group)
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    q.put("one")
+    q.put("two")
+    q.close()
+    t.join(timeout=5)
+    assert not t.is_alive()
+    assert got == [("one",), ("two",)]
+
+
+def test_queue_source_put_after_close_rejected():
+    q = QueueSource()
+    q.close()
+    with pytest.raises(InputSourceError):
+        q.put("late")
+
+
+def test_queue_source_close_idempotent():
+    q = QueueSource()
+    q.close()
+    q.close()
+    assert q.closed
+    assert list(q) == []

@@ -1,0 +1,55 @@
+"""The multiprocessing backend (CPU-bound callables without the GIL)."""
+
+import os
+
+import pytest
+
+from repro import Parallel
+from repro.core.backends import MultiprocessBackend
+
+
+def square(x):
+    return int(x) ** 2
+
+
+def whoami(_x):
+    return os.getpid()
+
+
+def boom(x):
+    raise ValueError(f"bad {x}")
+
+
+def test_map_through_processes():
+    p = Parallel(square, jobs=2, backend="processes")
+    assert p.map([1, 2, 3, 4]) == [1, 4, 9, 16]
+
+
+def test_jobs_actually_run_in_other_processes():
+    p = Parallel(whoami, jobs=2, backend="processes")
+    pids = set(p.map(range(4)))
+    assert os.getpid() not in pids
+
+
+def test_exception_becomes_failure_with_traceback():
+    summary = Parallel(boom, jobs=1, backend="processes").run(["z"])
+    assert summary.n_failed == 1
+    assert "ValueError" in summary.results[0].stderr
+
+
+def test_backend_requires_callable():
+    with pytest.raises(TypeError):
+        MultiprocessBackend("not callable")
+
+
+def test_backend_reusable_across_runs():
+    p = Parallel(square, jobs=2, backend="processes")
+    assert p.map([2]) == [4]
+    assert p.map([3]) == [9]
+
+
+def test_results_ordered_and_values_preserved():
+    p = Parallel(square, jobs=4, backend="processes")
+    summary = p.run(list(range(10)))
+    assert summary.ok
+    assert [r.value for r in summary.sorted_results()] == [i * i for i in range(10)]

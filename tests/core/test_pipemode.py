@@ -1,0 +1,108 @@
+"""--pipe mode: block splitting and stdin delivery."""
+
+import pytest
+
+from repro import Parallel
+from repro.core.pipemode import iter_lines, split_blocks, split_records
+from repro.errors import OptionsError
+
+
+# ----------------------------------------------------------------- splitters
+def test_iter_lines_from_string():
+    assert list(iter_lines("a\nb\nc")) == ["a\n", "b\n", "c\n"]
+
+
+def test_iter_lines_from_iterable_adds_newlines():
+    assert list(iter_lines(["a", "b\n"])) == ["a\n", "b\n"]
+
+
+def test_split_records_exact_counts():
+    blocks = list(split_records("1\n2\n3\n4\n5", 2))
+    assert blocks == ["1\n2\n", "3\n4\n", "5\n"]
+
+
+def test_split_records_single():
+    assert list(split_records("x\ny", 1)) == ["x\n", "y\n"]
+
+
+def test_split_records_validation():
+    with pytest.raises(OptionsError):
+        list(split_records("x", 0))
+
+
+def test_split_blocks_respects_record_boundaries():
+    text = "\n".join(f"line{i}" for i in range(10))
+    blocks = list(split_blocks(text, block_bytes=15))
+    assert "".join(blocks) == text + "\n"
+    # No block starts or ends mid-record.
+    for b in blocks:
+        assert b.endswith("\n")
+
+
+def test_split_blocks_oversized_record_gets_own_block():
+    text = "short\n" + "x" * 100 + "\nshort2\n"
+    blocks = list(split_blocks(text, block_bytes=10))
+    assert any("x" * 100 in b for b in blocks)
+    assert "".join(blocks) == text
+
+
+def test_split_blocks_validation():
+    with pytest.raises(OptionsError):
+        list(split_blocks("x", 0))
+
+
+def test_split_blocks_everything_fits_one_block():
+    assert list(split_blocks("a\nb\n", block_bytes=1 << 20)) == ["a\nb\n"]
+
+
+# --------------------------------------------------------------- engine.pipe
+def test_pipe_wc_counts_all_lines():
+    text = "\n".join(str(i) for i in range(100))
+    summary = Parallel("wc -l", jobs=4).pipe(text, n_records=10)
+    assert summary.ok
+    assert summary.n_succeeded == 10  # 100 lines / 10 per block
+    total = sum(int(r.stdout.strip()) for r in summary.results)
+    assert total == 100
+
+
+def test_pipe_block_size_mode():
+    text = "\n".join("word" for _ in range(50))
+    summary = Parallel("cat", jobs=2).pipe(text, block_size=60)
+    assert summary.ok
+    joined = "".join(r.stdout for r in summary.sorted_results())
+    assert joined == text + "\n"
+
+
+def test_pipe_keep_order_reassembles_stream():
+    text = "\n".join(str(i) for i in range(40))
+    emitted = []
+    p = Parallel("cat", jobs=4, keep_order=True,
+                 output=lambda r, t: emitted.append(t))
+    summary = p.pipe(text, n_records=7)
+    assert summary.ok
+    assert "".join(emitted) == text + "\n"
+
+
+def test_pipe_seq_token_still_renders():
+    summary = Parallel("sed s/^/{#}:/", jobs=1, keep_order=True).pipe(
+        "a\nb\nc\nd", n_records=2
+    )
+    outs = [r.stdout for r in summary.sorted_results()]
+    assert outs == ["1:a\n1:b\n", "2:c\n2:d\n"]
+
+
+def test_pipe_command_not_substituted_with_block():
+    summary = Parallel("head -n 1", jobs=1).pipe("first\nsecond", n_records=2)
+    assert summary.results[0].stdout == "first\n"
+    assert "first" not in summary.results[0].command
+
+
+def test_pipe_with_callable_rejected():
+    with pytest.raises(TypeError):
+        Parallel(lambda x: x).pipe("a\nb")
+
+
+def test_pipe_failure_propagates():
+    summary = Parallel("exit 3", jobs=1).pipe("a\nb", n_records=1)
+    assert summary.n_failed == 2
+    assert all(r.exit_code == 3 for r in summary.results)

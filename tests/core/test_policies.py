@@ -1,0 +1,86 @@
+"""Halt tracking and retry decisions."""
+
+from repro.core.job import Job, JobState
+from repro.core.options import HaltSpec
+from repro.core.policies import HaltTracker, should_retry
+
+
+def make_tracker(spec, total=None):
+    return HaltTracker(HaltSpec.parse(spec), total_jobs=total)
+
+
+def test_never_policy_never_triggers():
+    t = make_tracker("never")
+    for _ in range(100):
+        assert not t.record(JobState.FAILED)
+    assert not t.triggered
+
+
+def test_now_fail_1_triggers_on_first_failure():
+    t = make_tracker("now,fail=1")
+    assert not t.record(JobState.SUCCEEDED)
+    assert t.record(JobState.FAILED)
+    assert t.triggered and t.kill_running
+    assert "fail" in t.reason
+
+
+def test_soon_fail_2_waits_for_second():
+    t = make_tracker("soon,fail=2")
+    assert not t.record(JobState.FAILED)
+    assert t.record(JobState.FAILED)
+    assert t.triggered and not t.kill_running
+
+
+def test_percent_threshold_uses_total():
+    t = make_tracker("now,fail=50%", total=4)
+    assert not t.record(JobState.FAILED)
+    assert t.record(JobState.FAILED)  # 2/4 = 50%
+
+
+def test_percent_without_total_never_triggers():
+    t = make_tracker("now,fail=50%", total=None)
+    for _ in range(10):
+        assert not t.record(JobState.FAILED)
+
+
+def test_success_policy():
+    t = make_tracker("now,success=1")
+    assert not t.record(JobState.FAILED)
+    assert t.record(JobState.SUCCEEDED)
+
+
+def test_done_policy_counts_both():
+    t = make_tracker("now,done=3")
+    t.record(JobState.SUCCEEDED)
+    t.record(JobState.FAILED)
+    assert t.record(JobState.SUCCEEDED)
+
+
+def test_timed_out_counts_as_failure():
+    t = make_tracker("now,fail=1")
+    assert t.record(JobState.TIMED_OUT)
+
+
+def test_should_retry_success_never():
+    job = Job(seq=1, args=("a",), attempt=1)
+    assert not should_retry(job, 0, retries=5)
+
+
+def test_should_retry_disabled_by_default():
+    job = Job(seq=1, args=("a",), attempt=1)
+    assert not should_retry(job, 1, retries=0)
+
+
+def test_should_retry_total_attempts_semantics():
+    """--retries 3 means at most 3 total runs (GNU Parallel semantics)."""
+    job = Job(seq=1, args=("a",), attempt=1)
+    assert should_retry(job, 1, retries=3)
+    job.attempt = 2
+    assert should_retry(job, 1, retries=3)
+    job.attempt = 3
+    assert not should_retry(job, 1, retries=3)
+
+
+def test_retries_one_means_run_once():
+    job = Job(seq=1, args=("a",), attempt=1)
+    assert not should_retry(job, 1, retries=1)

@@ -1,0 +1,89 @@
+"""Progress reporting (--bar analog)."""
+
+import io
+
+import pytest
+
+from repro import Parallel
+from repro.core.progress import Progress, ProgressBar
+
+
+# ---------------------------------------------------------------- Progress
+def test_fraction_and_eta():
+    p = Progress(done=25, failed=0, total=100, elapsed=5.0)
+    assert p.fraction == 0.25
+    assert p.rate == 5.0
+    assert p.eta_s == pytest.approx(15.0)
+
+
+def test_unknown_total():
+    p = Progress(done=10, failed=1, total=None, elapsed=2.0)
+    assert p.fraction is None and p.eta_s is None
+    assert p.rate == 5.0
+
+
+def test_zero_done_no_eta():
+    assert Progress(0, 0, 10, 1.0).eta_s is None
+
+
+def test_fraction_capped_at_one():
+    assert Progress(15, 0, 10, 1.0).fraction == 1.0
+
+
+# -------------------------------------------------------------- ProgressBar
+def test_bar_format_contents():
+    bar = ProgressBar(io.StringIO(), width=10)
+    line = bar.format(Progress(done=5, failed=2, total=10, elapsed=2.0))
+    assert "50%" in line
+    assert "5/10" in line
+    assert "2 failed" in line
+    assert "ETA" in line
+    assert line.startswith("[#####-----]")
+
+
+def test_bar_format_unbounded():
+    bar = ProgressBar(io.StringIO())
+    line = bar.format(Progress(done=7, failed=0, total=None, elapsed=1.0))
+    assert "7 done" in line
+
+
+def test_bar_throttles_renders():
+    out = io.StringIO()
+    bar = ProgressBar(out, min_interval=3600)  # effectively one render
+    for i in range(1, 50):
+        bar(Progress(done=i, failed=0, total=100, elapsed=0.001 * i))
+    assert bar.renders == 1
+
+
+def test_bar_always_renders_completion():
+    out = io.StringIO()
+    bar = ProgressBar(out, min_interval=3600)
+    bar(Progress(done=1, failed=0, total=2, elapsed=0.1))
+    bar(Progress(done=2, failed=0, total=2, elapsed=0.2))
+    assert bar.renders == 2
+    assert out.getvalue().endswith("\n")
+
+
+# ------------------------------------------------------------- integration
+def test_engine_invokes_progress_for_every_completion():
+    snapshots = []
+    p = Parallel(lambda x: x, jobs=2, progress=snapshots.append)
+    p.run(list("abcde"))
+    assert len(snapshots) == 5
+    assert snapshots[-1].done == 5
+    assert all(s.total == 5 for s in snapshots)
+    assert [s.done for s in snapshots] == sorted(s.done for s in snapshots)
+
+
+def test_engine_progress_counts_failures():
+    snapshots = []
+    Parallel("exit {}", jobs=1, progress=snapshots.append).run(["0", "1"])
+    assert snapshots[-1].failed == 1
+
+
+def test_engine_progress_with_bar_smoke():
+    out = io.StringIO()
+    summary = Parallel("true # {}", jobs=4,
+                       progress=ProgressBar(out, min_interval=0)).run(range(8))
+    assert summary.ok
+    assert "8/8" in out.getvalue()

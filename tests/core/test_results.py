@@ -1,0 +1,54 @@
+"""--results directory layout."""
+
+import os
+
+from repro.core.job import JobResult, JobState
+from repro.core.results import ResultsWriter, result_dir_for
+
+
+def result(seq, args, stdout="out\n", stderr=""):
+    return JobResult(
+        seq=seq, args=args, command="c", exit_code=0, stdout=stdout,
+        stderr=stderr, start_time=0, end_time=1, slot=1,
+        state=JobState.SUCCEEDED,
+    )
+
+
+def test_layout_single_source(tmp_path):
+    root = str(tmp_path / "res")
+    w = ResultsWriter(root)
+    d = w.write(result(1, ("alpha",)))
+    assert d == os.path.join(root, "1", "alpha")
+    assert open(os.path.join(d, "stdout")).read() == "out\n"
+    assert open(os.path.join(d, "seq")).read() == "1\n"
+
+
+def test_layout_two_sources_nested(tmp_path):
+    root = str(tmp_path / "res")
+    w = ResultsWriter(root)
+    d = w.write(result(1, ("a", "b")))
+    assert d == os.path.join(root, "1", "a", "2", "b")
+
+
+def test_stderr_captured(tmp_path):
+    root = str(tmp_path / "res")
+    w = ResultsWriter(root)
+    d = w.write(result(1, ("x",), stderr="oops\n"))
+    assert open(os.path.join(d, "stderr")).read() == "oops\n"
+
+
+def test_unsafe_values_sanitized(tmp_path):
+    root = str(tmp_path / "res")
+    assert result_dir_for(root, ("a/b",)) == os.path.join(root, "1", "a_b")
+    assert result_dir_for(root, ("..",)) == os.path.join(root, "1", "_.._")
+    w = ResultsWriter(root)
+    d = w.write(result(1, ("path/with/slashes",)))
+    assert os.path.isdir(d)
+
+
+def test_multiple_jobs_coexist(tmp_path):
+    root = str(tmp_path / "res")
+    w = ResultsWriter(root)
+    d1 = w.write(result(1, ("a",)))
+    d2 = w.write(result(2, ("b",)))
+    assert d1 != d2 and os.path.isdir(d1) and os.path.isdir(d2)

@@ -1,0 +1,80 @@
+"""Slot-pool semantics: the contract behind ``{%}``."""
+
+import threading
+
+import pytest
+
+from repro.core.slots import SlotPool
+from repro.errors import OptionsError
+
+
+def test_capacity_validation():
+    with pytest.raises(OptionsError):
+        SlotPool(0)
+
+
+def test_slots_granted_lowest_first():
+    pool = SlotPool(4)
+    assert [pool.acquire() for _ in range(4)] == [1, 2, 3, 4]
+
+
+def test_freed_slot_reused_lowest_first():
+    pool = SlotPool(3)
+    s1, s2, s3 = pool.acquire(), pool.acquire(), pool.acquire()
+    pool.release(s2)
+    pool.release(s1)
+    assert pool.acquire() == 1
+    assert pool.acquire() == 2
+
+
+def test_nonblocking_acquire_returns_none_when_exhausted():
+    pool = SlotPool(1)
+    pool.acquire()
+    assert pool.acquire(blocking=False) is None
+
+
+def test_release_out_of_range():
+    pool = SlotPool(2)
+    with pytest.raises(OptionsError):
+        pool.release(3)
+    with pytest.raises(OptionsError):
+        pool.release(0)
+
+
+def test_double_release_detected():
+    pool = SlotPool(2)
+    s = pool.acquire()
+    pool.release(s)
+    with pytest.raises(OptionsError):
+        pool.release(s)
+
+
+def test_in_use_counter():
+    pool = SlotPool(3)
+    assert pool.in_use == 0
+    a = pool.acquire()
+    pool.acquire()
+    assert pool.in_use == 2
+    pool.release(a)
+    assert pool.in_use == 1
+
+
+def test_slot_numbers_never_exceed_capacity_under_contention():
+    """With -j8, {%} must always be in 1..8 (GPU isolation relies on it)."""
+    pool = SlotPool(8)
+    seen = []
+    lock = threading.Lock()
+
+    def worker():
+        for _ in range(50):
+            s = pool.acquire()
+            with lock:
+                seen.append(s)
+            pool.release(s)
+
+    threads = [threading.Thread(target=worker) for _ in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert seen and all(1 <= s <= 8 for s in seen)

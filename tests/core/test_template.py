@@ -1,0 +1,151 @@
+"""Replacement-string semantics, checked against GNU Parallel's manual."""
+
+import pytest
+
+from repro.core.template import CommandTemplate
+from repro.errors import TemplateError
+
+
+def render(tmpl, *args, seq=1, slot=1):
+    return CommandTemplate(tmpl).render(tuple(args), seq=seq, slot=slot)
+
+
+# ------------------------------------------------------------ basic tokens
+def test_plain_substitution():
+    assert render("echo {}", "hello") == "echo hello"
+
+
+def test_extension_removal():
+    assert render("gzip {.}", "dir/file.txt") == "gzip dir/file"
+
+
+def test_extension_removal_only_last_extension():
+    assert render("x {.}", "a/b.tar.gz") == "x a/b.tar"
+
+
+def test_extension_removal_no_extension():
+    assert render("x {.}", "plainfile") == "x plainfile"
+
+
+def test_basename():
+    assert render("x {/}", "/path/to/file.txt") == "x file.txt"
+
+
+def test_dirname():
+    assert render("x {//}", "/path/to/file.txt") == "x /path/to"
+
+
+def test_basename_no_extension():
+    assert render("x {/.}", "/path/to/file.txt") == "x file"
+
+
+def test_seq_token():
+    assert render("echo {#}", "a", seq=17) == "echo 17"
+
+
+def test_slot_token():
+    assert render("echo {%}", "a", slot=5) == "echo 5"
+
+
+def test_gpu_isolation_idiom():
+    """The paper's Celeritas idiom: HIP_VISIBLE_DEVICES=$(({%} - 1))."""
+    cmd = 'HIP_VISIBLE_DEVICES="$(({%} - 1))" celer-sim {}'
+    out = CommandTemplate(cmd).render(("run1.inp.json",), seq=3, slot=7)
+    assert out == 'HIP_VISIBLE_DEVICES="$((7 - 1))" celer-sim run1.inp.json'
+
+
+def test_multiple_tokens_same_command():
+    assert (
+        render("convert {} {.}.png", "img.jpg") == "convert img.jpg img.png"
+    )
+
+
+# ------------------------------------------------------- positional tokens
+def test_positional_tokens():
+    out = CommandTemplate("merge {1} {2}").render(("a.txt", "b.txt"))
+    assert out == "merge a.txt b.txt"
+
+
+def test_positional_with_ops():
+    out = CommandTemplate("x {2/.} {1//}").render(("/d/a.c", "/e/b.h"))
+    assert out == "x b /d"
+
+
+def test_positional_out_of_range():
+    with pytest.raises(TemplateError):
+        CommandTemplate("echo {3}").render(("a", "b"))
+
+
+def test_braces_without_token_left_alone():
+    # Shell constructs like ${ts} and {1..12} must not be mangled.
+    assert render("echo ${ts} {}", "x") == "echo ${ts} x"
+    assert render("echo {1..12} {}", "x") == "echo {1..12} x"
+
+
+# --------------------------------------------------------- implicit append
+def test_implicit_append_when_no_token():
+    assert render("echo", "val") == "echo val"
+
+
+def test_no_implicit_append_when_seq_only():
+    # GNU Parallel appends {} only when NO replacement string is present;
+    # {#} counts as a replacement string, so nothing is appended here.
+    out = render("echo {#}", "val", seq=2)
+    assert out == "echo 2"
+
+
+def test_implicit_append_disabled():
+    t = CommandTemplate("echo hi", implicit_append=False)
+    assert t.render(("val",)) == "echo hi"
+
+
+# -------------------------------------------------------------- argv mode
+def test_argv_mode_renders_per_word():
+    t = CommandTemplate(["cp", "{}", "{.}.bak"])
+    assert t.render_argv(("a.txt",)) == ["cp", "a.txt", "a.bak"]
+
+
+def test_argv_mode_implicit_append():
+    t = CommandTemplate(["echo"])
+    assert t.render_argv(("x",)) == ["echo", "x"]
+
+
+def test_argv_mode_render_string_quotes():
+    t = CommandTemplate(["echo", "{}"])
+    assert t.render(("two words",)) == "echo 'two words'"
+
+
+def test_render_argv_on_string_template_rejected():
+    with pytest.raises(TemplateError):
+        CommandTemplate("echo {}").render_argv(("a",))
+
+
+def test_empty_argv_rejected():
+    with pytest.raises(TemplateError):
+        CommandTemplate([])
+
+
+# ----------------------------------------------------------- multi-source
+def test_brace_all_args_joined():
+    out = CommandTemplate("echo {}").render(("a", "b"))
+    assert out == "echo a b"
+
+
+# ------------------------------------------------------------------ misc
+def test_perl_expressions_rejected():
+    with pytest.raises(TemplateError):
+        CommandTemplate("echo {= s/x/y/ =}")
+
+
+def test_positional_seq_is_invalid():
+    with pytest.raises(TemplateError):
+        CommandTemplate("echo {3#}")
+
+
+def test_uses_slot_flag():
+    assert CommandTemplate("echo {%}").uses_slot
+    assert not CommandTemplate("echo {}").uses_slot
+
+
+def test_source_property():
+    assert CommandTemplate("echo {}").source == "echo {}"

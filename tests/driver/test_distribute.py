@@ -1,0 +1,69 @@
+"""Listing-1 sharding semantics (awk 'NR % NNODE == NODEID')."""
+
+import pytest
+
+from repro.driver import shard_block, shard_cyclic, shard_sizes
+from repro.errors import ReproError
+
+
+def test_cyclic_matches_awk_one_based_nr():
+    lines = [f"l{i}" for i in range(1, 9)]  # NR = 1..8
+    # awk with NNODE=4: NODEID = NR % 4
+    assert list(shard_cyclic(lines, 4, 1)) == ["l1", "l5"]
+    assert list(shard_cyclic(lines, 4, 2)) == ["l2", "l6"]
+    assert list(shard_cyclic(lines, 4, 3)) == ["l3", "l7"]
+    assert list(shard_cyclic(lines, 4, 0)) == ["l4", "l8"]
+
+
+def test_cyclic_partition_is_complete_and_disjoint():
+    lines = list(range(103))
+    shards = [list(shard_cyclic(lines, 7, i)) for i in range(7)]
+    flat = [x for s in shards for x in s]
+    assert sorted(flat) == lines
+    assert len(flat) == len(set(flat))
+
+
+def test_cyclic_single_node_gets_everything():
+    assert list(shard_cyclic("abc", 1, 0)) == ["a", "b", "c"]
+
+
+def test_cyclic_streams_lazily():
+    def unbounded():
+        i = 0
+        while True:
+            yield i
+            i += 1
+
+    gen = shard_cyclic(unbounded(), 10, 3)
+    assert [next(gen) for _ in range(3)] == [2, 12, 22]  # NR=3,13,23
+
+
+def test_cyclic_validation():
+    with pytest.raises(ReproError):
+        list(shard_cyclic([1], 0, 0))
+    with pytest.raises(ReproError):
+        list(shard_cyclic([1], 4, 4))
+
+
+def test_block_partition_complete():
+    items = list(range(10))
+    shards = [shard_block(items, 3, i) for i in range(3)]
+    assert shards == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+
+def test_block_even_split():
+    items = list(range(8))
+    shards = [shard_block(items, 4, i) for i in range(4)]
+    assert [len(s) for s in shards] == [2, 2, 2, 2]
+
+
+def test_shard_sizes_balanced():
+    sizes = shard_sizes(1_152_000, 9000)  # Fig. 1's 9,000-node run
+    assert sum(sizes) == 1_152_000
+    assert max(sizes) - min(sizes) <= 1
+    assert sizes[0] == 128  # 128 tasks per node
+
+
+def test_shard_sizes_validation():
+    with pytest.raises(ReproError):
+        shard_sizes(-1, 4)

@@ -1,0 +1,82 @@
+"""Local multi-instance sharded runs (Listing 1 on one machine)."""
+
+import pytest
+
+from repro.core.engine import Parallel
+from repro.driver import run_local_sharded
+from repro.errors import ReproError
+
+
+def test_all_inputs_processed_once():
+    run = run_local_sharded(lambda x: x, list(range(30)), n_instances=4,
+                            jobs_per_instance=4)
+    assert run.ok
+    assert run.n_succeeded == 30
+    values = sorted(int(r.value) for r in run.results)
+    assert values == list(range(30))
+
+
+def test_shell_command_across_instances():
+    run = run_local_sharded("echo {}", list("abcdef"), n_instances=3,
+                            jobs_per_instance=2)
+    assert run.ok
+    outs = sorted(r.stdout.strip() for r in run.results)
+    assert outs == list("abcdef")
+
+
+def test_failures_reported_not_raised():
+    run = run_local_sharded("exit {}", ["0", "1", "0", "1"], n_instances=2,
+                            jobs_per_instance=2)
+    assert not run.ok
+    assert run.n_failed == 2
+    assert run.n_succeeded == 2
+
+
+def test_more_instances_than_inputs():
+    run = run_local_sharded(lambda x: x, ["only"], n_instances=8,
+                            jobs_per_instance=1)
+    assert run.ok and run.n_succeeded == 1
+
+
+def test_engine_factory_override():
+    seen = []
+
+    def factory(instance):
+        return Parallel(lambda x: seen.append((instance, x)), jobs=1)
+
+    run = run_local_sharded(None, list(range(8)), n_instances=2,
+                            engine_factory=factory)
+    assert run.ok
+    instances = {i for i, _ in seen}
+    assert instances == {0, 1}
+
+
+def test_validation():
+    with pytest.raises(ReproError):
+        run_local_sharded("echo {}", ["a"], n_instances=0)
+
+
+def test_wall_time_and_rate_metrics():
+    run = run_local_sharded("true # {}", list(range(24)), n_instances=3,
+                            jobs_per_instance=4)
+    assert run.wall_time > 0
+    assert run.aggregate_launch_rate > 5
+
+
+def test_memfree_throttle_blocks_until_memory_frees():
+    import time
+
+    values = iter([10, 10, 10**12])
+    last = [10**12]
+
+    def probe():
+        last[0] = next(values, last[0])
+        return last[0]
+
+    from repro import Options, Parallel
+
+    opts = Options(jobs=1, memfree=1024, memfree_probe=probe)
+    start = time.time()
+    summary = Parallel("echo {}", options=opts).run(["a"])
+    assert summary.ok
+    assert time.time() - start >= 0.08  # throttled twice at 50 ms

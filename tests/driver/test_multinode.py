@@ -1,0 +1,103 @@
+"""Multi-node simulated runs: detailed vs batch fidelity and basic shape."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FRONTIER, MachineSpec, SimMachine
+from repro.driver import run_multinode, run_multinode_batch
+from repro.sim import Environment
+from repro.simengine import SimTask
+from repro.slurm import Allocation
+
+# A Frontier variant with no stochastic delays, for exact comparisons.
+FRONTIER_CALM = MachineSpec(
+    name="frontier-calm",
+    node=FRONTIER.node,
+    total_nodes=64,
+    alloc_delay_mean=1e-9,
+    straggler_prob=0.0,
+)
+
+
+def test_detailed_multinode_runs_all_tasks():
+    env = Environment()
+    machine = SimMachine(env, FRONTIER_CALM, with_lustre=False)
+    alloc = Allocation(machine, 4)
+    inputs = list(range(4 * 16))
+    run = run_multinode(
+        alloc, inputs, lambda item, nid: SimTask(duration=0.01), jobs_per_node=16
+    )
+    assert run.n_tasks == 64
+    assert run.makespan > 0
+    assert len(run.node_makespans) == 4
+
+
+def test_detailed_distributes_across_all_nodes():
+    env = Environment()
+    machine = SimMachine(env, FRONTIER_CALM, with_lustre=False)
+    alloc = Allocation(machine, 4)
+    run = run_multinode(
+        alloc, list(range(40)), lambda i, n: SimTask(duration=0.0), jobs_per_node=8
+    )
+    nodes_used = {r.node for r in run.results}
+    assert len(nodes_used) == 4
+
+
+def test_batch_matches_detailed_on_calm_machine():
+    durations = np.full(32, 0.05)
+
+    env1 = Environment()
+    m1 = SimMachine(env1, FRONTIER_CALM, with_lustre=False, seed=3)
+    a1 = Allocation(m1, 2)
+    detailed = run_multinode(
+        a1, list(range(64)),
+        lambda item, nid: SimTask(duration=0.05),
+        jobs_per_node=128,
+    )
+
+    env2 = Environment()
+    m2 = SimMachine(env2, FRONTIER_CALM, with_lustre=False, seed=3)
+    a2 = Allocation(m2, 2)
+    batch = run_multinode_batch(
+        a2, tasks_per_node=32,
+        duration_sampler=lambda rng, n: np.full(n, 0.05),
+        jobs_per_node=128,
+    )
+    assert batch.n_tasks == detailed.n_tasks
+    # Same allocation seed -> same ready times -> same completion times.
+    np.testing.assert_allclose(
+        np.sort(batch.completion_times),
+        np.sort(detailed.completion_times),
+        rtol=1e-9,
+    )
+
+
+def test_batch_stage_out_adds_lustre_transfer():
+    env = Environment()
+    machine = SimMachine(env, FRONTIER_CALM, with_lustre=True, seed=1)
+    alloc = Allocation(machine, 2)
+    run = run_multinode_batch(
+        alloc, tasks_per_node=8,
+        duration_sampler=lambda rng, n: np.zeros(n),
+        jobs_per_node=8,
+        stage_out_bytes=10**9,
+        nvme_write_bytes=10**6,
+    )
+    assert machine.lustre.n_writes == 2
+    assert run.makespan >= run.completion_times.max()
+
+
+def test_stragglers_extend_makespan():
+    noisy = MachineSpec(
+        name="noisy", node=FRONTIER.node, total_nodes=64,
+        alloc_delay_mean=1.0, straggler_prob=0.5, straggler_scale=100.0,
+    )
+    env = Environment()
+    machine = SimMachine(env, noisy, with_lustre=False, seed=0)
+    alloc = Allocation(machine, 32)
+    run = run_multinode_batch(
+        alloc, tasks_per_node=4,
+        duration_sampler=lambda rng, n: np.zeros(n),
+        jobs_per_node=4,
+    )
+    assert run.makespan > 50.0  # dominated by straggler delays

@@ -1,0 +1,66 @@
+"""Node-failure injection and rebalancing in multi-node batch runs."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FRONTIER, MachineSpec, SimMachine
+from repro.driver import run_multinode_batch
+from repro.errors import SimulationError
+from repro.sim import Environment
+from repro.slurm import Allocation
+
+CALM = MachineSpec(
+    name="calm", node=FRONTIER.node, total_nodes=64,
+    alloc_delay_mean=1e-9, straggler_prob=0.0,
+)
+
+
+def run(n_nodes=8, tasks=32, failure=0.0, rebalance=True, seed=0):
+    env = Environment()
+    machine = SimMachine(env, CALM, with_lustre=False, seed=seed)
+    alloc = Allocation(machine, n_nodes)
+    return run_multinode_batch(
+        alloc,
+        tasks_per_node=tasks,
+        duration_sampler=lambda rng, n: np.full(n, 0.2),
+        jobs_per_node=8,
+        node_failure_prob=failure,
+        rebalance=rebalance,
+    )
+
+
+def test_no_failures_all_tasks_complete():
+    result = run(failure=0.0)
+    assert result.n_tasks == 8 * 32
+
+
+def test_failures_without_rebalance_lose_tasks():
+    # Certain failure on every node: each node loses its post-crash tail.
+    result = run(failure=1.0, rebalance=False, seed=3)
+    assert result.n_tasks < 8 * 32
+
+
+def test_rebalance_recovers_every_task():
+    lossy = run(failure=0.5, rebalance=False, seed=4)
+    recovered = run(failure=0.5, rebalance=True, seed=4)
+    assert lossy.n_tasks < 8 * 32
+    assert recovered.n_tasks == 8 * 32
+
+
+def test_rebalance_costs_wall_clock():
+    clean = run(failure=0.0, seed=5)
+    recovered = run(failure=0.5, rebalance=True, seed=5)
+    assert recovered.makespan > clean.makespan
+
+
+def test_all_nodes_failing_is_an_error():
+    with pytest.raises(SimulationError):
+        run(failure=1.0, rebalance=True, seed=6)
+
+
+def test_failure_draws_deterministic_per_seed():
+    a = run(failure=0.5, rebalance=True, seed=7)
+    b = run(failure=0.5, rebalance=True, seed=7)
+    np.testing.assert_array_equal(
+        np.sort(a.completion_times), np.sort(b.completion_times)
+    )

@@ -1,0 +1,69 @@
+"""GPU device pool and the {%} -> device mapping."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.gpu import (
+    GpuBusyError,
+    GpuPool,
+    parse_visible_devices,
+    slot_to_device,
+)
+
+
+def test_pool_size():
+    assert len(GpuPool(8)) == 8
+    assert len(GpuPool(0)) == 0
+    with pytest.raises(ReproError):
+        GpuPool(-1)
+
+
+def test_claim_release_cycle():
+    pool = GpuPool(2)
+    d = pool.device(0)
+    d.claim("job1")
+    assert d.busy and pool.busy_count == 1
+    d.release("job1")
+    assert not d.busy and d.tasks_completed == 1
+
+
+def test_double_claim_raises():
+    d = GpuPool(1).device(0)
+    d.claim("job1")
+    with pytest.raises(GpuBusyError):
+        d.claim("job2")
+
+
+def test_release_by_wrong_owner_raises():
+    d = GpuPool(1).device(0)
+    d.claim("job1")
+    with pytest.raises(GpuBusyError):
+        d.release("job2")
+
+
+def test_device_index_out_of_range():
+    with pytest.raises(ReproError):
+        GpuPool(2).device(5)
+
+
+def test_slot_to_device_is_slot_minus_one():
+    # HIP_VISIBLE_DEVICES=$(({%} - 1)) with -j8 on an 8-GPU node.
+    assert [slot_to_device(s, 8) for s in range(1, 9)] == list(range(8))
+
+
+def test_slot_to_device_rejects_oversubscription():
+    with pytest.raises(ReproError):
+        slot_to_device(9, 8)  # -j9 on an 8-GPU node would double-book
+
+
+def test_slot_to_device_rejects_bad_slot():
+    with pytest.raises(ReproError):
+        slot_to_device(0, 8)
+
+
+def test_parse_visible_devices():
+    assert parse_visible_devices("3") == [3]
+    assert parse_visible_devices("0,1,2") == [0, 1, 2]
+    assert parse_visible_devices("") == []
+    with pytest.raises(ReproError):
+        parse_visible_devices("a,b")

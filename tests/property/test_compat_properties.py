@@ -1,0 +1,84 @@
+"""Property-based tests for brace expansion and pipe-mode splitting."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compat import brace_expand
+from repro.core.pipemode import split_blocks, split_records
+
+plain_word = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126,
+                           blacklist_characters="{},"),
+    max_size=12,
+)
+
+
+@given(plain_word)
+def test_braceless_words_expand_to_themselves(word):
+    assert brace_expand(word) == [word]
+
+
+@given(st.integers(min_value=-50, max_value=50), st.integers(min_value=-50, max_value=50))
+def test_numeric_sequence_matches_range(lo, hi):
+    got = brace_expand(f"{{{lo}..{hi}}}")
+    step = 1 if lo <= hi else -1
+    assert got == [str(v) for v in range(lo, hi + step, step)]
+
+
+@given(st.lists(plain_word, min_size=2, max_size=5))
+def test_comma_list_matches_parts(parts):
+    got = brace_expand("{" + ",".join(parts) + "}")
+    assert got == parts
+
+
+@given(st.lists(plain_word.filter(bool), min_size=2, max_size=3),
+       st.lists(plain_word.filter(bool), min_size=2, max_size=3))
+def test_two_groups_cartesian_product(a, b):
+    got = brace_expand("{" + ",".join(a) + "}{" + ",".join(b) + "}")
+    expected = [x + y for x, y in itertools.product(a, b)]
+    assert got == expected
+
+
+@given(plain_word, st.integers(min_value=1, max_value=9),
+       st.integers(min_value=1, max_value=9))
+def test_prefix_suffix_distribute(prefix, lo_n, count):
+    hi = lo_n + count - 1
+    got = brace_expand(f"{prefix}{{{lo_n}..{hi}}}.x")
+    assert got == [f"{prefix}{v}.x" for v in range(lo_n, hi + 1)]
+
+
+# ------------------------------------------------------------ pipe splitting
+lines_strategy = st.lists(
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=30),
+    max_size=40,
+)
+
+
+@given(lines_strategy, st.integers(min_value=1, max_value=10))
+@settings(max_examples=80)
+def test_split_records_concatenation_identity(lines, n):
+    text = "\n".join(lines)
+    blocks = list(split_records(text, n))
+    expected = "".join(ln + "\n" for ln in text.splitlines())
+    assert "".join(blocks) == expected
+
+
+@given(lines_strategy, st.integers(min_value=1, max_value=200))
+@settings(max_examples=80)
+def test_split_blocks_concatenation_identity(lines, block_bytes):
+    text = "\n".join(lines)
+    blocks = list(split_blocks(text, block_bytes))
+    expected = "".join(ln + "\n" for ln in text.splitlines())
+    assert "".join(blocks) == expected
+
+
+@given(lines_strategy, st.integers(min_value=1, max_value=10))
+def test_split_records_block_sizes(lines, n):
+    text = "\n".join(lines)
+    blocks = list(split_records(text, n))
+    for b in blocks[:-1]:
+        assert b.count("\n") == n
+    if blocks:
+        assert 1 <= blocks[-1].count("\n") <= n

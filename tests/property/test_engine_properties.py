@@ -1,0 +1,74 @@
+"""Property-based tests for engine-level invariants (callable backend)."""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Options, Parallel
+from repro.core.job import JobResult, JobState
+from repro.core.options import HaltSpec
+from repro.core.output import OutputSequencer
+
+items_strategy = st.lists(
+    st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1, max_size=10),
+    min_size=0,
+    max_size=25,
+)
+
+
+@given(items_strategy, st.integers(min_value=1, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_map_preserves_input_order_and_values(items, jobs):
+    result = Parallel(lambda x: x + "!", jobs=jobs).map(items)
+    assert result == [x + "!" for x in items]
+
+
+@given(items_strategy, st.integers(min_value=1, max_value=6))
+@settings(max_examples=25, deadline=None)
+def test_every_input_dispatched_exactly_once(items, jobs):
+    seen = []
+    lock = threading.Lock()
+
+    def record(x):
+        with lock:
+            seen.append(x)
+
+    summary = Parallel(record, jobs=jobs).run(items)
+    assert summary.n_dispatched == len(items)
+    assert sorted(seen) == sorted(items)
+    assert {r.seq for r in summary.results} == set(range(1, len(items) + 1))
+
+
+@given(st.permutations(list(range(1, 13))))
+def test_output_sequencer_emits_in_order_for_any_completion_order(order):
+    emitted = []
+    seq = OutputSequencer(lambda r, t: emitted.append(r.seq), Options(keep_order=True))
+    for s in order:
+        seq.push(
+            JobResult(seq=s, args=(str(s),), command="c", exit_code=0,
+                      start_time=0, end_time=1, slot=1, state=JobState.SUCCEEDED)
+        )
+    assert emitted == sorted(order)
+    assert seq.pending == 0
+
+
+halt_counts = st.integers(min_value=1, max_value=99)
+
+
+@given(
+    st.sampled_from(["now", "soon"]),
+    st.sampled_from(["fail", "success", "done"]),
+    halt_counts,
+)
+def test_halt_spec_parse_roundtrip(when, what, n):
+    spec = HaltSpec.parse(f"{when},{what}={n}")
+    assert spec.when == when and spec.what == what
+    assert spec.threshold == float(n) and not spec.percent
+
+
+@given(st.sampled_from(["fail", "success", "done"]), st.integers(min_value=1, max_value=100))
+def test_halt_spec_percent_roundtrip(what, pct):
+    spec = HaltSpec.parse(f"soon,{what}={pct}%")
+    assert spec.percent and spec.threshold == pct / 100.0

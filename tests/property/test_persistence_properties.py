@@ -1,0 +1,68 @@
+"""Property-based tests for persistence layers (joblog, results tree)."""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import JobResult, JobState
+from repro.core.joblog import JoblogWriter, read_joblog
+from repro.core.results import result_dir_for
+
+command_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=1, max_size=60
+)
+arg_text = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=20
+)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=10**6),  # seq
+            st.integers(min_value=0, max_value=255),  # exit code
+            command_text,
+        ),
+        min_size=0,
+        max_size=20,
+        unique_by=lambda t: t[0],
+    )
+)
+@settings(max_examples=60)
+def test_joblog_roundtrip_preserves_every_entry(tmp_path_factory, entries):
+    tmp = tmp_path_factory.mktemp("joblog")
+    path = str(tmp / "log")
+    with JoblogWriter(path) as w:
+        for seq, code, cmd in entries:
+            w.write(
+                JobResult(
+                    seq=seq, args=("x",), command=cmd, exit_code=code,
+                    start_time=1.0, end_time=2.0, slot=1, host="h",
+                    state=JobState.SUCCEEDED if code == 0 else JobState.FAILED,
+                )
+            )
+    parsed = read_joblog(path)
+    assert len(parsed) == len(entries)
+    for (seq, code, cmd), entry in zip(entries, parsed):
+        assert entry.seq == seq
+        assert entry.exitval == code
+        # Tabs/newlines sanitized to spaces; everything else preserved.
+        assert entry.command == cmd.replace("\t", " ").replace("\n", " ")
+
+
+@given(st.lists(arg_text, min_size=1, max_size=4))
+def test_result_dir_paths_are_safe_and_unique_per_args(args):
+    root = "/root/results"
+    path = result_dir_for(root, tuple(args))
+    assert path.startswith(root + os.sep)
+    rel = os.path.relpath(path, root)
+    # No path traversal and exactly two components per input source.
+    assert ".." not in rel.split(os.sep)
+    assert len(rel.split(os.sep)) == 2 * len(args)
+
+
+@given(arg_text, arg_text)
+def test_result_dirs_distinct_for_distinct_single_args(a, b):
+    if a != b and a.replace("/", "_") != b.replace("/", "_"):
+        assert result_dir_for("/r", (a,)) != result_dir_for("/r", (b,))

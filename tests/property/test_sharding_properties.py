@@ -1,0 +1,47 @@
+"""Property-based tests for the Listing-1 driver sharding."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.driver import shard_block, shard_cyclic, shard_sizes
+
+
+@given(st.lists(st.integers(), max_size=300), st.integers(min_value=1, max_value=20))
+def test_cyclic_shards_partition_the_input(items, nnodes):
+    shards = [list(shard_cyclic(items, nnodes, i)) for i in range(nnodes)]
+    flat = [x for s in shards for x in s]
+    assert sorted(flat) == sorted(items)
+    assert sum(len(s) for s in shards) == len(items)
+
+
+@given(st.lists(st.integers(), max_size=300), st.integers(min_value=1, max_value=20))
+def test_cyclic_shards_balanced_within_one(items, nnodes):
+    sizes = [len(list(shard_cyclic(items, nnodes, i))) for i in range(nnodes)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(st.lists(st.integers(), max_size=300), st.integers(min_value=1, max_value=20))
+def test_block_shards_partition_and_preserve_order(items, nnodes):
+    shards = [shard_block(items, nnodes, i) for i in range(nnodes)]
+    flat = [x for s in shards for x in s]
+    assert flat == items  # block sharding preserves global order
+    sizes = [len(s) for s in shards]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=50))
+def test_shard_sizes_agree_with_actual_shards(n_items, nnodes):
+    items = list(range(n_items))
+    expected = shard_sizes(n_items, nnodes)
+    actual = [len(list(shard_cyclic(items, nnodes, i))) for i in range(nnodes)]
+    assert expected == actual
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=100),
+       st.integers(min_value=1, max_value=10))
+def test_cyclic_each_node_preserves_relative_order(items, nnodes):
+    for i in range(nnodes):
+        shard = list(shard_cyclic(items, nnodes, i))
+        positions = [items.index(x) for x in shard] if len(set(items)) == len(items) else None
+        if positions is not None:
+            assert positions == sorted(positions)

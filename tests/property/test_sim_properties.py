@@ -1,0 +1,95 @@
+"""Property-based tests for simulation-kernel invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, FairShareLink, RateStation, Resource
+from repro.simengine import batch_completion_times
+
+durations = st.lists(
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False), min_size=0, max_size=60
+)
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20),
+    st.floats(min_value=0.5, max_value=1000.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_fair_share_link_conserves_work(sizes, rate):
+    """Makespan of simultaneous flows == total work / rate (work conservation)."""
+    env = Environment()
+    link = FairShareLink(env, rate=rate)
+    done = []
+
+    def proc(size):
+        yield link.transfer(size)
+        done.append(env.now)
+
+    for s in sizes:
+        env.process(proc(s))
+    env.run()
+    assert len(done) == len(sizes)
+    assert max(done) <= sum(sizes) / rate * (1 + 1e-9) + 1e-6
+    assert max(done) >= max(sizes) / rate * (1 - 1e-9) - 1e-6
+    np.testing.assert_allclose(link.total_transferred, sum(sizes), rtol=1e-9)
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.lists(st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_never_oversubscribed(capacity, hold_times):
+    env = Environment()
+    res = Resource(env, capacity)
+    peak = [0]
+
+    def worker(hold):
+        req = res.request()
+        yield req
+        peak[0] = max(peak[0], res.count)
+        yield env.timeout(hold)
+        res.release(req)
+
+    for h in hold_times:
+        env.process(worker(h))
+    env.run()
+    assert peak[0] <= capacity
+    assert res.count == 0  # everything released
+
+
+@given(st.integers(min_value=1, max_value=50), st.floats(min_value=1.0, max_value=1000.0))
+@settings(max_examples=60, deadline=None)
+def test_rate_station_throughput_exact(n, rate):
+    """n serialized services at `rate` ops/s finish at exactly n/rate."""
+    env = Environment()
+    station = RateStation(env, rate)
+    last = []
+
+    def proc():
+        yield station.serve()
+        last.append(env.now)
+
+    for _ in range(n):
+        env.process(proc())
+    env.run()
+    assert len(last) == n
+    np.testing.assert_allclose(max(last), n / rate, rtol=1e-9)
+
+
+@given(durations, st.integers(min_value=1, max_value=300))
+@settings(max_examples=80, deadline=None)
+def test_batch_model_invariants(durs, jobs):
+    arr = np.array(durs)
+    times = batch_completion_times(arr, jobs=jobs)
+    assert times.shape == arr.shape
+    if arr.size:
+        # Every task finishes after its own duration + one dispatch + fork.
+        assert (times >= arr + 1.0 / 470.0).all()
+        # Dispatcher serialization lower-bounds the last completion.
+        assert times.max() >= arr.size / 470.0 - 1e-9
+        # Adding a slot can never slow the batch down.
+        more = batch_completion_times(arr, jobs=jobs + 1)
+        assert more.max() <= times.max() + 1e-9

@@ -1,0 +1,74 @@
+"""Property-based tests for the replacement-string engine."""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.template import CommandTemplate
+
+# Literal text that cannot form a replacement token or confuse the lexer.
+literal_text = st.text(
+    alphabet=st.characters(blacklist_characters="{}", blacklist_categories=("Cs",)),
+    min_size=0,
+    max_size=30,
+)
+
+# Argument values: printable, no surrogates.
+arg_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    min_size=0,
+    max_size=40,
+)
+
+
+@given(literal_text)
+def test_literal_templates_pass_through_unchanged(text):
+    """A template with no tokens renders as itself + the appended input."""
+    t = CommandTemplate(text if text.strip() else text + "cmd")
+    out = t.render(("ARG",))
+    assert out.endswith("ARG")
+    assert out[: -len(" ARG")] == (text if text.strip() else text + "cmd")
+
+
+@given(arg_values)
+def test_brace_substitution_is_exact(value):
+    out = CommandTemplate("x {} y").render((value,))
+    assert out == f"x {value} y"
+
+
+@given(arg_values)
+def test_path_ops_consistent_with_os_path(value):
+    t = CommandTemplate("{/}|{//}|{.}|{/.}")
+    base, dirname = os.path.basename(value), os.path.dirname(value)
+    root, _ = os.path.splitext(value)
+    broot, _ = os.path.splitext(base)
+    assert t.render((value,)) == f"{base}|{dirname}|{root}|{broot}"
+
+
+@given(st.integers(min_value=1, max_value=10**9), st.integers(min_value=1, max_value=4096))
+def test_seq_and_slot_render_as_decimal(seq, slot):
+    out = CommandTemplate("{#}:{%}").render(("x",), seq=seq, slot=slot)
+    assert out == f"{seq}:{slot}"
+
+
+@given(st.lists(arg_values, min_size=1, max_size=5))
+def test_positional_tokens_extract_each_source(args):
+    tmpl = " ".join(f"{{{i + 1}}}" for i in range(len(args)))
+    out = CommandTemplate(tmpl).render(tuple(args))
+    assert out == " ".join(args)
+
+
+@given(literal_text, arg_values)
+@settings(max_examples=50)
+def test_render_is_deterministic(text, value):
+    t = CommandTemplate(text + " {}")
+    assert t.render((value,)) == t.render((value,))
+
+
+@given(st.lists(arg_values, min_size=1, max_size=3))
+def test_argv_mode_quoting_roundtrips(args):
+    """Argv-mode render_argv never merges or splits arguments."""
+    t = CommandTemplate(["prog", *["{%d}" % (i + 1) for i in range(len(args))]])
+    argv = t.render_argv(tuple(args))
+    assert argv == ["prog", *args]

@@ -1,0 +1,70 @@
+"""Property-based tests for workload substrates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.celeritas import TransportConfig, transport
+from repro.workloads.darshan import DarshanRecord
+from repro.workloads.fetchprocess import brightness_metric
+from repro.workloads.forge import clean_text, is_english
+
+safe_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=300
+)
+
+
+@given(safe_text)
+@settings(max_examples=100)
+def test_clean_text_idempotent(text):
+    once = clean_text(text)
+    assert clean_text(once) == once
+
+
+@given(safe_text)
+def test_clean_text_strips_control_chars(text):
+    cleaned = clean_text(text)
+    assert not any(ord(c) < 32 and c != "\n" for c in cleaned)
+
+
+@given(safe_text)
+def test_is_english_total_function(text):
+    assert is_english(text) in (True, False)
+
+
+@given(
+    st.integers(min_value=0, max_value=10**7),
+    st.text(alphabet="abcdefghijklmnop_", min_size=1, max_size=12),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=4096),
+    st.sampled_from(["POSIX", "MPIIO", "STDIO", "LUSTRE"]),
+    st.integers(min_value=0, max_value=2**60),
+    st.integers(min_value=0, max_value=2**60),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_darshan_record_line_roundtrip(job, app, month, nprocs, module, br, bw, fo):
+    rec = DarshanRecord(job, app, month, nprocs, module, br, bw, fo, 12.25)
+    assert DarshanRecord.from_line(rec.to_line()) == rec
+
+
+@given(
+    st.integers(min_value=100, max_value=5000),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_transport_conserves_particles_and_energy(n_photons, seed):
+    result = transport(TransportConfig(n_photons=n_photons, seed=seed, max_steps=50))
+    assert result.balance_ok
+    assert result.total_deposited >= 0.0
+    # Full energy ledger: deposited + escaped + killed == source energy.
+    assert result.energy_balance_ok(n_photons * 1.0, rtol=1e-6)
+
+
+@given(
+    st.integers(min_value=2, max_value=32),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_brightness_metric_bounded(size, fill):
+    img = np.full((size, size), fill)
+    v = brightness_metric(img)
+    assert 0.0 <= v <= 100.0

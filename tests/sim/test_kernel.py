@@ -1,0 +1,382 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import InterruptError, SimulationError
+from repro.sim import Environment, all_of, any_of
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_initial_time():
+    env = Environment(initial_time=100.0)
+    assert env.now == 100.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    seen = []
+
+    def proc():
+        yield env.timeout(5)
+        seen.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert seen == [5.0]
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+    got = []
+
+    def proc():
+        v = yield env.timeout(1, value="payload")
+        got.append(v)
+
+    env.process(proc())
+    env.run()
+    assert got == ["payload"]
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        order.append((name, env.now))
+
+    env.process(proc("b", 2))
+    env.process(proc("a", 1))
+    env.process(proc("c", 3))
+    env.run()
+    assert order == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+
+def test_simultaneous_events_fifo_deterministic():
+    env = Environment()
+    order = []
+
+    def proc(name):
+        yield env.timeout(1)
+        order.append(name)
+
+    for name in "abcde":
+        env.process(proc(name))
+    env.run()
+    assert order == list("abcde")
+
+
+def test_process_return_value_via_run_until():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3)
+        return 42
+
+    p = env.process(proc())
+    assert env.run(until=p) == 42
+    assert env.now == 3.0
+
+
+def test_wait_on_other_process():
+    env = Environment()
+    log = []
+
+    def child():
+        yield env.timeout(2)
+        return "child-done"
+
+    def parent():
+        result = yield env.process(child())
+        log.append((env.now, result))
+
+    env.process(parent())
+    env.run()
+    assert log == [(2.0, "child-done")]
+
+
+def test_wait_on_already_finished_process():
+    env = Environment()
+    log = []
+
+    def child():
+        yield env.timeout(1)
+        return "v"
+
+    def parent(p):
+        yield env.timeout(5)
+        result = yield p  # already processed
+        log.append((env.now, result))
+
+    p = env.process(child())
+    env.process(parent(p))
+    env.run()
+    assert log == [(5.0, "v")]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=25)
+    assert env.now == 25.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=50)
+    with pytest.raises(SimulationError):
+        env.run(until=10)
+
+
+def test_event_succeed_once_only():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    caught = []
+
+    def trigger(ev):
+        yield env.timeout(1)
+        ev.fail(ValueError("boom"))
+
+    def waiter(ev):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    ev = env.event()
+    env.process(trigger(ev))
+    env.process(waiter(ev))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_propagates_from_run():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(proc())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_exception_in_awaited_child_reraised_in_parent():
+    env = Environment()
+    caught = []
+
+    def child():
+        yield env.timeout(1)
+        raise KeyError("k")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except KeyError:
+            caught.append(env.now)
+
+    env.process(parent())
+    env.run()
+    assert caught == [1.0]
+
+
+def test_interrupt_raises_interrupt_error_with_cause():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except InterruptError as exc:
+            log.append((env.now, exc.cause))
+
+    def interrupter(p):
+        yield env.timeout(3)
+        p.interrupt(cause="preempted")
+
+    p = env.process(victim())
+    env.process(interrupter(p))
+    env.run()
+    assert log == [(3.0, "preempted")]
+
+
+def test_interrupt_finished_process_is_error():
+    env = Environment()
+
+    def victim():
+        yield env.timeout(1)
+
+    def interrupter(p):
+        yield env.timeout(5)
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    p = env.process(victim())
+    env.process(interrupter(p))
+    env.run()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except InterruptError:
+            pass
+        yield env.timeout(5)
+        log.append(env.now)
+
+    def interrupter(p):
+        yield env.timeout(10)
+        p.interrupt()
+
+    p = env.process(victim())
+    env.process(interrupter(p))
+    env.run()
+    assert log == [15.0]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    done = []
+
+    def proc():
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(5, value="b")
+        results = yield all_of(env, [t1, t2])
+        done.append((env.now, sorted(results.values())))
+
+    env.process(proc())
+    env.run()
+    assert done == [(5.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    done = []
+
+    def proc():
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(5, value="slow")
+        results = yield any_of(env, [t1, t2])
+        done.append((env.now, list(results.values())))
+
+    env.process(proc())
+    env.run()
+    assert done == [(1.0, ["fast"])]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield all_of(env, [])
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [0.0]
+
+
+def test_condition_failure_propagates():
+    env = Environment()
+    caught = []
+
+    def failer(ev):
+        yield env.timeout(2)
+        ev.fail(OSError("disk"))
+
+    def waiter(ev):
+        try:
+            yield all_of(env, [env.timeout(10), ev])
+        except OSError:
+            caught.append(env.now)
+
+    ev = env.event()
+    env.process(failer(ev))
+    env.process(waiter(ev))
+    env.run()
+    assert caught == [2.0]
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def proc():
+        yield 42  # type: ignore[misc]
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_run_until_event_exhausted_schedule_is_error():
+    env = Environment()
+    ev = env.event()  # never triggered
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.timeout(7)
+    assert env.peek() == 7.0
+    env.step()
+    assert env.now == 7.0
+    assert env.peek() == float("inf")
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_nested_process_chain_return_values():
+    env = Environment()
+
+    def leaf():
+        yield env.timeout(1)
+        return 1
+
+    def mid():
+        v = yield env.process(leaf())
+        yield env.timeout(1)
+        return v + 1
+
+    def root():
+        v = yield env.process(mid())
+        return v + 1
+
+    p = env.process(root())
+    assert env.run(until=p) == 3
+    assert env.now == 2.0

@@ -1,0 +1,137 @@
+"""Kernel edge cases: interrupts during resource waits, queued stores,
+conditions over processed events."""
+
+import pytest
+
+from repro.errors import InterruptError, SimulationError
+from repro.sim import Environment, Resource, Store, all_of, any_of
+
+
+def test_interrupt_while_waiting_on_resource():
+    env = Environment()
+    res = Resource(env, 1)
+    log = []
+
+    def holder():
+        req = res.request()
+        yield req
+        yield env.timeout(100)
+        res.release(req)
+
+    def waiter():
+        req = res.request()
+        try:
+            yield req
+        except InterruptError:
+            log.append(("interrupted", env.now))
+            res.release(req)  # cancel the queued request
+            return
+        log.append(("acquired", env.now))
+
+    def interrupter(p):
+        yield env.timeout(5)
+        p.interrupt()
+
+    env.process(holder())
+    w = env.process(waiter())
+    env.process(interrupter(w))
+    env.run(until=50)
+    assert log == [("interrupted", 5.0)]
+    assert res.queue_length == 0
+
+
+def test_condition_over_already_processed_events():
+    env = Environment()
+    done = []
+
+    def proc():
+        t1 = env.timeout(1, value="a")
+        yield env.timeout(5)  # t1 long since processed
+        results = yield all_of(env, [t1, env.timeout(1, value="b")])
+        done.append(sorted(results.values()))
+
+    env.process(proc())
+    env.run()
+    assert done == [["a", "b"]]
+
+
+def test_any_of_with_immediate_event():
+    env = Environment()
+    done = []
+
+    def proc():
+        ev = env.event()
+        ev.succeed("now")
+        results = yield any_of(env, [ev, env.timeout(100)])
+        done.append((env.now, list(results.values())))
+
+    env.process(proc())
+    env.run()
+    assert done == [(0.0, ["now"])]
+
+
+def test_store_get_cancelled_by_interrupt():
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def consumer():
+        try:
+            yield store.get()
+        except InterruptError:
+            log.append("interrupted")
+
+    def interrupter(p):
+        yield env.timeout(2)
+        p.interrupt()
+
+    c = env.process(consumer())
+    env.process(interrupter(c))
+    env.run()
+    assert log == ["interrupted"]
+
+
+def test_event_value_before_trigger_is_error():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+    caught = []
+
+    def proc():
+        me = env.active_process
+        try:
+            me.interrupt()
+        except SimulationError:
+            caught.append(True)
+        yield env.timeout(1)
+
+    env.process(proc())
+    env.run()
+    assert caught == [True]
+
+
+def test_nested_conditions():
+    env = Environment()
+    done = []
+
+    def proc():
+        inner = all_of(env, [env.timeout(1), env.timeout(2)])
+        outer = yield any_of(env, [inner, env.timeout(10)])
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [2.0]
+
+
+def test_environment_run_without_events_returns():
+    env = Environment()
+    assert env.run() is None
+    assert env.now == 0.0

@@ -1,0 +1,316 @@
+"""Unit tests for Resource, Store, and FairShareLink."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, FairShareLink, Resource, Store
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, 0)
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    env = Environment()
+    res = Resource(env, 2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+    assert res.queue_length == 1
+
+
+def test_resource_release_grants_fifo():
+    env = Environment()
+    res = Resource(env, 1)
+    r1 = res.request()
+    r2 = res.request()
+    r3 = res.request()
+    assert r1.triggered and not r2.triggered and not r3.triggered
+    res.release(r1)
+    assert r2.triggered and not r3.triggered
+    res.release(r2)
+    assert r3.triggered
+
+
+def test_resource_release_waiting_request_cancels_it():
+    env = Environment()
+    res = Resource(env, 1)
+    r1 = res.request()
+    r2 = res.request()
+    res.release(r2)  # cancel from queue
+    assert res.queue_length == 0
+    res.release(r1)
+    assert res.count == 0
+
+
+def test_resource_double_release_is_error():
+    env = Environment()
+    res = Resource(env, 1)
+    r = res.request()
+    res.release(r)
+    with pytest.raises(SimulationError):
+        res.release(r)
+
+
+def test_resource_serializes_processes():
+    env = Environment()
+    res = Resource(env, 1)
+    spans = []
+
+    def worker(name, hold):
+        req = res.request()
+        yield req
+        start = env.now
+        yield env.timeout(hold)
+        res.release(req)
+        spans.append((name, start, env.now))
+
+    env.process(worker("a", 3))
+    env.process(worker("b", 2))
+    env.run()
+    assert spans == [("a", 0.0, 3.0), ("b", 3.0, 5.0)]
+
+
+def test_resource_parallelism_matches_capacity():
+    env = Environment()
+    res = Resource(env, 3)
+    finish = []
+
+    def worker(i):
+        req = res.request()
+        yield req
+        yield env.timeout(10)
+        res.release(req)
+        finish.append((i, env.now))
+
+    for i in range(6):
+        env.process(worker(i))
+    env.run()
+    # two waves of 3
+    assert [t for _, t in finish] == [10.0] * 3 + [20.0] * 3
+
+
+# ------------------------------------------------------------------- Store
+def test_store_put_get_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for item in "xyz":
+            yield store.put(item)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(5)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(5.0, "late")]
+
+
+def test_store_bounded_put_blocks():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put(1)
+        log.append(("put1", env.now))
+        yield store.put(2)
+        log.append(("put2", env.now))
+
+    def consumer():
+        yield env.timeout(10)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert log == [("put1", 0.0), ("put2", 10.0)]
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_store_items_snapshot_and_len():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+    assert len(store) == 2
+    assert store.items == ["a", "b"]
+
+
+# ----------------------------------------------------------- FairShareLink
+def test_link_single_flow_full_rate():
+    env = Environment()
+    link = FairShareLink(env, rate=100.0)
+    done = []
+
+    def proc():
+        yield link.transfer(1000.0)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [pytest.approx(10.0)]
+
+
+def test_link_two_equal_flows_share_evenly():
+    env = Environment()
+    link = FairShareLink(env, rate=100.0)
+    done = []
+
+    def proc(name):
+        yield link.transfer(1000.0)
+        done.append((name, env.now))
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.run()
+    # Both flows share 100 units/s -> each sees 50 -> 20 s.
+    assert done[0][1] == pytest.approx(20.0)
+    assert done[1][1] == pytest.approx(20.0)
+
+
+def test_link_staggered_arrival_processor_sharing():
+    env = Environment()
+    link = FairShareLink(env, rate=100.0)
+    done = {}
+
+    def first():
+        yield link.transfer(1000.0)
+        done["first"] = env.now
+
+    def second():
+        yield env.timeout(5)
+        yield link.transfer(250.0)
+        done["second"] = env.now
+
+    env.process(first())
+    env.process(second())
+    env.run()
+    # first: 5 s alone (500 done), then shares -> 50/s.
+    # second needs 250 at 50/s = 5 s -> finishes at 10.
+    # first then has 250 left at 100/s -> finishes at 12.5.
+    assert done["second"] == pytest.approx(10.0)
+    assert done["first"] == pytest.approx(12.5)
+
+
+def test_link_weighted_flows():
+    env = Environment()
+    link = FairShareLink(env, rate=90.0)
+    done = {}
+
+    def proc(name, size, weight):
+        yield link.transfer(size, weight=weight)
+        done[name] = env.now
+
+    env.process(proc("heavy", 600.0, 2.0))
+    env.process(proc("light", 300.0, 1.0))
+    env.run()
+    # heavy gets 60/s, light 30/s -> both finish at t=10.
+    assert done["heavy"] == pytest.approx(10.0)
+    assert done["light"] == pytest.approx(10.0)
+
+
+def test_link_max_flows_queues_excess():
+    env = Environment()
+    link = FairShareLink(env, rate=100.0, max_flows=1)
+    done = []
+
+    def proc(name):
+        yield link.transfer(100.0)
+        done.append((name, env.now))
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.run()
+    assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+
+def test_link_zero_size_completes_immediately():
+    env = Environment()
+    link = FairShareLink(env, rate=10.0)
+    done = []
+
+    def proc():
+        yield link.transfer(0.0)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [0.0]
+
+
+def test_link_total_transferred_counter():
+    env = Environment()
+    link = FairShareLink(env, rate=10.0)
+
+    def proc():
+        yield link.transfer(30.0)
+        yield link.transfer(70.0)
+
+    env.process(proc())
+    env.run()
+    assert link.total_transferred == pytest.approx(100.0)
+
+
+def test_link_rejects_bad_args():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        FairShareLink(env, rate=0)
+    link = FairShareLink(env, rate=1.0)
+    with pytest.raises(SimulationError):
+        link.transfer(-5)
+    with pytest.raises(SimulationError):
+        link.transfer(5, weight=0)
+
+
+def test_link_many_flows_conservation():
+    env = Environment()
+    link = FairShareLink(env, rate=50.0)
+    done = []
+
+    def proc(size, delay):
+        yield env.timeout(delay)
+        yield link.transfer(size)
+        done.append(env.now)
+
+    sizes = [100.0, 200.0, 50.0, 400.0, 250.0]
+    for i, s in enumerate(sizes):
+        env.process(proc(s, delay=i * 0.5))
+    env.run()
+    # Work conservation: total work / rate == makespan (link never idles
+    # once the first flow arrives, since arrivals overlap).
+    assert max(done) == pytest.approx(sum(sizes) / 50.0, rel=1e-6)
+    assert link.total_transferred == pytest.approx(sum(sizes))

@@ -1,0 +1,72 @@
+"""RNG registry and trace monitor."""
+
+import numpy as np
+
+from repro.sim import Monitor, RngRegistry
+
+
+# ------------------------------------------------------------- RngRegistry
+def test_same_name_same_stream_sequence():
+    a = RngRegistry(seed=1).stream("nodes")
+    b = RngRegistry(seed=1).stream("nodes")
+    assert np.array_equal(a.random(10), b.random(10))
+
+
+def test_different_names_independent():
+    reg = RngRegistry(seed=1)
+    a = reg.stream("alpha").random(10)
+    b = reg.stream("beta").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_creation_order_does_not_matter():
+    r1 = RngRegistry(seed=3)
+    r1.stream("x")
+    seq_y_after = r1.stream("y").random(5)
+    r2 = RngRegistry(seed=3)
+    seq_y_first = r2.stream("y").random(5)
+    assert np.array_equal(seq_y_after, seq_y_first)
+
+
+def test_stream_cached_not_recreated():
+    reg = RngRegistry(seed=0)
+    s = reg.stream("s")
+    s.random(3)
+    assert reg.stream("s") is s
+    assert "s" in reg and "t" not in reg
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(seed=1).stream("n").random(5)
+    b = RngRegistry(seed=2).stream("n").random(5)
+    assert not np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------- Monitor
+def test_monitor_record_and_read():
+    m = Monitor()
+    m.record("lat", 1.0, 10.0, tag="a")
+    m.record("lat", 2.0, 20.0)
+    assert m.count("lat") == 2
+    assert list(m.values("lat")) == [10.0, 20.0]
+    assert list(m.times("lat")) == [1.0, 2.0]
+    assert list(m.names()) == ["lat"]
+
+
+def test_monitor_missing_series_empty():
+    m = Monitor()
+    assert m.values("nope").shape == (0,)
+    assert m.count("nope") == 0
+
+
+def test_monitor_merge():
+    a, b = Monitor(), Monitor()
+    a.record("x", 0, 1)
+    b.record("x", 1, 2)
+    b.record("y", 0, 3)
+    a.merge(b)
+    assert m_counts(a) == {"x": 2, "y": 1}
+
+
+def m_counts(m):
+    return {name: m.count(name) for name in m.names()}

@@ -1,0 +1,76 @@
+"""The vectorized batch model must match the detailed simulated engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PERLMUTTER_CPU, SimMachine
+from repro.sim import Environment
+from repro.simengine import SimParallel, SimTask, batch_completion_times, batch_makespan
+
+
+def detailed_completions(durations, jobs):
+    env = Environment()
+    m = SimMachine(env, PERLMUTTER_CPU, with_lustre=False)
+    inst = SimParallel(m.node(0), jobs=jobs)
+    proc = inst.run([SimTask(duration=float(d)) for d in durations])
+    results = env.run(until=proc)
+    return np.array(sorted(r.end_time for r in results))
+
+
+@pytest.mark.parametrize("jobs", [1, 4, 128])
+def test_matches_detailed_engine_constant_durations(jobs):
+    durations = np.full(40, 0.05)
+    batch = np.sort(batch_completion_times(durations, jobs=jobs))
+    detailed = detailed_completions(durations, jobs=jobs)
+    np.testing.assert_allclose(batch, detailed, rtol=1e-9, atol=1e-9)
+
+
+@pytest.mark.parametrize("jobs", [2, 16, 256])
+def test_matches_detailed_engine_random_durations(jobs):
+    rng = np.random.default_rng(5)
+    durations = rng.uniform(0.0, 0.3, size=60)
+    batch = np.sort(batch_completion_times(durations, jobs=jobs))
+    detailed = detailed_completions(durations, jobs=jobs)
+    np.testing.assert_allclose(batch, detailed, rtol=1e-9, atol=1e-9)
+
+
+def test_zero_duration_tasks_dispatch_limited():
+    durations = np.zeros(100)
+    times = batch_completion_times(durations, jobs=256, dispatch_rate=470.0)
+    # Pure dispatch pacing: one task every 1/470 s.
+    gaps = np.diff(np.sort(times))
+    np.testing.assert_allclose(gaps, 1.0 / 470.0, rtol=1e-9)
+
+
+def test_fast_path_equals_heap_path():
+    rng = np.random.default_rng(9)
+    durations = rng.uniform(0.0, 0.01, size=500)
+    # jobs huge -> fast path; jobs just-enough -> heap path; same answer.
+    fast = batch_completion_times(durations, jobs=100_000)
+    slow = batch_completion_times(np.copy(durations), jobs=30)
+    # With 30 slots and ~5 concurrent tasks max, slots never bind either.
+    np.testing.assert_allclose(np.sort(fast), np.sort(slow), rtol=1e-12)
+
+
+def test_start_offset_shifts_everything():
+    durations = np.full(10, 0.1)
+    a = batch_completion_times(durations, jobs=4, start=0.0)
+    b = batch_completion_times(durations, jobs=4, start=100.0)
+    np.testing.assert_allclose(b - a, 100.0)
+
+
+def test_makespan_is_max():
+    durations = np.array([0.1, 0.5, 0.2])
+    times = batch_completion_times(durations, jobs=2)
+    assert batch_makespan(durations, jobs=2) == pytest.approx(times.max())
+
+
+def test_empty_batch():
+    assert batch_makespan(np.array([]), jobs=4, start=3.0) == 3.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        batch_completion_times(np.zeros((2, 2)), jobs=1)
+    with pytest.raises(ValueError):
+        batch_completion_times(np.zeros(3), jobs=0)

@@ -1,0 +1,49 @@
+"""Exporting simulated results to real-tool formats."""
+
+from repro.cluster import PERLMUTTER_CPU, SimMachine
+from repro.core.joblog import read_joblog
+from repro.sim import Environment
+from repro.simengine import SimParallel, SimTask, to_profile, write_joblog
+
+
+def run_sim(n=20, fail_prob=0.0, jobs=8):
+    env = Environment()
+    m = SimMachine(env, PERLMUTTER_CPU, seed=1, with_lustre=False)
+    inst = SimParallel(m.node(0), jobs=jobs)
+    proc = inst.run([SimTask(duration=0.05, fail_prob=fail_prob) for _ in range(n)])
+    return env.run(until=proc)
+
+
+def test_joblog_readable_by_core_parser(tmp_path):
+    results = run_sim()
+    path = str(tmp_path / "sim.joblog")
+    write_joblog(path, results, command="payload.sh")
+    entries = read_joblog(path)
+    assert len(entries) == 20
+    assert all(e.ok for e in entries)
+    assert entries[0].command == "payload.sh"
+    assert [e.seq for e in entries] == sorted(e.seq for e in entries)
+
+
+def test_joblog_records_failures_with_mode(tmp_path):
+    results = run_sim(n=60, fail_prob=0.5)
+    path = str(tmp_path / "sim.joblog")
+    write_joblog(path, results)
+    entries = read_joblog(path)
+    failed = [e for e in entries if not e.ok]
+    assert failed
+    assert all("[task_error]" in e.command for e in failed)
+
+
+def test_to_profile_reflects_slot_bound():
+    results = run_sim(n=40, jobs=4)
+    profile = to_profile(results)
+    assert profile.n_jobs == 40
+    assert profile.peak_concurrency <= 4
+    assert profile.speedup_vs_serial > 1.5
+
+
+def test_to_profile_ignores_failures():
+    results = run_sim(n=40, fail_prob=0.5)
+    profile = to_profile(results)
+    assert profile.n_jobs == sum(1 for r in results if r.ok)

@@ -1,0 +1,106 @@
+"""Failure injection and --retries in the simulated engine."""
+
+import pytest
+
+from repro.cluster import FRONTIER, PERLMUTTER_CPU, SimMachine
+from repro.containers import PODMAN_HPC
+from repro.errors import SimulationError
+from repro.sim import Environment
+from repro.simengine import SimParallel, SimTask
+
+
+def machine(seed=0):
+    env = Environment()
+    return env, SimMachine(env, PERLMUTTER_CPU, seed=seed, with_lustre=False)
+
+
+def test_fail_prob_validation():
+    with pytest.raises(ValueError):
+        SimTask(duration=0.1, fail_prob=1.5)
+    with pytest.raises(ValueError):
+        SimTask(duration=0.1, fail_prob=-0.1)
+
+
+def test_retries_validation():
+    env, m = machine()
+    with pytest.raises(SimulationError):
+        SimParallel(m.node(0), jobs=1, retries=-1)
+
+
+def test_injected_failures_recorded_without_retries():
+    env, m = machine(seed=1)
+    inst = SimParallel(m.node(0), jobs=16)
+    proc = inst.run([SimTask(duration=0.01, fail_prob=0.5) for _ in range(200)])
+    results = env.run(until=proc)
+    failed = [r for r in results if not r.ok]
+    assert len(results) == 200
+    assert 50 < len(failed) < 150  # ~50% fail
+    assert all(r.failure_mode == "task_error" for r in failed)
+    assert all(r.attempt == 1 for r in results)
+
+
+def test_retries_recover_most_failures():
+    env, m = machine(seed=2)
+    inst = SimParallel(m.node(0), jobs=16, retries=5)
+    proc = inst.run([SimTask(duration=0.01, fail_prob=0.3) for _ in range(150)])
+    results = env.run(until=proc)
+    assert len(results) == 150
+    ok = [r for r in results if r.ok]
+    # P(5 consecutive failures) = 0.3^5 ~ 0.24%; essentially all succeed.
+    assert len(ok) >= 148
+    assert any(r.attempt > 1 for r in ok)  # retries actually happened
+
+
+def test_retries_bounded_by_total_attempts():
+    env, m = machine(seed=3)
+    inst = SimParallel(m.node(0), jobs=4, retries=3)
+    proc = inst.run([SimTask(duration=0.0, fail_prob=1.0) for _ in range(10)])
+    results = env.run(until=proc)
+    assert all(not r.ok for r in results)
+    assert all(r.attempt == 3 for r in results)  # exactly 3 attempts each
+
+
+def test_retries_zero_and_one_mean_run_once():
+    for retries in (0, 1):
+        env, m = machine(seed=4)
+        inst = SimParallel(m.node(0), jobs=4, retries=retries)
+        proc = inst.run([SimTask(duration=0.0, fail_prob=1.0) for _ in range(5)])
+        results = env.run(until=proc)
+        assert all(r.attempt == 1 and not r.ok for r in results)
+
+
+def test_container_launch_failures_also_retried():
+    env, m = machine(seed=5)
+    node = m.node(0)
+    inst = SimParallel(node, jobs=64, runtime=PODMAN_HPC, retries=4)
+    proc = inst.run([SimTask(duration=0.0) for _ in range(300)])
+    results = env.run(until=proc)
+    assert len(results) == 300
+    # Launch failures occurred (counted on the node) yet retries recovered
+    # nearly everything.
+    assert sum(node.launch_failures.values()) > 0
+    assert sum(1 for r in results if r.ok) >= 295
+
+
+def test_gpu_released_on_injected_failure():
+    env = Environment()
+    m = SimMachine(env, FRONTIER, seed=6, with_lustre=False)
+    node = m.node(0)
+    inst = SimParallel(node, jobs=8, gpu_isolation=True, retries=3)
+    proc = inst.run(
+        [SimTask(duration=0.05, gpu=True, fail_prob=0.4) for _ in range(40)]
+    )
+    results = env.run(until=proc)
+    assert len(results) == 40
+    assert node.gpus.busy_count == 0  # every device released
+
+
+def test_makespan_grows_with_retries():
+    def run(retries):
+        env, m = machine(seed=7)
+        inst = SimParallel(m.node(0), jobs=2, retries=retries)
+        proc = inst.run([SimTask(duration=0.2, fail_prob=0.5) for _ in range(30)])
+        env.run(until=proc)
+        return env.now
+
+    assert run(4) > run(1)  # retrying costs wall-clock but saves the work

@@ -1,0 +1,229 @@
+"""The simulated engine: dispatch rates, slots, GPU isolation, containers."""
+
+import pytest
+
+from repro.cluster import FRONTIER, PERLMUTTER_CPU, SimMachine
+from repro.containers import PODMAN_HPC, SHIFTER
+from repro.errors import SimulationError
+from repro.sim import Environment
+from repro.simengine import SimParallel, SimTask
+
+
+def machine(spec=PERLMUTTER_CPU, seed=0, with_lustre=False):
+    env = Environment()
+    return env, SimMachine(env, spec, seed=seed, with_lustre=with_lustre)
+
+
+def launch_rate(results):
+    launches = sorted(r.launch_time for r in results)
+    span = launches[-1] - launches[0]
+    return (len(launches) - 1) / span if span > 0 else float("inf")
+
+
+def test_all_tasks_complete_with_results():
+    env, m = machine()
+    inst = SimParallel(m.node(0), jobs=16)
+    proc = inst.run([SimTask(duration=0.01) for _ in range(50)])
+    results = env.run(until=proc)
+    assert len(results) == 50
+    assert all(r.ok for r in results)
+    assert m.node(0).tasks_completed == 50
+
+
+def test_single_instance_rate_approx_470():
+    """Fig. 3: one instance launches ~470 processes/s."""
+    env, m = machine()
+    inst = SimParallel(m.node(0), jobs=256)
+    proc = inst.run([SimTask(duration=0.0) for _ in range(2000)])
+    results = env.run(until=proc)
+    assert launch_rate(results) == pytest.approx(470, rel=0.05)
+
+
+def test_jobs_cap_respected():
+    env, m = machine()
+    node = m.node(0)
+    inst = SimParallel(node, jobs=4)
+    proc = inst.run([SimTask(duration=1.0) for _ in range(12)])
+    results = env.run(until=proc)
+    # With -j4 and 1 s tasks dispatched at 470/s, tasks finish in waves of 4.
+    slots = {r.slot for r in results}
+    assert slots == {1, 2, 3, 4}
+    # Concurrency never exceeded 4: total makespan >= 3 waves of 1 s.
+    assert env.now >= 3.0
+
+
+def test_slot_numbers_reused_lowest_first():
+    env, m = machine()
+    inst = SimParallel(m.node(0), jobs=2)
+    proc = inst.run([SimTask(duration=0.1) for _ in range(6)])
+    results = env.run(until=proc)
+    assert {r.slot for r in results} == {1, 2}
+
+
+def test_task_duration_respected():
+    env, m = machine()
+    inst = SimParallel(m.node(0), jobs=1)
+    proc = inst.run([SimTask(duration=5.0)])
+    results = env.run(until=proc)
+    r = results[0]
+    assert r.end_time - r.start_time == pytest.approx(5.0)
+
+
+def test_invalid_jobs():
+    env, m = machine()
+    with pytest.raises(SimulationError):
+        SimParallel(m.node(0), jobs=0)
+
+
+# ------------------------------------------------------------ multi-instance
+def test_two_instances_roughly_double_rate():
+    env, m = machine()
+    node = m.node(0)
+    tasks = [SimTask(duration=0.0) for _ in range(1500)]
+    procs = [SimParallel(node, jobs=128, name=f"p{i}").run(list(tasks)) for i in range(2)]
+    all_results = []
+    for p in procs:
+        all_results.extend(env.run(until=p))
+    assert launch_rate(all_results) == pytest.approx(940, rel=0.08)
+
+
+def test_many_instances_hit_fork_ceiling_6400():
+    """Fig. 3: aggregate rate saturates ~6,400/s."""
+    env, m = machine()
+    node = m.node(0)
+    n_inst = 32  # 32 * 470 >> 6400: node fork path is the bottleneck
+    procs = [
+        SimParallel(node, jobs=8, name=f"p{i}").run(
+            [SimTask(duration=0.0) for _ in range(400)]
+        )
+        for i in range(n_inst)
+    ]
+    all_results = []
+    for p in procs:
+        all_results.extend(env.run(until=p))
+    assert launch_rate(all_results) == pytest.approx(6400, rel=0.05)
+
+
+# ----------------------------------------------------------------- containers
+def test_shifter_rate_capped_at_5200():
+    env, m = machine()
+    node = m.node(0)
+    procs = [
+        SimParallel(node, jobs=8, runtime=SHIFTER, name=f"p{i}").run(
+            [SimTask(duration=0.0) for _ in range(300)]
+        )
+        for i in range(32)
+    ]
+    all_results = []
+    for p in procs:
+        all_results.extend(env.run(until=p))
+    assert launch_rate(all_results) == pytest.approx(5200, rel=0.05)
+
+
+def test_podman_rate_capped_at_65():
+    env, m = machine()
+    node = m.node(0)
+    procs = [
+        SimParallel(node, jobs=8, runtime=PODMAN_HPC, name=f"p{i}").run(
+            [SimTask(duration=0.0) for _ in range(40)]
+        )
+        for i in range(8)
+    ]
+    all_results = []
+    for p in procs:
+        all_results.extend(env.run(until=p))
+    ok = [r for r in all_results if r.ok]
+    assert launch_rate(ok) == pytest.approx(65, rel=0.10)
+
+
+def test_podman_failures_recorded_at_scale():
+    env, m = machine(seed=2)
+    node = m.node(0)
+    procs = [
+        SimParallel(node, jobs=32, runtime=PODMAN_HPC, name=f"p{i}").run(
+            [SimTask(duration=0.0) for _ in range(100)]
+        )
+        for i in range(8)
+    ]
+    all_results = []
+    for p in procs:
+        all_results.extend(env.run(until=p))
+    failed = [r for r in all_results if not r.ok]
+    assert failed  # reliability issues appear under concurrency
+    assert node.launch_failures  # counted by mode
+    assert set(node.launch_failures) <= {
+        "user_namespace", "db_lock", "setgid", "tmpdir",
+    }
+
+
+# ------------------------------------------------------------------- GPUs
+def test_gpu_isolation_assigns_unique_devices():
+    env, m = machine(spec=FRONTIER)
+    node = m.node(0)
+    inst = SimParallel(node, jobs=8, gpu_isolation=True)
+    proc = inst.run([SimTask(duration=1.0, gpu=True) for _ in range(24)])
+    results = env.run(until=proc)
+    assert all(r.ok for r in results)
+    assert {r.gpu_index for r in results} == set(range(8))
+    # Every device did exactly 3 tasks.
+    assert [d.tasks_completed for d in node.gpus.devices] == [3] * 8
+
+
+def test_gpu_isolation_rejects_oversized_j():
+    env, m = machine(spec=FRONTIER)
+    with pytest.raises(SimulationError):
+        SimParallel(m.node(0), jobs=9, gpu_isolation=True)
+
+
+def test_non_gpu_tasks_skip_devices():
+    env, m = machine(spec=FRONTIER)
+    node = m.node(0)
+    inst = SimParallel(node, jobs=8, gpu_isolation=True)
+    proc = inst.run([SimTask(duration=0.1, gpu=False) for _ in range(8)])
+    results = env.run(until=proc)
+    assert all(r.gpu_index is None for r in results)
+    assert all(d.tasks_completed == 0 for d in node.gpus.devices)
+
+
+# -------------------------------------------------------------------- I/O
+def test_nvme_write_adds_time():
+    env, m = machine(spec=FRONTIER)
+    node = m.node(0)
+    inst = SimParallel(node, jobs=1)
+    nbytes = int(node.spec.nvme_write_bw)  # exactly 1 s of writing
+    proc = inst.run([SimTask(duration=0.0, nvme_write=nbytes)])
+    results = env.run(until=proc)
+    r = results[0]
+    assert r.end_time - r.start_time == pytest.approx(1.0, rel=0.01)
+
+
+def test_lustre_required_when_task_touches_it():
+    env, m = machine(spec=FRONTIER, with_lustre=False)
+    inst = SimParallel(m.node(0), jobs=1)
+    proc = inst.run([SimTask(duration=0.0, lustre_write=100)])
+    with pytest.raises(SimulationError):
+        env.run(until=proc)
+
+
+def test_lustre_write_through_shared_link():
+    env = Environment()
+    m = SimMachine(env, FRONTIER, with_lustre=True)
+    node = m.node(0)
+    inst = SimParallel(node, jobs=1)
+    proc = inst.run([SimTask(duration=0.0, lustre_write=10**9)])
+    results = env.run(until=proc)
+    assert results[0].ok
+    assert m.lustre.n_writes == 1
+
+
+def test_monitor_records_launch_events():
+    from repro.sim import Monitor
+
+    env, m = machine()
+    mon = Monitor()
+    inst = SimParallel(m.node(0), jobs=8, name="p0", monitor=mon)
+    proc = inst.run([SimTask(duration=0.0) for _ in range(25)])
+    env.run(until=proc)
+    assert mon.count("p0:launches") == 25
+    times = mon.times("p0:launches")
+    assert (times[1:] >= times[:-1]).all()  # recorded in time order

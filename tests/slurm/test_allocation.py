@@ -1,0 +1,86 @@
+"""Allocations, node environments, and the srun cost model."""
+
+import pytest
+
+from repro.cluster import FRONTIER, SimMachine
+from repro.errors import SlurmError
+from repro.sim import Environment
+from repro.slurm import Allocation, SlurmController, SrunCostModel
+
+
+def make_alloc(n=4, seed=0):
+    env = Environment()
+    m = SimMachine(env, FRONTIER, seed=seed)
+    return env, Allocation(m, n)
+
+
+def test_allocation_size_validation():
+    env = Environment()
+    m = SimMachine(env, FRONTIER)
+    with pytest.raises(SlurmError):
+        Allocation(m, 0)
+    with pytest.raises(SlurmError):
+        Allocation(m, FRONTIER.total_nodes + 1)
+
+
+def test_env_vars_match_listing_1():
+    _, alloc = make_alloc(n=8)
+    env2 = alloc.env_for(2)
+    assert env2.as_dict() == {"SLURM_NNODES": "8", "SLURM_NODEID": "2"}
+
+
+def test_env_for_out_of_range():
+    _, alloc = make_alloc(n=4)
+    with pytest.raises(SlurmError):
+        alloc.env_for(4)
+    with pytest.raises(SlurmError):
+        alloc.env_for(-1)
+
+
+def test_ready_times_positive_per_node():
+    _, alloc = make_alloc(n=16)
+    assert all(alloc.ready_time(i) > 0 for i in range(16))
+    with pytest.raises(SlurmError):
+        alloc.ready_time(16)
+
+
+def test_allocation_deterministic_by_seed_and_jobid():
+    _, a = make_alloc(n=8, seed=5)
+    _, b = make_alloc(n=8, seed=5)
+    assert list(a.ready_times) == list(b.ready_times)
+
+
+def test_node_accessor_bounds():
+    _, alloc = make_alloc(n=2)
+    assert alloc.node(0).name.endswith("00000")
+    with pytest.raises(SlurmError):
+        alloc.node(2)
+
+
+# --------------------------------------------------------------------- srun
+def test_srun_serializes_at_controller():
+    env = Environment()
+    ctl = SlurmController(env, SrunCostModel(step_setup_s=0.0, controller_rate=10.0))
+    ends = []
+
+    def launcher():
+        yield from ctl.srun(duration=0.0)
+        ends.append(env.now)
+
+    for _ in range(5):
+        env.process(launcher())
+    env.run()
+    assert ends == [pytest.approx(0.1 * (i + 1)) for i in range(5)]
+    assert ctl.steps_created == 5
+
+
+def test_srun_setup_and_duration():
+    env = Environment()
+    ctl = SlurmController(env, SrunCostModel(step_setup_s=0.5, controller_rate=1000.0))
+
+    def launcher():
+        yield from ctl.srun(duration=2.0)
+
+    p = env.process(launcher())
+    env.run(until=p)
+    assert env.now == pytest.approx(0.5 + 0.001 + 2.0)

@@ -1,0 +1,92 @@
+"""FIFO + backfill batch-queue scheduling."""
+
+import pytest
+
+from repro.errors import SlurmError
+from repro.slurm import QueuedJob, schedule_fifo_backfill
+
+
+def J(jid, nodes, runtime, walltime=None, submit=0.0):
+    return QueuedJob(job_id=jid, nodes=nodes, runtime_s=runtime,
+                     walltime_s=walltime, submit_s=submit)
+
+
+def test_single_job_starts_immediately():
+    s = schedule_fifo_backfill([J(1, 4, 100)], total_nodes=8)
+    assert s.start_times[1] == 0.0
+    assert s.end_times[1] == 100.0
+    assert s.makespan == 100.0
+
+
+def test_jobs_pack_when_they_fit():
+    s = schedule_fifo_backfill([J(1, 4, 100), J(2, 4, 100)], total_nodes=8)
+    assert s.start_times[1] == 0.0 and s.start_times[2] == 0.0
+
+
+def test_fifo_blocks_oversized_head():
+    s = schedule_fifo_backfill(
+        [J(1, 8, 100), J(2, 8, 100)], total_nodes=8
+    )
+    assert s.start_times[2] == pytest.approx(100.0)
+
+
+def test_head_waits_for_enough_nodes():
+    # Job 1 uses 6 of 8; job 2 needs 4 -> must wait for job 1.
+    s = schedule_fifo_backfill([J(1, 6, 50), J(2, 4, 10)], total_nodes=8)
+    assert s.start_times[2] == pytest.approx(50.0)
+
+
+def test_backfill_small_short_job_jumps_queue():
+    # Head (job 2) needs the whole machine and waits for job 1; job 3 is
+    # small and short enough to finish before job 1's walltime ends.
+    jobs = [J(1, 6, 100, walltime=100), J(2, 8, 50, walltime=50),
+            J(3, 2, 20, walltime=20)]
+    s = schedule_fifo_backfill(jobs, total_nodes=8)
+    assert s.start_times[3] == 0.0  # backfilled
+    assert s.start_times[2] == pytest.approx(100.0)
+
+
+def test_backfill_never_delays_head():
+    # A long small job must NOT backfill in front of the waiting head.
+    jobs = [J(1, 6, 100, walltime=100), J(2, 8, 50, walltime=50),
+            J(3, 2, 500, walltime=500)]
+    s = schedule_fifo_backfill(jobs, total_nodes=8)
+    assert s.start_times[2] == pytest.approx(100.0)  # head unharmed
+    assert s.start_times[3] >= s.start_times[2]
+
+
+def test_backfill_disabled_strict_fifo():
+    jobs = [J(1, 6, 100), J(2, 8, 50), J(3, 2, 20)]
+    s = schedule_fifo_backfill(jobs, total_nodes=8, backfill=False)
+    assert s.start_times[3] >= s.start_times[2]
+
+
+def test_submit_times_respected():
+    s = schedule_fifo_backfill([J(1, 2, 10, submit=100.0)], total_nodes=4)
+    assert s.start_times[1] == pytest.approx(100.0)
+
+
+def test_wait_metrics():
+    jobs = [J(1, 8, 100), J(2, 8, 100)]
+    s = schedule_fifo_backfill(jobs, total_nodes=8)
+    assert s.wait_time(jobs[0]) == 0.0
+    assert s.wait_time(jobs[1]) == pytest.approx(100.0)
+    assert s.mean_wait(jobs) == pytest.approx(50.0)
+
+
+def test_many_small_jobs_serialize_on_capacity():
+    # 100 single-node 10 s jobs on 10 nodes: 10 waves -> makespan 100 s.
+    jobs = [J(i, 1, 10) for i in range(100)]
+    s = schedule_fifo_backfill(jobs, total_nodes=10)
+    assert s.makespan == pytest.approx(100.0)
+
+
+def test_validation():
+    with pytest.raises(SlurmError):
+        QueuedJob(1, 0, 10)
+    with pytest.raises(SlurmError):
+        QueuedJob(1, 1, 10, walltime_s=5)
+    with pytest.raises(SlurmError):
+        schedule_fifo_backfill([J(1, 9, 1)], total_nodes=8)
+    with pytest.raises(SlurmError):
+        schedule_fifo_backfill([], total_nodes=0)

@@ -1,0 +1,99 @@
+"""sbatch script parsing and execution of the paper's Listing 5."""
+
+import pytest
+
+from repro.baselines import LISTING_5_PARALLEL_SCRIPT
+from repro.errors import SlurmError
+from repro.slurm import SbatchJob, parse_sbatch, parse_walltime
+
+
+# -------------------------------------------------------------- walltime
+@pytest.mark.parametrize(
+    "spec,seconds",
+    [
+        ("30", 30 * 60),
+        ("30:15", 30 * 60 + 15),
+        ("2:30:15", 2 * 3600 + 30 * 60 + 15),
+        ("1-12", 36 * 3600),
+        ("1-12:30", 36 * 3600 + 30 * 60),
+        ("2-00:00:30", 48 * 3600 + 30),
+    ],
+)
+def test_parse_walltime_forms(spec, seconds):
+    assert parse_walltime(spec) == seconds
+
+
+@pytest.mark.parametrize("bad", ["", "x", "1:2:3:4", "a-1", "1-a"])
+def test_parse_walltime_rejects(bad):
+    with pytest.raises(SlurmError):
+        parse_walltime(bad)
+
+
+# --------------------------------------------------------------- parsing
+SCRIPT = """\
+#!/bin/bash
+#SBATCH -N 4
+#SBATCH -n 16
+#SBATCH -t 1:30:00
+#SBATCH --job-name=darshan
+# a plain comment
+module load parallel cray-python
+
+parallel -j36 echo {} ::: a b c
+"""
+
+
+def test_parse_directives():
+    job = parse_sbatch(SCRIPT)
+    assert job.nodes == 4
+    assert job.ntasks == 16
+    assert job.walltime_s == 5400
+    assert job.job_name == "darshan"
+    assert "parallel" in job.modules and "cray-python" in job.modules
+
+
+def test_body_excludes_comments_and_shebang():
+    job = parse_sbatch(SCRIPT)
+    assert all(not ln.strip().startswith("#") for ln in job.body)
+    assert any("parallel -j36" in ln for ln in job.body)
+
+
+def test_parallel_lines_extraction():
+    job = parse_sbatch(SCRIPT)
+    assert job.parallel_lines() == ["parallel -j36 echo {} ::: a b c"]
+
+
+def test_parallel_lines_continuation():
+    job = parse_sbatch(
+        "#SBATCH -N 1\nparallel -j4 \\\n  echo {} \\\n  ::: x y\n"
+    )
+    assert job.parallel_lines() == ["parallel -j4 echo {} ::: x y"]
+
+
+def test_run_parallel_lines_dry():
+    job = parse_sbatch(SCRIPT)
+    [summary] = job.run_parallel_lines(dry_run=True)
+    assert summary.n_dispatched == 3
+
+
+def test_run_without_parallel_invocation_errors():
+    job = parse_sbatch("#SBATCH -N 1\necho hello\n")
+    with pytest.raises(SlurmError):
+        job.run_parallel_lines()
+
+
+def test_paper_listing5_end_to_end():
+    """The paper's Listing 5 parses and expands to the full 36-task grid."""
+    job = parse_sbatch(LISTING_5_PARALLEL_SCRIPT)
+    assert job.nodes == 1
+    assert job.modules == ["parallel", "cray-python"]
+    [summary] = job.run_parallel_lines(dry_run=True)
+    assert summary.n_dispatched == 36
+    commands = {r.stdout.strip() for r in summary.results}
+    assert "python3 ./darshan_arch.py 1 0" in commands
+    assert "python3 ./darshan_arch.py 12 2" in commands
+
+
+def test_sbatch_equals_form():
+    job = parse_sbatch("#SBATCH --nodes=9\n#SBATCH --time=10\nparallel echo ::: a\n")
+    assert job.nodes == 9 and job.walltime_s == 600

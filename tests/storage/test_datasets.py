@@ -1,0 +1,48 @@
+"""Synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.storage.datasets import lognormal_tree, uniform_files
+
+
+def test_lognormal_tree_count_and_mean():
+    files = lognormal_tree(5000, mean_size=1_000_000, seed=1)
+    assert len(files) == 5000
+    sizes = np.array([f.size for f in files])
+    # Lognormal with sigma=2 has huge variance; mean within a factor ~2.
+    assert 0.5e6 < sizes.mean() < 2.0e6
+    assert (sizes >= 1).all()
+
+
+def test_lognormal_tree_heavy_tail():
+    files = lognormal_tree(5000, mean_size=1_000_000, seed=1)
+    sizes = np.sort([f.size for f in files])
+    # Top 1% of files hold a large share of the bytes.
+    top = sizes[-len(sizes) // 100 :].sum()
+    assert top / sizes.sum() > 0.2
+
+
+def test_lognormal_tree_deterministic_and_unique_paths():
+    a = lognormal_tree(100, seed=3)
+    b = lognormal_tree(100, seed=3)
+    assert a == b
+    assert len({f.path for f in a}) == 100
+
+
+def test_lognormal_tree_prefix():
+    files = lognormal_tree(10, prefix="/my/root", seed=0)
+    assert all(f.path.startswith("/my/root/") for f in files)
+
+
+def test_lognormal_tree_validation():
+    with pytest.raises(ValueError):
+        lognormal_tree(-1)
+
+
+def test_uniform_files():
+    files = uniform_files(3, 42, prefix="/p", suffix=".log")
+    assert [f.size for f in files] == [42, 42, 42]
+    assert files[0].path == "/p/f00000000.log"
+    with pytest.raises(ValueError):
+        uniform_files(1, -5)

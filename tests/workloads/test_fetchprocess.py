@@ -1,0 +1,87 @@
+"""Fetch-process workflow: images, metric, queue file, tail -f."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.workloads.fetchprocess import (
+    REGIONS,
+    FileQueue,
+    brightness_metric,
+    fetch_batch,
+    follow,
+    process_batch,
+    synth_region_image,
+)
+
+
+def test_eight_regions_match_paper():
+    assert REGIONS == ("cgl", "ne", "nr", "se", "sp", "sr", "pr", "pnw")
+
+
+def test_synth_image_deterministic_and_bounded():
+    a = synth_region_image("ne", 1000)
+    b = synth_region_image("ne", 1000)
+    assert np.array_equal(a, b)
+    assert a.shape == (64, 64)
+    assert a.min() >= 0.0 and a.max() <= 1.0
+
+
+def test_synth_image_varies_by_region_and_time():
+    assert not np.array_equal(synth_region_image("ne", 1), synth_region_image("sp", 1))
+    assert not np.array_equal(synth_region_image("ne", 1), synth_region_image("ne", 2))
+
+
+def test_brightness_metric_range_and_masking():
+    assert brightness_metric(np.zeros((8, 8))) == 0.0
+    # All-white image: everything masked to 0.
+    assert brightness_metric(np.ones((8, 8))) == 0.0
+    # Half grey: mean 0.25 -> 25.
+    img = np.full((8, 8), 0.5)
+    assert brightness_metric(img) == pytest.approx(50.0)
+
+
+def test_fetch_batch_writes_all_regions(tmp_path):
+    paths = fetch_batch(str(tmp_path), ts=123, jobs=4)
+    assert len(paths) == 8
+    metrics = process_batch(str(tmp_path), "123")
+    assert set(metrics) == set(REGIONS)
+    assert all(0 <= v <= 100 for v in metrics.values())
+
+
+def test_file_queue_appends_lines(tmp_path):
+    q = FileQueue(str(tmp_path / "q.proc"))
+    q.append("100")
+    q.append("200")
+    assert open(q.path).read().splitlines() == ["100", "200"]
+
+
+def test_follow_reads_existing_then_new_lines(tmp_path):
+    q = FileQueue(str(tmp_path / "q.proc"))
+    q.append("1")
+    done = threading.Event()
+    got = []
+
+    def consumer():
+        for line in follow(q.path, poll_s=0.01, stop=done.is_set, timeout_s=10):
+            got.append(line)
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    q.append("2")
+    q.append("3")
+    # Give the follower a moment to drain, then stop it.
+    while len(got) < 3:
+        pass
+    done.set()
+    t.join(timeout=5)
+    assert not t.is_alive()
+    assert got == ["1", "2", "3"]
+
+
+def test_follow_timeout_safety(tmp_path):
+    q = FileQueue(str(tmp_path / "q.proc"))
+    gen = follow(q.path, poll_s=0.01, timeout_s=0.1)
+    with pytest.raises(TimeoutError):
+        next(gen)

@@ -1,0 +1,116 @@
+"""FORGE curation pipeline."""
+
+import pytest
+
+from repro.workloads.forge import (
+    RawArticle,
+    clean_text,
+    curate_article,
+    curation_stats,
+    extract_abstract,
+    extract_body,
+    is_english,
+    synthetic_corpus,
+)
+
+ENGLISH_DOC = """Some Title
+
+Abstract
+This paper presents the measurement of the neutron flux in the detector
+and the analysis of the results from the experiment with a model.
+
+Introduction
+The experiment was performed with the detector and the results are
+presented in this paper for all of the measurements that were taken.
+"""
+
+
+def test_extract_abstract_basic():
+    abstract = extract_abstract(ENGLISH_DOC)
+    assert abstract is not None
+    assert abstract.startswith("This paper presents")
+    assert "Introduction" not in abstract
+
+
+def test_extract_abstract_missing_returns_none():
+    assert extract_abstract("No sections here at all.") is None
+
+
+def test_extract_abstract_runs_to_end_without_section():
+    text = "Abstract\nJust the abstract and nothing else."
+    assert extract_abstract(text) == "Just the abstract and nothing else."
+
+
+def test_extract_body():
+    body = extract_body(ENGLISH_DOC)
+    assert body.startswith("The experiment was performed")
+
+
+def test_is_english_accepts_english():
+    assert is_english(ENGLISH_DOC)
+
+
+def test_is_english_rejects_cyrillic():
+    assert not is_english("энергия нейтрон поток детектор плазма решётка " * 10)
+
+
+def test_is_english_rejects_empty_and_tiny():
+    assert not is_english("")
+    assert not is_english("x y")
+    assert not is_english("12345 67890 !!!")
+
+
+def test_is_english_rejects_stopword_free_latin():
+    assert not is_english("neutron flux detector plasma lattice quantum " * 10)
+
+
+def test_clean_text_removes_control_chars():
+    assert "\x07" not in clean_text("hello\x07world\x00!")
+
+
+def test_clean_text_removes_latex():
+    out = clean_text(r"the \alpha{x} flux $E$ of \beta neutrons")
+    assert "\\" not in out and "{" not in out and "$" not in out
+    assert "flux" in out
+
+
+def test_clean_text_collapses_whitespace():
+    assert clean_text("a    b\t\tc") == "a b c"
+    assert clean_text("a\n\n\nb") == "a\nb"
+
+
+def test_curate_article_happy_path():
+    art = curate_article(RawArticle("d1", ENGLISH_DOC))
+    assert art is not None
+    assert art.doc_id == "d1"
+    assert art.n_tokens > 10
+
+
+def test_curate_drops_non_english():
+    bad = RawArticle("d2", "энергия нейтрон поток детектор " * 20)
+    assert curate_article(bad) is None
+
+
+def test_curate_drops_missing_abstract():
+    no_abs = RawArticle("d3", "Introduction\n" + "the of and to in " * 30)
+    assert curate_article(no_abs) is None
+
+
+def test_synthetic_corpus_deterministic():
+    a = synthetic_corpus(50, seed=4)
+    b = synthetic_corpus(50, seed=4)
+    assert a == b
+    assert len({x.doc_id for x in a}) == 50
+
+
+def test_corpus_curation_rates_track_defect_injection():
+    corpus = synthetic_corpus(400, seed=0, english_fraction=0.8, abstract_fraction=0.9)
+    stats = curation_stats([curate_article(a) for a in corpus])
+    # Expected kept rate ~ 0.8 * 0.9 = 0.72, within sampling noise.
+    assert 0.55 <= stats["kept_rate"] <= 0.85
+    assert stats["total_tokens"] > 0
+
+
+def test_curation_stats_empty():
+    s = curation_stats([])
+    assert s["n_input"] == 0 and s["kept_rate"] == 0.0

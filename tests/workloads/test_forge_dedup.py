@@ -1,0 +1,137 @@
+"""MinHash near-duplicate detection for FORGE curation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.forge import RawArticle, curate_corpus, synthetic_corpus
+from repro.workloads.forge_dedup import (
+    deduplicate,
+    estimated_jaccard,
+    find_duplicate_pairs,
+    jaccard,
+    minhash_signature,
+    shingles,
+)
+
+DOC_A = "the neutron flux in the detector was measured with high precision " * 5
+DOC_A2 = DOC_A + "and one extra trailing sentence appears here"
+DOC_B = "completely different content about plasma turbulence simulations " * 5
+
+
+# ---------------------------------------------------------------- shingles
+def test_shingles_basic():
+    s = shingles("a b c d", n=2)
+    assert s == {"a b", "b c", "c d"}
+
+
+def test_shingles_short_text():
+    assert shingles("one two", n=3) == {"one two"}
+    assert shingles("", n=3) == set()
+
+
+def test_shingles_validation():
+    with pytest.raises(ValueError):
+        shingles("x", n=0)
+
+
+# ----------------------------------------------------------------- jaccard
+def test_jaccard_exact_cases():
+    a, b = {"x", "y"}, {"y", "z"}
+    assert jaccard(a, a) == 1.0
+    assert jaccard(a, b) == pytest.approx(1 / 3)
+    assert jaccard(set(), set()) == 1.0
+    assert jaccard(a, set()) == 0.0
+
+
+def test_minhash_estimates_jaccard():
+    sa, sb = shingles(DOC_A), shingles(DOC_A2)
+    true = jaccard(sa, sb)
+    est = estimated_jaccard(
+        minhash_signature(sa, k=256), minhash_signature(sb, k=256)
+    )
+    assert est == pytest.approx(true, abs=0.12)
+
+
+def test_identical_docs_have_identical_signatures():
+    s = shingles(DOC_A)
+    np.testing.assert_array_equal(minhash_signature(s), minhash_signature(s))
+
+
+def test_unrelated_docs_low_similarity():
+    est = estimated_jaccard(
+        minhash_signature(shingles(DOC_A)), minhash_signature(shingles(DOC_B))
+    )
+    assert est < 0.2
+
+
+def test_signature_validation():
+    with pytest.raises(ValueError):
+        minhash_signature({"x"}, k=0)
+    with pytest.raises(ValueError):
+        estimated_jaccard(np.zeros(4, dtype=np.int64), np.zeros(8, dtype=np.int64))
+
+
+def test_empty_document_never_similar():
+    empty = minhash_signature(set())
+    other = minhash_signature(shingles(DOC_A))
+    assert estimated_jaccard(empty, other) == 0.0
+
+
+# --------------------------------------------------------------------- LSH
+def test_find_duplicate_pairs_catches_near_dupes():
+    sigs = [
+        minhash_signature(shingles(t))
+        for t in (DOC_A, DOC_B, DOC_A2, DOC_B + " tail")
+    ]
+    pairs = find_duplicate_pairs(sigs, threshold=0.7)
+    assert (0, 2) in pairs  # A ~ A2
+    assert (0, 1) not in pairs
+
+
+def test_find_duplicate_pairs_bands_validation():
+    sigs = [minhash_signature(shingles(DOC_A), k=64)]
+    with pytest.raises(ValueError):
+        find_duplicate_pairs(sigs, bands=7)  # 7 does not divide 64
+
+
+def test_find_duplicate_pairs_empty():
+    assert find_duplicate_pairs([]) == []
+
+
+# ------------------------------------------------------------- deduplicate
+def test_deduplicate_keeps_earliest():
+    report = deduplicate([DOC_A, DOC_B, DOC_A2], threshold=0.7)
+    assert report.kept_indices == (0, 1)
+    assert report.dropped_indices == (2,)
+
+
+def test_deduplicate_no_dupes_keeps_all():
+    report = deduplicate([DOC_A, DOC_B], threshold=0.7)
+    assert report.kept_indices == (0, 1)
+    assert report.duplicate_pairs == ()
+
+
+def test_deduplicate_deterministic():
+    docs = [DOC_A, DOC_A2, DOC_B]
+    a = deduplicate(docs, seed=5)
+    b = deduplicate(docs, seed=5)
+    assert a == b
+
+
+# ------------------------------------------------------------ curate_corpus
+def test_curate_corpus_end_to_end():
+    corpus = synthetic_corpus(120, seed=1)
+    curated = curate_corpus(corpus, jobs=8, dedup=True)
+    assert 0 < len(curated) <= 120
+    assert all(c.abstract and c.body for c in curated)
+
+
+def test_curate_corpus_dedup_drops_injected_duplicates():
+    base = synthetic_corpus(40, seed=2, english_fraction=1.0, abstract_fraction=1.0,
+                            noise_fraction=0.0)
+    # Inject exact copies under new ids.
+    dupes = [RawArticle(doc_id=f"copy{i}", text=base[i].text) for i in range(5)]
+    with_dupes = base + dupes
+    kept = curate_corpus(with_dupes, jobs=4, dedup=True)
+    kept_no_dedup = curate_corpus(with_dupes, jobs=4, dedup=False)
+    assert len(kept) <= len(kept_no_dedup) - 5

@@ -1,0 +1,70 @@
+"""Task-duration generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import (
+    bimodal,
+    constant,
+    lognormal,
+    uniform,
+    with_stragglers,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_constant():
+    d = constant(2.5)(rng(), 10)
+    assert (d == 2.5).all()
+    with pytest.raises(ValueError):
+        constant(-1)
+
+
+def test_uniform_bounds():
+    d = uniform(1.0, 3.0)(rng(), 10_000)
+    assert d.min() >= 1.0 and d.max() <= 3.0
+    assert d.mean() == pytest.approx(2.0, rel=0.05)
+    with pytest.raises(ValueError):
+        uniform(3.0, 1.0)
+
+
+def test_lognormal_mean_matches():
+    d = lognormal(10.0, sigma=0.5)(rng(), 50_000)
+    assert d.mean() == pytest.approx(10.0, rel=0.05)
+    assert (d > 0).all()
+    with pytest.raises(ValueError):
+        lognormal(0.0)
+
+
+def test_bimodal_mix_fraction():
+    d = bimodal(1.0, 100.0, long_fraction=0.2)(rng(), 20_000)
+    assert set(np.unique(d)) == {1.0, 100.0}
+    assert (d == 100.0).mean() == pytest.approx(0.2, abs=0.02)
+    with pytest.raises(ValueError):
+        bimodal(1.0, 2.0, long_fraction=1.5)
+
+
+def test_with_stragglers_tail():
+    base = constant(1.0)
+    d = with_stragglers(base, prob=0.05, factor=20.0)(rng(), 20_000)
+    assert set(np.unique(d)) == {1.0, 20.0}
+    assert (d == 20.0).mean() == pytest.approx(0.05, abs=0.01)
+    with pytest.raises(ValueError):
+        with_stragglers(base, factor=0.5)
+
+
+def test_samplers_deterministic_given_rng_state():
+    a = lognormal(5.0)(np.random.default_rng(7), 100)
+    b = lognormal(5.0)(np.random.default_rng(7), 100)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_samplers_compose_with_batch_model():
+    from repro.simengine import batch_makespan
+
+    d = with_stragglers(bimodal(0.1, 1.0), prob=0.02, factor=5.0)(rng(), 256)
+    makespan = batch_makespan(d, jobs=128)
+    assert makespan >= d.max()

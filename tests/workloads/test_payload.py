@@ -1,0 +1,39 @@
+"""The Fig. 1 payload task."""
+
+import numpy as np
+
+from repro import Parallel
+from repro.workloads.payload import (
+    PAYLOAD_MEAN_S,
+    PAYLOAD_SHELL,
+    payload,
+    payload_duration_sampler,
+)
+
+
+def test_payload_format():
+    out = payload("tag42")
+    host, ts, tag = out.split()
+    assert tag == "tag42"
+    assert float(ts) > 0
+
+
+def test_payload_without_tag():
+    assert len(payload().split()) == 2
+
+
+def test_payload_shell_form_runs_for_real():
+    summary = Parallel(PAYLOAD_SHELL, jobs=2).run(["a", "b"])
+    assert summary.ok
+    for r in summary.results:
+        parts = r.stdout.split()
+        assert len(parts) == 3
+        float(parts[1])  # timestamp parses
+
+
+def test_duration_sampler_statistics():
+    rng = np.random.default_rng(0)
+    d = payload_duration_sampler(rng, 20_000)
+    assert (d > 0).all()
+    assert abs(d.mean() - PAYLOAD_MEAN_S) / PAYLOAD_MEAN_S < 0.05
+    assert d.max() < 1.0  # no pathological outliers from the model itself
