@@ -62,7 +62,20 @@ class CallableBackend(Backend):
 
         helper = threading.Thread(target=target, daemon=True)
         helper.start()
-        helper.join(timeout=timeout)
+        # Wait in short slices so a --halt now cancellation is noticed
+        # promptly instead of sleeping out the whole timeout.
+        deadline = start + timeout
+        while "result" not in box:
+            remaining = deadline - time.time()
+            if remaining <= 0:
+                break
+            if self._cancelled.is_set():
+                end = time.time()
+                return self._result(
+                    job, slot, -1, None, "", start, end, JobState.KILLED,
+                    "cancelled by --halt now (callable abandoned)",
+                )
+            helper.join(timeout=min(0.05, remaining))
         if "result" in box:
             return box["result"]
         end = time.time()

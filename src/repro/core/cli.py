@@ -42,6 +42,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    help="halt policy, e.g. now,fail=1 or soon,fail=30%%")
     p.add_argument("--retries", type=int, default=0,
                    help="run failing jobs up to N times in total")
+    p.add_argument("--retry-delay", type=float, default=0.0, metavar="SECS",
+                   dest="retry_delay",
+                   help="base delay before re-running a failed job "
+                        "(exponential backoff with jitter)")
+    # Chaos testing only: a JSON FaultPlan (inline or a file path) wrapped
+    # around the shell backend.  Hidden — not part of the GNU Parallel CLI.
+    p.add_argument("--fault-plan", default=None, dest="fault_plan",
+                   help=argparse.SUPPRESS)
     p.add_argument("--timeout", default=None,
                    help="per-job timeout: seconds, or N%% of median runtime")
     p.add_argument("--pipe", action="store_true",
@@ -176,6 +184,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_load=ns.max_load,
             quote=ns.quote,
             max_args=ns.max_args,
+            retry_delay=ns.retry_delay,
         )
         command = " ".join(ns.command) if len(ns.command) > 1 else ns.command[0]
         progress = None
@@ -183,8 +192,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.core.progress import ProgressBar
 
             progress = ProgressBar(sys.stderr)
-        engine = Parallel(command, output=sys.stdout, options=options,
-                          progress=progress)
+        backend = None
+        if ns.fault_plan:
+            from repro.core.backends.local import LocalShellBackend
+            from repro.faults import FaultPlan, FaultyBackend
+
+            backend = FaultyBackend(LocalShellBackend(), FaultPlan.load(ns.fault_plan))
+        engine = Parallel(command, backend=backend, output=sys.stdout,
+                          options=options, progress=progress)
         if ns.pipe:
             summary = engine.pipe(
                 sys.stdin, block_size=ns.block, n_records=ns.max_replace_args

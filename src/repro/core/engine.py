@@ -163,15 +163,28 @@ class Parallel:
     # -- plumbing ------------------------------------------------------------
     def _make_backend(self) -> Backend:
         if self._default_backend is not None:
-            backend = self._default_backend
-            # Backends are single-run (they track in-flight processes);
-            # recreate stateful defaults per run where we own them.
-            if isinstance(backend, LocalShellBackend):
-                return LocalShellBackend(shell=backend.shell)
-            if isinstance(backend, CallableBackend):
-                return CallableBackend(backend.func)
-            return backend
+            return self._fresh_backend(self._default_backend)
         return LocalShellBackend()
+
+    @classmethod
+    def _fresh_backend(cls, backend: Backend) -> Backend:
+        # Backends are single-run (they track in-flight processes and
+        # cancellation); recreate stateful defaults per run where we own
+        # them.  Fault-injecting wrappers are refreshed recursively so a
+        # reused engine does not inherit a cancelled inner backend.
+        from repro.faults.backend import FaultyBackend
+
+        if isinstance(backend, LocalShellBackend):
+            return LocalShellBackend(shell=backend.shell)
+        if isinstance(backend, CallableBackend):
+            return CallableBackend(backend.func)
+        if isinstance(backend, FaultyBackend):
+            # Reset in place (not a copy) so the caller's handle keeps
+            # seeing the injected-fault counters after the run.
+            backend.inner = cls._fresh_backend(backend.inner)
+            backend.reset()
+            return backend
+        return backend
 
     def _make_emit(self):
         out = self._output

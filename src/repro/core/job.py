@@ -33,6 +33,9 @@ class Job:
     attempt: int = 0  # 0 = not yet started; 1 = first attempt
     #: ``--pipe`` mode: the block of input fed to the job's stdin.
     stdin_data: "str | None" = None
+    #: Earliest wall-clock time this job may be (re)dispatched; set by the
+    #: ``--retry-delay`` backoff when a failed attempt is re-queued.
+    eligible_at: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -12,12 +12,20 @@ from __future__ import annotations
 
 import os
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, TextIO
 
 from repro.core.job import JobResult
 
-__all__ = ["JOBLOG_HEADER", "JoblogWriter", "JoblogEntry", "read_joblog", "completed_seqs"]
+__all__ = [
+    "JOBLOG_HEADER",
+    "JoblogWriter",
+    "JoblogEntry",
+    "JoblogScan",
+    "scan_joblog",
+    "read_joblog",
+    "completed_seqs",
+]
 
 JOBLOG_HEADER = "Seq\tHost\tStarttime\tJobRuntime\tSend\tReceive\tExitval\tSignal\tCommand"
 
@@ -53,9 +61,19 @@ class JoblogWriter:
         self._lock = threading.Lock()
         exists = os.path.exists(path) and os.path.getsize(path) > 0
         mode = "a" if append and exists else "w"
+        torn_tail = False
+        if mode == "a":
+            # A run that died mid-write leaves a torn final record with no
+            # newline; seal it so new records don't glue onto its tail.
+            with open(path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                torn_tail = fh.read(1) != b"\n"
         self._fh: Optional[TextIO] = open(path, mode, encoding="utf-8")
         if mode == "w":
             self._fh.write(JOBLOG_HEADER + "\n")
+            self._fh.flush()
+        elif torn_tail:
+            self._fh.write("\n")
             self._fh.flush()
 
     def write(self, result: JobResult) -> None:
@@ -92,21 +110,45 @@ class JoblogWriter:
         self.close()
 
 
-def read_joblog(path: str) -> list[JoblogEntry]:
-    """Parse a joblog file; tolerates a missing file (returns [])."""
+@dataclass
+class JoblogScan:
+    """Outcome of a tolerant joblog parse.
+
+    A crashed run leaves a torn final record; disk corruption can garbage
+    interior ones.  Rather than abort a ``--resume`` over damage that
+    affects one line, the scan skips unparseable records and *counts*
+    them — the skipped seqs simply re-run.
+    """
+
+    entries: list[JoblogEntry] = field(default_factory=list)
+    n_malformed: int = 0
+    #: 1-based file line numbers of the malformed records.
+    malformed_lines: list[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every record parsed cleanly."""
+        return self.n_malformed == 0
+
+
+def scan_joblog(path: str) -> JoblogScan:
+    """Tolerantly parse a joblog; missing file yields an empty scan."""
+    scan = JoblogScan()
     if not os.path.exists(path):
-        return []
-    entries: list[JoblogEntry] = []
+        return scan
     with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh):
+        for lineno, line in enumerate(fh, start=1):
             line = line.rstrip("\n")
             if not line or line.startswith("Seq\t"):
                 continue
             parts = line.split("\t", 8)
             if len(parts) != 9:
-                continue  # truncated line from a crashed run; skip
+                # Torn record from a crashed run: count it, don't crash.
+                scan.n_malformed += 1
+                scan.malformed_lines.append(lineno)
+                continue
             try:
-                entries.append(
+                scan.entries.append(
                     JoblogEntry(
                         seq=int(parts[0]),
                         host=parts[1],
@@ -120,8 +162,18 @@ def read_joblog(path: str) -> list[JoblogEntry]:
                     )
                 )
             except ValueError:
-                continue  # malformed line; skip rather than abort a resume
-    return entries
+                scan.n_malformed += 1
+                scan.malformed_lines.append(lineno)
+    return scan
+
+
+def read_joblog(path: str) -> list[JoblogEntry]:
+    """Parse a joblog file; tolerates a missing file (returns []).
+
+    Malformed records are skipped; use :func:`scan_joblog` to also count
+    them.
+    """
+    return scan_joblog(path).entries
 
 
 def completed_seqs(path: str, include_failed: bool = False) -> set[int]:

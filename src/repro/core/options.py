@@ -160,6 +160,18 @@ class Options:
     #: Run failing jobs up to this many times in total (``--retries``, GNU
     #: Parallel semantics).  0 (default) and 1 both mean "run once".
     retries: int = 0
+    #: Base delay before re-running a failed job (``--retry-delay``),
+    #: seconds.  Grows exponentially per attempt (base, 2×base, 4×base,
+    #: ...) with jitter, capped at ``retry_delay_max`` — so a flapping
+    #: service is not hammered in lockstep by every retried job.  0
+    #: (default) retries immediately.
+    retry_delay: float = 0.0
+    #: Upper bound on the exponential retry delay, seconds.
+    retry_delay_max: float = 60.0
+    #: After a ``--halt now`` (or at shutdown), how long to wait for
+    #: in-flight workers to come back before abandoning them with
+    #: synthetic KILLED results, seconds.
+    halt_grace: float = 5.0
     #: Per-job wall-clock timeout (``--timeout``): seconds, or ``"N%"`` of
     #: the median runtime observed so far.  None = no timeout.
     timeout: Union[float, str, None] = None
@@ -242,6 +254,14 @@ class Options:
                 raise OptionsError(f"bad --colsep regex {self.colsep!r}: {exc}") from None
         if self.delay < 0:
             raise OptionsError(f"--delay must be >= 0, got {self.delay}")
+        if self.retry_delay < 0:
+            raise OptionsError(f"--retry-delay must be >= 0, got {self.retry_delay}")
+        if self.retry_delay_max <= 0:
+            raise OptionsError(
+                f"retry_delay_max must be > 0, got {self.retry_delay_max}"
+            )
+        if self.halt_grace < 0:
+            raise OptionsError(f"halt_grace must be >= 0, got {self.halt_grace}")
         if self.resume_failed:
             # --resume-failed implies --resume bookkeeping.
             self.resume = True

@@ -8,13 +8,14 @@ applies to both.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.job import Job, JobState
 from repro.core.options import HaltSpec
 
-__all__ = ["HaltTracker", "should_retry"]
+__all__ = ["HaltTracker", "should_retry", "retry_backoff_delay"]
 
 
 @dataclass
@@ -77,3 +78,25 @@ def should_retry(job: Job, exit_code: int, retries: int) -> bool:
     if exit_code == 0 or retries <= 0:
         return False
     return job.attempt < max(retries, 1)
+
+
+def retry_backoff_delay(
+    attempt: int,
+    base: float,
+    cap: float,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """``--retry-delay``: exponential backoff with jitter.
+
+    ``attempt`` is the number of attempts already made (1-based).  The
+    raw delay doubles per attempt (``base``, ``2*base``, ``4*base``, ...)
+    and saturates at ``cap``; with an ``rng`` the result is jittered
+    uniformly into ``[raw/2, raw]`` so a burst of same-attempt failures
+    does not retry in lockstep.  ``base <= 0`` disables the delay.
+    """
+    if base <= 0:
+        return 0.0
+    raw = min(base * (2.0 ** max(0, attempt - 1)), cap)
+    if rng is None:
+        return raw
+    return raw * (0.5 + 0.5 * rng.random())

@@ -22,6 +22,7 @@ from __future__ import annotations
 import itertools
 import os
 import queue
+import random
 import re
 import statistics
 import threading
@@ -35,7 +36,7 @@ from repro.core.job import Job, JobResult, JobState, RunSummary
 from repro.core.joblog import JoblogWriter, completed_seqs
 from repro.core.options import Options
 from repro.core.output import OutputSequencer
-from repro.core.policies import HaltTracker, should_retry
+from repro.core.policies import HaltTracker, retry_backoff_delay, should_retry
 from repro.core.results import ResultsWriter
 from repro.core.slots import SlotPool
 from repro.core.template import CommandTemplate
@@ -129,9 +130,27 @@ def run_scheduler(
     retry_q: deque[Job] = deque()
     active = 0
     halted_soon = False
+    #: Wall-clock deadline for draining in-flight work after ``--halt now``;
+    #: None while no kill is pending.
+    halt_deadline: Optional[float] = None
+    #: Jobs currently running, by seq — the set we must account for (or
+    #: abandon with synthetic KILLED results) before ``backend.close()``.
+    in_flight: dict[int, Job] = {}
+    #: Worker threads started this run, joined (bounded) at shutdown so
+    #: ``backend.close()`` cannot race an in-flight ``run_job``.
+    workers: list[threading.Thread] = []
     seq_counter = itertools.count(1)
     wall_start = time.time()
     last_dispatch = -float("inf")
+
+    # --retry-delay: exponential backoff with jitter between attempts.
+    # The jitter stream is seeded so chaos runs stay reproducible.
+    retry_rng = random.Random(options.seed if options.seed is not None else 0)
+
+    def retry_delay_for(attempt: int) -> float:
+        return retry_backoff_delay(
+            attempt, options.retry_delay, options.retry_delay_max, retry_rng
+        )
 
     def describe(args: ArgGroup, seq: int, slot: int) -> str:
         if template is not None:
@@ -196,10 +215,29 @@ def run_scheduler(
             slots.release(slot)
         done_q.put((_DONE, job, result))
 
+    def pop_ready_retry() -> Optional[Job]:
+        """A retry job whose ``--retry-delay`` backoff has elapsed, or None."""
+        if not retry_q:
+            return None
+        now = time.time()
+        for i, job in enumerate(retry_q):
+            if job.eligible_at <= now:
+                del retry_q[i]
+                return job
+        return None
+
+    def earliest_retry_at() -> float:
+        return min(job.eligible_at for job in retry_q)
+
     def next_job() -> Optional[Job]:
-        """Next dispatchable job: retries first, then fresh input."""
-        if retry_q:
-            return retry_q.popleft()
+        """Next dispatchable job: eligible retries first, then fresh input.
+
+        None means no fresh input remains — retries still backing off may
+        be waiting in ``retry_q``.
+        """
+        job = pop_ready_retry()
+        if job is not None:
+            return job
         for args in groups:
             seq = next(seq_counter)
             if seq in skip:
@@ -209,10 +247,52 @@ def run_scheduler(
             return Job(seq=seq, args=args)
         return None
 
-    pending: Optional[Job] = next_job()
-    exhausted = pending is None
+    def reap(timeout: Optional[float] = None) -> bool:
+        """Consume one completion from the workers; False on timeout."""
+        nonlocal active, halted_soon, halt_deadline
+        try:
+            if timeout is not None and timeout <= 0:
+                _kind, job, result = done_q.get_nowait()
+            else:
+                _kind, job, result = done_q.get(timeout=timeout)
+        except queue.Empty:
+            return False
+        active -= 1
+        in_flight.pop(job.seq, None)
+        _handle_completion(
+            job, result, options, halt, retry_q, summary,
+            sequencer, joblog, results_writer, retry_delay_for=retry_delay_for,
+        )
+        notify_progress()
+        if halt.triggered and not halted_soon:
+            halted_soon = True
+            if halt.kill_running:
+                backend.cancel_all()
+                halt_deadline = time.time() + options.halt_grace
+        return True
 
-    while pending is not None or active > 0:
+    def halt_wait() -> Optional[float]:
+        """How long reap() may block: bounded once a kill is pending."""
+        if halt_deadline is None:
+            return None
+        return max(0.0, halt_deadline - time.time())
+
+    def drain() -> None:
+        """Consume completions already posted, without blocking.
+
+        Workers release their slot before posting, so a free slot does not
+        mean an empty ``done_q`` — without this, fast jobs let the loop
+        dispatch fresh input indefinitely while finished failures sit
+        unprocessed, and retries starve to the back of the run.
+        """
+        while not done_q.empty():
+            if not reap(timeout=0):
+                break
+
+    pending: Optional[Job] = next_job()
+
+    while pending is not None or active > 0 or retry_q:
+        drain()
         can_dispatch = (
             pending is not None
             and not halted_soon
@@ -222,17 +302,7 @@ def run_scheduler(
             slot = slots.acquire(blocking=False)
             if slot is None:
                 # All slots busy: wait for a completion, then loop.
-                kind, job, result = done_q.get()
-                active -= 1
-                _handle_completion(
-                    job, result, options, halt, retry_q, summary,
-                    sequencer, joblog, results_writer,
-                )
-                notify_progress()
-                if halt.triggered:
-                    halted_soon = True
-                    if halt.kill_running:
-                        backend.cancel_all()
+                reap()
                 continue
             # Pace dispatches per --delay and throttle on --load.
             if options.delay > 0:
@@ -242,8 +312,9 @@ def run_scheduler(
             wait_for_load()
             # Retries outrank fresh input at every dispatch point (a failed
             # job must not starve behind a stream of new work).
-            if retry_q:
-                job = retry_q.popleft()
+            ready_retry = pop_ready_retry()
+            if ready_retry is not None:
+                job = ready_retry
             else:
                 job, pending = pending, None
             job.attempt += 1
@@ -269,36 +340,65 @@ def run_scheduler(
                 )
                 notify_progress()
             else:
-                threading.Thread(target=worker, args=(job, slot), daemon=True).start()
+                thread = threading.Thread(target=worker, args=(job, slot), daemon=True)
+                in_flight[job.seq] = job
+                workers.append(thread)
+                thread.start()
                 active += 1
+                if len(workers) > 32 + 2 * jobs_cap:
+                    workers[:] = [t for t in workers if t.is_alive()]
             if pending is None:
                 pending = next_job()
-            if pending is None:
-                exhausted = True
             continue
 
         if active > 0:
-            kind, job, result = done_q.get()
-            active -= 1
-            _handle_completion(
-                job, result, options, halt, retry_q, summary,
-                sequencer, joblog, results_writer,
-            )
-            notify_progress()
-            if halt.triggered:
-                halted_soon = True
-                if halt.kill_running:
-                    backend.cancel_all()
-            if pending is None and retry_q and not halted_soon:
-                pending = retry_q.popleft()
+            if not reap(timeout=halt_wait()):
+                break  # halt grace expired: abandon stragglers
+            if pending is None and not halted_soon:
+                pending = pop_ready_retry()
             continue
 
-        if pending is not None and (halted_soon or halt.triggered):
-            break  # input remains but we must not start it
+        if halted_soon or halt.triggered:
+            break  # input/retries remain but we must not start them
+
+        if pending is None and retry_q:
+            # Only backing-off retries remain: sleep out the earliest delay.
+            time.sleep(max(0.0, earliest_retry_at() - time.time()))
+            pending = pop_ready_retry()
+            continue
+
         break
 
     summary.halted = halt.triggered
     summary.halt_reason = halt.reason
+
+    # Shutdown: drain completions within the grace window, then account
+    # for anything still wedged with a synthetic KILLED result, and join
+    # the workers (bounded) so backend.close() cannot race run_job.
+    shutdown_deadline = time.time() + options.halt_grace
+    if halt_deadline is not None:
+        shutdown_deadline = min(shutdown_deadline, halt_deadline)
+    while active > 0:
+        if not reap(timeout=max(0.01, shutdown_deadline - time.time())):
+            break
+    if active > 0:
+        for job in list(in_flight.values()):
+            now = time.time()
+            abandoned = JobResult(
+                seq=job.seq, args=job.args, command=job.command,
+                exit_code=-1, stderr="abandoned in flight at shutdown",
+                start_time=now, end_time=now, slot=0, host=backend.host,
+                attempt=job.attempt, state=JobState.KILLED,
+            )
+            _handle_completion(
+                job, abandoned, options, halt, retry_q, summary,
+                sequencer, joblog, results_writer,
+            )
+        in_flight.clear()
+        active = 0
+    for thread in workers:
+        thread.join(timeout=max(0.0, shutdown_deadline - time.time()))
+
     summary.wall_time = time.time() - wall_start
     if joblog is not None:
         joblog.close()
@@ -317,6 +417,7 @@ def _handle_completion(
     joblog: Optional[JoblogWriter],
     results_writer: Optional[ResultsWriter],
     dry_run: bool = False,
+    retry_delay_for: Optional[Callable[[int], float]] = None,
 ) -> None:
     assert result is not None
     if joblog is not None and not dry_run:
@@ -328,6 +429,8 @@ def _handle_completion(
         and not halt.triggered
     ):
         job.state = JobState.PENDING
+        delay = retry_delay_for(job.attempt) if retry_delay_for is not None else 0.0
+        job.eligible_at = time.time() + delay if delay > 0 else 0.0
         retry_q.append(job)
         return
     job.state = result.state

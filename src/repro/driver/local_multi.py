@@ -15,12 +15,15 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 from repro.core.engine import CommandLike, Parallel
 from repro.core.job import JobResult, RunSummary
 from repro.driver.distribute import shard_cyclic
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.faults.plan import NodeFaultPlan
 
 __all__ = ["ShardedRun", "run_local_sharded"]
 
@@ -31,6 +34,13 @@ class ShardedRun:
 
     n_instances: int
     summaries: list[RunSummary] = field(default_factory=list)
+    #: Instances killed mid-run by an injected :class:`NodeFaultPlan`.
+    failed_instances: list[int] = field(default_factory=list)
+    #: Inputs lost to dead instances (all re-run on survivors when any
+    #: survivors exist).
+    n_lost: int = 0
+    #: True when a rescue wave re-ran lost inputs on the survivors.
+    rebalanced: bool = False
 
     @property
     def results(self) -> list[JobResult]:
@@ -65,6 +75,7 @@ def run_local_sharded(
     n_instances: int,
     jobs_per_instance: Union[int, str] = 0,
     engine_factory: Optional[Callable[[int], Parallel]] = None,
+    node_faults: "Optional[NodeFaultPlan]" = None,
     **option_fields,
 ) -> ShardedRun:
     """Run ``inputs`` through ``n_instances`` concurrent engine instances.
@@ -74,12 +85,22 @@ def run_local_sharded(
     once.  ``engine_factory(instance_id)`` overrides engine construction
     (custom backends, per-instance output).  Raises if any instance
     crashed outright; per-job failures are reported, not raised.
+
+    ``node_faults`` injects deterministic node death: a selected instance
+    stops after completing its plan-assigned number of jobs, and the
+    inputs it never ran are re-run on the surviving instances in a rescue
+    wave — the paper's independent-failure-domain recovery (one engine
+    instance per node means one node's death never takes down the run;
+    the driver just re-feeds the missing input lines).  Raises when every
+    instance dies, since no survivor can absorb the lost work.
     """
     if n_instances < 1:
         raise ReproError(f"n_instances must be >= 1, got {n_instances}")
     inputs = list(inputs)
     run = ShardedRun(n_instances=n_instances)
     summaries: list[Optional[RunSummary]] = [None] * n_instances
+    lost_shards: list[list[object]] = [[] for _ in range(n_instances)]
+    died = [False] * n_instances
     errors: list[Exception] = []
 
     def make_engine(instance: int) -> Parallel:
@@ -89,20 +110,57 @@ def run_local_sharded(
 
     def instance_main(instance: int) -> None:
         shard = list(shard_cyclic(inputs, n_instances, instance))
+        if node_faults is not None:
+            death = node_faults.death_point(instance, len(shard))
+            if death is not None:
+                died[instance] = True
+                lost_shards[instance] = shard[death:]
+                shard = shard[:death]
         try:
             summaries[instance] = make_engine(instance).run(shard)
         except Exception as exc:  # surfaced after join
             errors.append(exc)
 
-    threads = [
-        threading.Thread(target=instance_main, args=(i,), name=f"shard{i}")
-        for i in range(n_instances)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-    if errors:
-        raise errors[0]
+    def run_wave(mains: Sequence[Callable[[], None]], name: str) -> None:
+        threads = [
+            threading.Thread(target=main, name=f"{name}{i}")
+            for i, main in enumerate(mains)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+
+    run_wave([lambda i=i: instance_main(i) for i in range(n_instances)], "shard")
+    run.failed_instances = [i for i, dead in enumerate(died) if dead]
+    lost = [item for shard in lost_shards for item in shard]
+    run.n_lost = len(lost)
     run.summaries = [s for s in summaries if s is not None]
+
+    if lost:
+        survivors = [i for i in range(n_instances) if not died[i]]
+        if not survivors:
+            raise ReproError(
+                f"all {n_instances} instances died; no survivor to reshard "
+                f"{len(lost)} lost inputs onto"
+            )
+        rescue: list[Optional[RunSummary]] = [None] * len(survivors)
+
+        def rescue_main(k: int, instance: int) -> None:
+            share = list(shard_cyclic(lost, len(survivors), k))
+            if not share:
+                return
+            try:
+                rescue[k] = make_engine(instance).run(share)
+            except Exception as exc:
+                errors.append(exc)
+
+        run_wave(
+            [lambda k=k, i=i: rescue_main(k, i) for k, i in enumerate(survivors)],
+            "rescue",
+        )
+        run.summaries.extend(s for s in rescue if s is not None)
+        run.rebalanced = True
     return run

@@ -17,9 +17,12 @@ Two fidelities, validated against each other:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.faults.plan import NodeFaultPlan
 
 from repro.cluster.machines import ENGINE_DISPATCH_RATE
 from repro.driver.distribute import shard_cyclic
@@ -46,6 +49,10 @@ class MultiNodeRun:
     completion_times: np.ndarray
     node_makespans: np.ndarray
     results: list[SimTaskResult] = field(default_factory=list)
+    #: Nodes killed mid-run by an injected :class:`NodeFaultPlan`.
+    failed_nodes: list[int] = field(default_factory=list)
+    #: Tasks lost to dead nodes (re-run on survivors when rebalancing).
+    n_lost: int = 0
 
     @property
     def makespan(self) -> float:
@@ -64,6 +71,8 @@ def run_multinode(
     jobs_per_node: int,
     dispatch_rate: float = ENGINE_DISPATCH_RATE,
     gpu_isolation: bool = False,
+    node_faults: "Optional[NodeFaultPlan]" = None,
+    rebalance: bool = True,
 ) -> MultiNodeRun:
     """Detailed multi-node run (Listing 1 semantics) inside the simulation.
 
@@ -72,41 +81,86 @@ def run_multinode(
     allocation's nodes; each node waits for its readiness time, then runs
     one engine instance over its shard.  Runs (and resets) the
     allocation's simulation environment to completion.
+
+    ``node_faults`` kills selected nodes after their plan-assigned number
+    of completed tasks; with ``rebalance`` (default) the survivors re-run
+    the lost inputs in a second wave — the per-node-instance failure
+    isolation the paper's design gives for free.  Raises when every node
+    dies and lost work cannot be rebalanced.
     """
     env = allocation.machine.env
     all_results: list[SimTaskResult] = []
     node_makespans = np.zeros(allocation.n_nodes)
+    lost_shards: list[list[object]] = [[] for _ in range(allocation.n_nodes)]
+    failed_nodes: set[int] = set()
 
-    def node_process(nodeid: int):
-        shard = list(shard_cyclic(inputs, allocation.n_nodes, nodeid))
-        yield env.timeout(allocation.ready_time(nodeid))
-        if not shard:
-            node_makespans[nodeid] = env.now
-            return
+    def run_instance(nodeid: int, items: list[object], name: str):
         node = allocation.node(nodeid)
         inst = SimParallel(
             node,
             jobs=jobs_per_node,
             dispatch_rate=dispatch_rate,
             gpu_isolation=gpu_isolation,
-            name=f"parallel@{node.name}",
+            name=name,
         )
         results = yield inst.run(
-            [task_model(item, nodeid) for item in shard]
+            [task_model(item, nodeid) for item in items]
         )
         all_results.extend(results)
         node_makespans[nodeid] = env.now
+
+    def node_process(nodeid: int):
+        shard = list(shard_cyclic(inputs, allocation.n_nodes, nodeid))
+        yield env.timeout(allocation.ready_time(nodeid))
+        if node_faults is not None:
+            death = node_faults.death_point(nodeid, len(shard))
+            if death is not None:
+                failed_nodes.add(nodeid)
+                lost_shards[nodeid] = shard[death:]
+                shard = shard[:death]
+        if not shard:
+            node_makespans[nodeid] = env.now
+            return
+        yield from run_instance(
+            nodeid, shard, f"parallel@{allocation.node(nodeid).name}"
+        )
 
     procs = [
         env.process(node_process(i), name=f"node{i}") for i in range(allocation.n_nodes)
     ]
     env.run(until=env.all_of(procs))
+
+    lost = [item for shard in lost_shards for item in shard]
+    if lost and rebalance:
+        survivors = [i for i in range(allocation.n_nodes) if i not in failed_nodes]
+        if not survivors:
+            raise SimulationError(
+                f"all {allocation.n_nodes} nodes died; no survivor to "
+                f"reshard {len(lost)} lost inputs onto"
+            )
+        wave = [
+            env.process(
+                run_instance(
+                    nid,
+                    list(shard_cyclic(lost, len(survivors), k)),
+                    f"parallel@{allocation.node(nid).name}+rescue",
+                ),
+                name=f"rescue{nid}",
+            )
+            for k, nid in enumerate(survivors)
+            if list(shard_cyclic(lost, len(survivors), k))
+        ]
+        if wave:
+            env.run(until=env.all_of(wave))
+
     completion = np.array([r.end_time for r in all_results])
     return MultiNodeRun(
         n_nodes=allocation.n_nodes,
         completion_times=completion,
         node_makespans=node_makespans,
         results=all_results,
+        failed_nodes=sorted(failed_nodes),
+        n_lost=len(lost),
     )
 
 

@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the execution engine.
+
+The chaos-engineering layer of the reproduction: seedable fault plans
+(:class:`FaultPlan`), a backend decorator that injects them
+(:class:`FaultyBackend`), node-death schedules for the multi-instance
+drivers (:class:`NodeFaultPlan`), and joblog damage helpers
+(:func:`truncate_joblog`, :func:`corrupt_joblog`).
+
+Quickstart::
+
+    from repro import Parallel
+    from repro.faults import FaultPlan, FaultSpec, FaultyBackend
+    from repro.core.backends.local import LocalShellBackend
+
+    plan = FaultPlan(seed=42, random_faults=[
+        (0.05, FaultSpec("flaky", times=2)),   # fails twice, then passes
+        (0.02, FaultSpec("hang")),             # wedges until --timeout
+    ])
+    backend = FaultyBackend(LocalShellBackend(), plan)
+    summary = Parallel("process {}", jobs=32, retries=3, timeout=10,
+                       retry_delay=0.5, backend=backend).run(inputs)
+
+Same seed → identical retry/success counts, regardless of thread timing.
+"""
+
+from repro.faults.backend import FaultyBackend
+from repro.faults.joblog import corrupt_joblog, truncate_joblog
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, NodeFaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "NodeFaultPlan",
+    "FaultyBackend",
+    "truncate_joblog",
+    "corrupt_joblog",
+]

@@ -1,0 +1,85 @@
+"""Joblog damage injection: simulate crashes and disk corruption.
+
+A run that dies mid-write leaves its ``--joblog`` with a torn final
+record (the writer appends + flushes, so only the tail can be partial);
+bit rot or a concurrent writer can garbage an interior line.  These
+helpers produce both conditions deterministically so ``--resume``
+recovery is testable:
+
+* :func:`truncate_joblog` — cut the final record partway through its
+  numeric fields (guaranteed unparseable), exactly what a crashed run
+  leaves behind;
+* :func:`corrupt_joblog` — overwrite seeded interior record(s) with
+  garbage, the disk-corruption case.
+
+Both return enough information to assert the damage, and both are pure
+functions of ``(file contents, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.joblog import JOBLOG_HEADER
+from repro.errors import ReproError
+
+__all__ = ["truncate_joblog", "corrupt_joblog"]
+
+#: Garbage written over corrupted records — deliberately tab-free so the
+#: tolerant parser counts it as malformed rather than mis-reading fields.
+GARBAGE = "\x00\x7f CORRUPTED RECORD \x7f\x00"
+
+
+def truncate_joblog(path: str, seed: int = 0) -> int:
+    """Tear the final joblog record as a mid-write crash would.
+
+    The cut lands inside the record's numeric fields (before the 8th
+    tab), so the torn line can never masquerade as a complete entry.
+    Returns the number of bytes removed.  Raises if the log holds no
+    data records to tear.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    lines = text.splitlines(keepends=True)
+    data_idx = [
+        i for i, line in enumerate(lines)
+        if line.strip() and not line.startswith("Seq\t")
+    ]
+    if not data_idx:
+        raise ReproError(f"joblog {path!r} has no records to truncate")
+    last = data_idx[-1]
+    record = lines[last].rstrip("\n")
+    tabs = [i for i, ch in enumerate(record) if ch == "\t"]
+    if len(tabs) < 8:
+        raise ReproError(f"joblog record is already torn: {record!r}")
+    cut = random.Random(f"{seed}:truncate").randrange(1, tabs[7] + 1)
+    torn = record[:cut]  # no trailing newline: the write never finished
+    new_text = "".join(lines[:last]) + torn
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(new_text)
+    return len(text) - len(new_text)
+
+
+def corrupt_joblog(path: str, seed: int = 0, n_lines: int = 1) -> list[int]:
+    """Overwrite ``n_lines`` seeded interior records with garbage.
+
+    Returns the (1-based) file line numbers that were corrupted, so a
+    test can assert exactly which seqs fell out of ``completed_seqs``.
+    """
+    if n_lines < 1:
+        raise ReproError(f"n_lines must be >= 1, got {n_lines}")
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    data_idx = [
+        i for i, line in enumerate(lines)
+        if line.strip() and line != JOBLOG_HEADER and not line.startswith("Seq\t")
+    ]
+    if not data_idx:
+        raise ReproError(f"joblog {path!r} has no records to corrupt")
+    rng = random.Random(f"{seed}:corrupt")
+    chosen = sorted(rng.sample(data_idx, min(n_lines, len(data_idx))))
+    for i in chosen:
+        lines[i] = GARBAGE
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+    return [i + 1 for i in chosen]

@@ -1,0 +1,288 @@
+"""Deterministic, seedable fault plans.
+
+The paper's core claim is that GNU Parallel survives messy extreme-scale
+reality — stragglers, failed jobs re-queued via ``--retries``/``--resume``,
+nodes dying mid-allocation.  A :class:`FaultPlan` makes those scenarios
+*reproducible*: every fault decision is a pure function of
+``(seed, seq, attempt)``, independent of thread scheduling, wall-clock
+time, or dispatch order, so a chaos run with a fixed seed produces
+identical retry/success counts on every invocation.
+
+Two ways to target jobs:
+
+* ``by_seq`` — pin an exact fault to an exact sequence number;
+* ``random_faults`` — ``(probability, spec)`` pairs evaluated per job from
+  a hash of ``(seed, seq)``.  The draw never consults a shared RNG stream,
+  so concurrency cannot perturb which jobs are selected.
+
+:class:`NodeFaultPlan` is the node-granularity analogue used by the
+drivers (:func:`~repro.driver.local_multi.run_local_sharded`,
+:func:`~repro.driver.multinode.run_multinode`): node *i* dies after
+completing *k* jobs of its shard, and the driver re-runs the lost input
+lines on the survivors — the paper's independent-failure-domain recovery
+pattern.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "NodeFaultPlan"]
+
+#: Supported fault kinds:
+#:
+#: ``crash``
+#:     The job exits nonzero (``exit_code``) without running.
+#: ``flaky``
+#:     Like ``crash`` but transient by default: fails the first
+#:     ``times`` attempts (default 1), then the real job runs.
+#: ``hang``
+#:     The job wedges until the effective ``--timeout`` expires (or
+#:     ``delay`` seconds when no timeout is set) and reports TIMED_OUT.
+#: ``slow``
+#:     A slow start: ``delay`` seconds of dead time before the real job.
+#: ``signal``
+#:     The job dies to a spurious signal (negative exit code, the
+#:     ``subprocess`` convention for signal deaths).
+FAULT_KINDS = ("crash", "flaky", "hang", "slow", "signal")
+
+#: Hang duration when the run has no timeout and the spec no delay —
+#: bounded so a plan can never wedge a test suite forever.
+DEFAULT_HANG_S = 30.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault behaviour, applied to whichever jobs a plan selects.
+
+    ``times`` limits how many *attempts* of a job are affected: ``1``
+    means transient-then-success, ``None`` means the kind's default
+    (1 for ``flaky``, unlimited for everything else).
+    """
+
+    kind: str
+    exit_code: int = 1
+    signal: int = 15
+    delay: float = 0.0
+    times: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.kind in ("crash", "flaky") and self.exit_code == 0:
+            raise ReproError(f"{self.kind} fault needs a nonzero exit_code")
+        if self.signal < 1:
+            raise ReproError(f"fault signal must be >= 1, got {self.signal}")
+        if self.delay < 0:
+            raise ReproError(f"fault delay must be >= 0, got {self.delay}")
+        if self.times is not None and self.times < 1:
+            raise ReproError(f"fault times must be >= 1, got {self.times}")
+
+    @property
+    def attempts_affected(self) -> float:
+        """How many attempts this fault hits (``inf`` = every attempt)."""
+        if self.times is not None:
+            return float(self.times)
+        return 1.0 if self.kind == "flaky" else math.inf
+
+    def to_dict(self) -> dict:
+        d: dict = {"kind": self.kind}
+        if self.kind in ("crash", "flaky") and self.exit_code != 1:
+            d["exit_code"] = self.exit_code
+        if self.kind == "signal" and self.signal != 15:
+            d["signal"] = self.signal
+        if self.delay:
+            d["delay"] = self.delay
+        if self.times is not None:
+            d["times"] = self.times
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "FaultSpec":
+        try:
+            kind = d["kind"]
+        except KeyError:
+            raise ReproError(f"fault spec needs a 'kind': {dict(d)!r}") from None
+        return cls(
+            kind=kind,
+            exit_code=int(d.get("exit_code", 1)),
+            signal=int(d.get("signal", 15)),
+            delay=float(d.get("delay", 0.0)),
+            times=None if d.get("times") is None else int(d["times"]),
+        )
+
+
+def _draw(seed: int, *parts: object) -> float:
+    """A uniform [0,1) draw that is a pure function of its arguments.
+
+    ``random.Random`` seeds strings through SHA-512, so the result is
+    stable across processes, platforms and ``PYTHONHASHSEED`` — the
+    property that makes chaos runs byte-reproducible.
+    """
+    key = ":".join(str(p) for p in (seed, *parts))
+    return random.Random(key).random()
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults, keyed by job seq.
+
+    Parameters
+    ----------
+    seed:
+        Fixed seed for the probabilistic selections.
+    by_seq:
+        Mapping of sequence number → :class:`FaultSpec` (exact targeting).
+    random_faults:
+        ``(probability, spec)`` pairs; each job's selection is decided by
+        a hash of ``(seed, seq, entry index)``.  The first matching entry
+        wins; ``by_seq`` outranks all of them.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        by_seq: Optional[Mapping[int, FaultSpec]] = None,
+        random_faults: Sequence[tuple[float, FaultSpec]] = (),
+    ):
+        self.seed = int(seed)
+        self.by_seq: dict[int, FaultSpec] = {
+            int(k): v for k, v in (by_seq or {}).items()
+        }
+        self.random_faults: list[tuple[float, FaultSpec]] = []
+        for prob, spec in random_faults:
+            prob = float(prob)
+            if not 0.0 <= prob <= 1.0:
+                raise ReproError(f"fault probability must be in [0, 1], got {prob}")
+            if not isinstance(spec, FaultSpec):
+                spec = FaultSpec.from_dict(spec)
+            self.random_faults.append((prob, spec))
+        for k, v in self.by_seq.items():
+            if not isinstance(v, FaultSpec):
+                self.by_seq[k] = FaultSpec.from_dict(v)
+
+    # -- selection ---------------------------------------------------------
+    def spec_for(self, seq: int) -> Optional[FaultSpec]:
+        """The fault targeting ``seq`` (regardless of attempt), or None."""
+        spec = self.by_seq.get(seq)
+        if spec is not None:
+            return spec
+        for i, (prob, cand) in enumerate(self.random_faults):
+            if prob > 0.0 and _draw(self.seed, seq, i, cand.kind) < prob:
+                return cand
+        return None
+
+    def fault_for(self, seq: int, attempt: int) -> Optional[FaultSpec]:
+        """The fault to inject into attempt ``attempt`` (1-based) of ``seq``."""
+        spec = self.spec_for(seq)
+        if spec is None or attempt > spec.attempts_affected:
+            return None
+        return spec
+
+    # -- (de)serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "by_seq": {str(k): v.to_dict() for k, v in sorted(self.by_seq.items())},
+            "random": [
+                {"p": prob, **spec.to_dict()} for prob, spec in self.random_faults
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "FaultPlan":
+        random_faults = []
+        for entry in d.get("random", []):
+            entry = dict(entry)
+            try:
+                prob = float(entry.pop("p"))
+            except KeyError:
+                raise ReproError(
+                    f"random fault entry needs a probability 'p': {entry!r}"
+                ) from None
+            random_faults.append((prob, FaultSpec.from_dict(entry)))
+        return cls(
+            seed=int(d.get("seed", 0)),
+            by_seq={
+                int(k): FaultSpec.from_dict(v)
+                for k, v in (d.get("by_seq") or {}).items()
+            },
+            random_faults=random_faults,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"bad fault plan JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ReproError("fault plan JSON must be an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, spec: str) -> "FaultPlan":
+        """Build a plan from inline JSON or a path to a JSON file.
+
+        This is what the hidden ``--fault-plan`` CLI flag accepts.
+        """
+        if os.path.exists(spec):
+            with open(spec, "r", encoding="utf-8") as fh:
+                return cls.from_json(fh.read())
+        if not spec.lstrip().startswith("{"):
+            # Looks like a path, not inline JSON: name the real problem.
+            raise ReproError(f"fault plan file not found: {spec}")
+        return cls.from_json(spec)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultPlan(seed={self.seed}, by_seq={len(self.by_seq)} pinned, "
+            f"random={len(self.random_faults)} rules)"
+        )
+
+
+@dataclass(frozen=True)
+class NodeFaultPlan:
+    """Deterministic node-death schedule for multi-instance drivers.
+
+    ``die_after[i] = k`` kills instance/node ``i`` after it completes
+    exactly ``k`` jobs of its shard (``k >= shard length`` means it
+    finished first and survives).  ``death_prob`` additionally rolls a
+    seeded die per node not pinned in ``die_after``; a selected node's
+    death point is drawn from the same hash, so two runs with the same
+    seed lose exactly the same work.
+    """
+
+    die_after: Mapping[int, int] = field(default_factory=dict)
+    death_prob: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.death_prob <= 1.0:
+            raise ReproError(
+                f"death_prob must be in [0, 1], got {self.death_prob}"
+            )
+        for node, k in self.die_after.items():
+            if k < 0:
+                raise ReproError(f"die_after[{node}] must be >= 0, got {k}")
+
+    def death_point(self, node_id: int, shard_len: int) -> Optional[int]:
+        """Jobs node ``node_id`` completes before dying, or None (survives)."""
+        if node_id in self.die_after:
+            point = self.die_after[node_id]
+            return point if point < shard_len else None
+        if self.death_prob > 0.0 and shard_len > 0:
+            if _draw(self.seed, "node-death", node_id) < self.death_prob:
+                return int(_draw(self.seed, "death-point", node_id) * shard_len)
+        return None

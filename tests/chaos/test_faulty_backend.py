@@ -1,0 +1,158 @@
+"""Unit behaviour of the fault-injection plan and backend decorator."""
+
+import pytest
+
+from repro.core.backends.callable_backend import CallableBackend
+from repro.core.job import Job, JobState
+from repro.core.options import Options
+from repro.errors import ReproError
+from repro.faults import FaultPlan, FaultSpec, FaultyBackend, NodeFaultPlan
+
+
+def _run(backend, seq, attempt=1, timeout=None, options=None):
+    job = Job(seq=seq, args=(str(seq),), command=f"job {seq}", attempt=attempt)
+    return backend.run_job(job, slot=1, options=options or Options(jobs=1),
+                           timeout=timeout)
+
+
+# -- FaultSpec ----------------------------------------------------------------
+def test_fault_spec_validation():
+    with pytest.raises(ReproError):
+        FaultSpec("meteor-strike")
+    with pytest.raises(ReproError):
+        FaultSpec("crash", exit_code=0)
+    with pytest.raises(ReproError):
+        FaultSpec("flaky", times=0)
+    with pytest.raises(ReproError):
+        FaultSpec("slow", delay=-1)
+
+
+def test_times_defaults_flaky_transient_crash_persistent():
+    assert FaultSpec("flaky").attempts_affected == 1
+    assert FaultSpec("crash").attempts_affected == float("inf")
+    assert FaultSpec("crash", times=2).attempts_affected == 2
+
+
+# -- FaultPlan selection ------------------------------------------------------
+def test_by_seq_targets_exact_seq_and_respects_times():
+    plan = FaultPlan(by_seq={3: FaultSpec("flaky", times=2)})
+    assert plan.fault_for(3, 1) is not None
+    assert plan.fault_for(3, 2) is not None
+    assert plan.fault_for(3, 3) is None  # transient window over
+    assert plan.fault_for(4, 1) is None
+
+
+def test_by_seq_outranks_random_rules():
+    always = (1.0, FaultSpec("hang"))
+    plan = FaultPlan(seed=5, by_seq={1: FaultSpec("crash")}, random_faults=[always])
+    assert plan.fault_for(1, 1).kind == "crash"
+    assert plan.fault_for(2, 1).kind == "hang"
+
+
+def test_random_selection_is_deterministic_and_order_free():
+    def decisions(seed):
+        plan = FaultPlan(seed=seed, random_faults=[
+            (0.2, FaultSpec("crash")), (0.1, FaultSpec("hang")),
+        ])
+        return [getattr(plan.spec_for(seq), "kind", None) for seq in range(1, 500)]
+
+    first = decisions(11)
+    assert decisions(11) == first  # same seed, fresh plan object
+    assert decisions(12) != first  # seed actually matters
+    hit_rate = sum(k is not None for k in first) / len(first)
+    assert 0.15 < hit_rate < 0.45  # roughly 1 - 0.8*0.9
+
+
+def test_probability_validation():
+    with pytest.raises(ReproError):
+        FaultPlan(random_faults=[(1.5, FaultSpec("crash"))])
+
+
+def test_json_round_trip_and_load(tmp_path):
+    plan = FaultPlan(seed=9, by_seq={7: FaultSpec("crash", exit_code=3)},
+                     random_faults=[(0.25, FaultSpec("flaky", times=2))])
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone.to_dict() == plan.to_dict()
+    assert [clone.spec_for(s) for s in range(1, 100)] == \
+           [plan.spec_for(s) for s in range(1, 100)]
+
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json())
+    assert FaultPlan.load(str(path)).to_dict() == plan.to_dict()
+    assert FaultPlan.load(plan.to_json()).to_dict() == plan.to_dict()
+    with pytest.raises(ReproError):
+        FaultPlan.load("{not json")
+
+
+# -- FaultyBackend ------------------------------------------------------------
+def test_crash_injection_produces_failed_result_without_running_job():
+    ran = []
+    backend = FaultyBackend(CallableBackend(lambda x: ran.append(x)),
+                            FaultPlan(by_seq={1: FaultSpec("crash", exit_code=7)}))
+    result = _run(backend, seq=1)
+    assert result.state is JobState.FAILED
+    assert result.exit_code == 7
+    assert "fault injection" in result.stderr
+    assert ran == []  # the real job never executed
+    assert backend.injected == {"crash": 1}
+
+
+def test_untargeted_jobs_pass_through():
+    backend = FaultyBackend(CallableBackend(lambda x: x + "!"),
+                            FaultPlan(by_seq={99: FaultSpec("crash")}))
+    result = _run(backend, seq=1)
+    assert result.state is JobState.SUCCEEDED
+    assert result.value == "1!"
+    assert backend.injected == {}
+
+
+def test_signal_injection_negative_exit_code():
+    backend = FaultyBackend(CallableBackend(lambda x: x),
+                            FaultPlan(by_seq={1: FaultSpec("signal", signal=9)}))
+    result = _run(backend, seq=1)
+    assert result.exit_code == -9
+    assert result.state is JobState.FAILED
+
+
+def test_hang_consumes_timeout_then_reports_timed_out():
+    backend = FaultyBackend(CallableBackend(lambda x: x),
+                            FaultPlan(by_seq={1: FaultSpec("hang")}))
+    result = _run(backend, seq=1, timeout=0.1)
+    assert result.state is JobState.TIMED_OUT
+    assert result.runtime >= 0.1
+
+
+def test_hang_cancelled_early_by_halt():
+    backend = FaultyBackend(CallableBackend(lambda x: x),
+                            FaultPlan(by_seq={1: FaultSpec("hang")}))
+    backend.cancel_all()
+    result = _run(backend, seq=1, timeout=5.0)
+    assert result.state is JobState.KILLED
+    assert result.runtime < 1.0
+
+
+def test_slow_start_delays_but_succeeds():
+    backend = FaultyBackend(CallableBackend(lambda x: x),
+                            FaultPlan(by_seq={1: FaultSpec("slow", delay=0.1)}))
+    result = _run(backend, seq=1)
+    assert result.state is JobState.SUCCEEDED
+    assert result.runtime >= 0.1
+
+
+# -- NodeFaultPlan ------------------------------------------------------------
+def test_node_fault_plan_pinned_and_seeded():
+    plan = NodeFaultPlan(die_after={0: 2}, death_prob=0.5, seed=3)
+    assert plan.death_point(0, 10) == 2
+    assert plan.death_point(0, 2) is None  # finished before the crash
+    seeded = [plan.death_point(n, 10) for n in range(1, 50)]
+    assert seeded == [plan.death_point(n, 10) for n in range(1, 50)]
+    assert any(p is not None for p in seeded)
+    assert any(p is None for p in seeded)
+    assert all(p is None or 0 <= p < 10 for p in seeded)
+
+
+def test_node_fault_plan_validation():
+    with pytest.raises(ReproError):
+        NodeFaultPlan(death_prob=2.0)
+    with pytest.raises(ReproError):
+        NodeFaultPlan(die_after={0: -1})

@@ -1,0 +1,103 @@
+"""Joblog damage and ``--resume`` recovery round trips.
+
+The paper's §Queues/Joblogs recovery story: a run dies, the joblog's
+final record is torn mid-write, and ``--resume`` must re-run exactly the
+unfinished work — never crash on the damage, never re-run finished work.
+"""
+
+import pytest
+
+from repro import Parallel
+from repro.core.joblog import completed_seqs, read_joblog, scan_joblog
+from repro.errors import ReproError
+from repro.faults import corrupt_joblog, truncate_joblog
+
+
+def run_echo(n, path, **opts):
+    return Parallel(lambda x: x, jobs=1, joblog=str(path), **opts).run(
+        [str(i) for i in range(n)]
+    )
+
+
+def test_truncated_tail_skips_torn_record_and_resume_reruns_it(tmp_path):
+    log = tmp_path / "joblog"
+    assert run_echo(10, log).ok
+
+    removed = truncate_joblog(str(log), seed=3)
+    assert removed > 0
+    scan = scan_joblog(str(log))
+    assert scan.n_malformed == 1
+    assert len(scan.entries) == 9
+    # jobs=1 completes in seq order, so the torn record is seq 10.
+    done = completed_seqs(str(log), include_failed=True)
+    assert done == set(range(1, 10))
+
+    resumed = run_echo(10, log, resume=True)
+    assert resumed.n_skipped == 9
+    assert resumed.n_dispatched == 1
+    assert [r.seq for r in resumed.results] == [10]
+
+    # After the resume, the log is whole again: nothing left to re-run.
+    third = run_echo(10, log, resume=True)
+    assert third.n_skipped == 10
+    assert third.n_dispatched == 0
+
+
+def test_corrupted_interior_records_counted_and_rerun(tmp_path):
+    log = tmp_path / "joblog"
+    assert run_echo(8, log).ok
+
+    lines = corrupt_joblog(str(log), seed=1, n_lines=2)
+    assert len(lines) == 2
+    scan = scan_joblog(str(log))
+    assert scan.n_malformed == 2
+    assert scan.malformed_lines == lines
+    assert len(scan.entries) == 6
+
+    resumed = run_echo(8, log, resume=True)
+    assert resumed.n_skipped == 6
+    assert resumed.n_dispatched == 2  # exactly the corrupted seqs
+    assert resumed.ok
+
+
+def test_scan_is_clean_on_undamaged_log(tmp_path):
+    log = tmp_path / "joblog"
+    run_echo(5, log)
+    scan = scan_joblog(str(log))
+    assert scan.ok
+    assert scan.n_malformed == 0
+    assert len(scan.entries) == 5
+    assert read_joblog(str(log)) == scan.entries
+
+
+def test_damage_helpers_refuse_empty_logs(tmp_path):
+    log = tmp_path / "joblog"
+    log.write_text("Seq\tHost\tStarttime\tJobRuntime\tSend\tReceive\tExitval\tSignal\tCommand\n")
+    with pytest.raises(ReproError):
+        truncate_joblog(str(log))
+    with pytest.raises(ReproError):
+        corrupt_joblog(str(log))
+
+
+def test_truncation_is_deterministic(tmp_path):
+    log1, log2 = tmp_path / "a", tmp_path / "b"
+    run_echo(6, log1)
+    log2.write_text(log1.read_text())
+    truncate_joblog(str(log1), seed=9)
+    truncate_joblog(str(log2), seed=9)
+    assert log1.read_text() == log2.read_text()
+
+
+def test_resume_failed_reruns_failures_after_damage(tmp_path):
+    log = tmp_path / "joblog"
+    # Seqs 1..6; odd inputs fail (exit 1).
+    summary = Parallel(lambda x: 1 / 0 if int(x) % 2 else x, jobs=1,
+                       joblog=str(log)).run([str(i) for i in range(6)])
+    assert summary.n_failed == 3
+    truncate_joblog(str(log), seed=0)  # tears the seq-6 record (a failure)
+    # --resume-failed skips only clean successes: seqs 1, 3, 5.
+    resumed = Parallel(lambda x: x, jobs=1, joblog=str(log),
+                       resume_failed=True).run([str(i) for i in range(6)])
+    assert resumed.n_skipped == 3
+    assert resumed.n_dispatched == 3  # the two failures + the torn record
+    assert resumed.ok

@@ -1,0 +1,142 @@
+"""Node-death injection: work resharded to survivors, locally and in sim."""
+
+import threading
+
+import pytest
+
+from repro.cluster import FRONTIER, MachineSpec, SimMachine
+from repro.driver import run_multinode
+from repro.driver.local_multi import run_local_sharded
+from repro.errors import ReproError, SimulationError
+from repro.faults import NodeFaultPlan
+from repro.sim import Environment
+from repro.simengine import SimTask
+from repro.slurm import Allocation
+
+CALM = MachineSpec(
+    name="calm",
+    node=FRONTIER.node,
+    total_nodes=16,
+    alloc_delay_mean=1e-9,
+    straggler_prob=0.0,
+)
+
+
+def _tracking_worker():
+    """A worker recording every arg it ran (the engine stringifies args)."""
+    seen = []
+    lock = threading.Lock()
+
+    def work(x):
+        with lock:
+            seen.append(int(x))
+
+    return work, seen
+
+
+# -- local sharded driver -----------------------------------------------------
+def test_dead_instance_work_resharded_to_survivors():
+    work, seen = _tracking_worker()
+    run = run_local_sharded(work, list(range(12)), 3, jobs_per_instance=2,
+                            node_faults=NodeFaultPlan(die_after={1: 2}))
+    assert run.ok
+    assert run.failed_instances == [1]
+    assert run.n_lost == 2  # instance 1's shard of 4, died after 2
+    assert run.rebalanced
+    # Every input ran exactly once across the first wave + rescue wave.
+    assert sorted(seen) == list(range(12))
+    assert run.n_succeeded == 12
+
+
+def test_multiple_deaths_and_uneven_shards():
+    work, seen = _tracking_worker()
+    run = run_local_sharded(work, list(range(10)), 4, jobs_per_instance=1,
+                            node_faults=NodeFaultPlan(die_after={0: 0, 2: 1}))
+    assert run.failed_instances == [0, 2]
+    # Cyclic shards of 10 over 4: inst 0 holds 2 (lost both), inst 2
+    # holds 3 (lost 2 of them).
+    assert run.n_lost == 2 + 2
+    assert sorted(seen) == list(range(10))
+
+
+def test_all_instances_dead_raises():
+    work, _ = _tracking_worker()
+    with pytest.raises(ReproError, match="no survivor"):
+        run_local_sharded(work, list(range(6)), 2, jobs_per_instance=1,
+                          node_faults=NodeFaultPlan(die_after={0: 0, 1: 1}))
+
+
+def test_seeded_random_deaths_are_reproducible():
+    def fingerprint():
+        work, seen = _tracking_worker()
+        run = run_local_sharded(work, list(range(40)), 8, jobs_per_instance=1,
+                                node_faults=NodeFaultPlan(death_prob=0.4, seed=6))
+        return tuple(run.failed_instances), run.n_lost, sorted(seen)
+
+    first = fingerprint()
+    assert fingerprint() == first
+    assert first[0], "seed 6 at p=0.4 over 8 instances should kill someone"
+    assert first[2] == list(range(40))  # no input lost for good
+
+
+def test_survivor_without_faults_is_unchanged():
+    work, seen = _tracking_worker()
+    run = run_local_sharded(work, list(range(8)), 2, jobs_per_instance=2)
+    assert run.failed_instances == []
+    assert run.n_lost == 0
+    assert not run.rebalanced
+    assert sorted(seen) == list(range(8))
+
+
+# -- simulated multi-node driver ----------------------------------------------
+def _allocation(n_nodes):
+    env = Environment()
+    machine = SimMachine(env, CALM, with_lustre=False)
+    return Allocation(machine, n_nodes)
+
+
+def test_sim_node_death_rebalances_to_survivors():
+    alloc = _allocation(4)
+    run = run_multinode(alloc, list(range(40)),
+                        lambda item, nid: SimTask(duration=0.01),
+                        jobs_per_node=4,
+                        node_faults=NodeFaultPlan(die_after={2: 3}))
+    assert run.failed_nodes == [2]
+    assert run.n_lost == 7  # node 2's shard of 10, died after 3
+    assert run.n_tasks == 40  # nothing lost for good
+    # The rescue wave ran on survivors, not the dead node.
+    rescue_nodes = {r.node for r in run.results[-7:]}
+    assert all("node" in n or n for n in rescue_nodes)
+
+
+def test_sim_death_without_rebalance_loses_tasks():
+    alloc = _allocation(4)
+    run = run_multinode(alloc, list(range(40)),
+                        lambda item, nid: SimTask(duration=0.01),
+                        jobs_per_node=4,
+                        node_faults=NodeFaultPlan(die_after={2: 3}),
+                        rebalance=False)
+    assert run.n_tasks == 33
+    assert run.n_lost == 7
+
+
+def test_sim_all_nodes_dead_raises():
+    alloc = _allocation(2)
+    with pytest.raises(SimulationError, match="no survivor"):
+        run_multinode(alloc, list(range(10)),
+                      lambda item, nid: SimTask(duration=0.01),
+                      jobs_per_node=2,
+                      node_faults=NodeFaultPlan(die_after={0: 0, 1: 0}))
+
+
+def test_sim_rebalanced_makespan_exceeds_clean_run():
+    clean = run_multinode(_allocation(4), list(range(40)),
+                          lambda item, nid: SimTask(duration=0.05),
+                          jobs_per_node=2)
+    faulted = run_multinode(_allocation(4), list(range(40)),
+                            lambda item, nid: SimTask(duration=0.05),
+                            jobs_per_node=2,
+                            node_faults=NodeFaultPlan(die_after={0: 1}))
+    assert faulted.n_tasks == clean.n_tasks == 40
+    # Re-running lost work serially after the first wave costs time.
+    assert faulted.makespan > clean.makespan

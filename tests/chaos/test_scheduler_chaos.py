@@ -1,0 +1,216 @@
+"""Chaos suite: the real scheduler under deterministic fault plans.
+
+Every test drives the production dispatch loop (`run_scheduler` via
+`Parallel`) through a seeded `FaultPlan` and asserts exact, reproducible
+behaviour: retry counts, halt semantics, slot accounting, ordering.
+"""
+
+import threading
+import time
+
+from repro import Parallel
+from repro.core.backends.base import Backend
+from repro.core.backends.callable_backend import CallableBackend
+from repro.core.job import JobState
+from repro.faults import FaultPlan, FaultSpec, FaultyBackend
+
+
+class ConcurrencyProbe(Backend):
+    """Pass-through decorator recording peak concurrent run_job calls."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.host = inner.host
+        self._lock = threading.Lock()
+        self._current = 0
+        self.peak = 0
+        self.calls = 0
+
+    def run_job(self, job, slot, options, timeout=None):
+        with self._lock:
+            self._current += 1
+            self.calls += 1
+            self.peak = max(self.peak, self._current)
+        try:
+            return self.inner.run_job(job, slot, options, timeout=timeout)
+        finally:
+            with self._lock:
+                self._current -= 1
+
+    def cancel_all(self):
+        self.inner.cancel_all()
+
+    def close(self):
+        self.inner.close()
+
+
+def faulty(func, plan):
+    return FaultyBackend(CallableBackend(func), plan)
+
+
+# -- retry counts -------------------------------------------------------------
+def test_persistent_crash_exhausts_exact_retry_budget():
+    plan = FaultPlan(by_seq={2: FaultSpec("crash"), 5: FaultSpec("crash")})
+    backend = faulty(lambda x: x, plan)
+    summary = Parallel(lambda x: x, jobs=3, retries=3, backend=backend).run(
+        ["a", "b", "c", "d", "e", "f"]
+    )
+    assert summary.n_failed == 2
+    assert summary.n_succeeded == 4
+    attempts = {r.seq: r.attempt for r in summary.results}
+    assert attempts[2] == 3 and attempts[5] == 3  # full --retries budget
+    assert all(attempts[s] == 1 for s in (1, 3, 4, 6))
+    assert summary.n_dispatched == 6 + 2 * 2  # 2 extra attempts per crasher
+    assert backend.injected == {"crash": 6}
+
+
+def test_flaky_faults_converge_within_budget():
+    plan = FaultPlan(seed=4, random_faults=[(0.4, FaultSpec("flaky", times=2))])
+    backend = faulty(lambda x: x * 2, plan)
+    summary = Parallel(lambda x: x, jobs=4, retries=3, backend=backend).run(
+        list(range(40))
+    )
+    assert summary.ok
+    assert summary.n_succeeded == 40
+    flaked = [r for r in summary.results if r.attempt == 3]
+    assert len(flaked) == backend.injected.get("flaky", 0) / 2
+    assert all(r.attempt in (1, 3) for r in summary.results)
+
+
+def test_spurious_signal_is_retried():
+    plan = FaultPlan(by_seq={1: FaultSpec("signal", signal=11, times=1)})
+    summary = Parallel(lambda x: x, jobs=1, retries=2,
+                       backend=faulty(lambda x: x, plan)).run(["a"])
+    assert summary.ok
+    assert summary.results[0].attempt == 2
+
+
+# -- timeouts and slot accounting ---------------------------------------------
+def test_hangs_time_out_release_slots_and_recover():
+    """6 hangs through 2 slots: leaked slots would deadlock this run."""
+    plan = FaultPlan(by_seq={s: FaultSpec("hang", times=1) for s in (1, 3, 5, 7, 9, 11)})
+    probe = ConcurrencyProbe(faulty(lambda x: x, plan))
+    start = time.time()
+    summary = Parallel(lambda x: x, jobs=2, retries=2, timeout=0.15,
+                       backend=probe).run(list(range(12)))
+    assert summary.ok
+    assert summary.n_succeeded == 12
+    assert probe.peak <= 2  # never more in flight than slots
+    retried = {r.seq for r in summary.results if r.attempt == 2}
+    assert retried == {1, 3, 5, 7, 9, 11}
+    assert time.time() - start < 10.0
+
+
+# -- halt semantics -----------------------------------------------------------
+def test_halt_now_cancels_in_flight_within_grace():
+    """--halt now with slow jobs in flight returns promptly, not after 5 s."""
+    # Hangs first, crash last: seqs 1-3 are wedged in flight when the
+    # halt fires, so the kill path has real victims to cancel.
+    plan = FaultPlan(by_seq={1: FaultSpec("hang"), 2: FaultSpec("hang"),
+                             3: FaultSpec("hang"), 4: FaultSpec("crash")})
+    backend = faulty(lambda x: x, plan)
+    start = time.time()
+    summary = Parallel(lambda x: x, jobs=4, halt="now,fail=1", halt_grace=1.0,
+                       backend=backend).run(list(range(8)))
+    elapsed = time.time() - start
+    assert summary.halted
+    assert "fail=1" in summary.halt_reason
+    assert elapsed < 3.0  # hangs were cancelled/abandoned, not waited out
+    # Every dispatched job is accounted for: no result silently dropped.
+    assert len(summary.results) + summary.n_skipped == summary.n_dispatched
+    killed = [r for r in summary.results if r.state is JobState.KILLED]
+    assert killed, "in-flight hangs must surface as KILLED results"
+
+
+def test_halt_soon_drains_in_flight_jobs():
+    plan = FaultPlan(by_seq={1: FaultSpec("crash")})
+    work = lambda x: time.sleep(0.05)  # slow enough to saturate both slots
+    summary = Parallel(work, jobs=2, halt="soon,fail=1",
+                       backend=faulty(work, plan)).run(list(range(10)))
+    assert summary.halted
+    assert summary.n_dispatched < 10
+    # Drained, not killed: nothing in flight was abandoned.
+    assert all(r.state is not JobState.KILLED for r in summary.results)
+
+
+# -- ordering -----------------------------------------------------------------
+def test_keep_order_output_sequenced_under_out_of_order_failures():
+    plan = FaultPlan(by_seq={2: FaultSpec("flaky", times=2),
+                             5: FaultSpec("flaky", times=1)})
+    emitted = []
+    backend = faulty(lambda x: x, plan)
+    summary = Parallel(lambda x: f"out-{x}", jobs=4, retries=3, keep_order=True,
+                       backend=FaultyBackend(
+                           CallableBackend(lambda x: f"out-{x}"), plan),
+                       output=lambda r, t: emitted.append(t.strip())).run(
+        [str(i) for i in range(8)]
+    )
+    assert summary.ok
+    # Retries finish late and out of order; -k must still hold the line.
+    assert emitted == [f"out-{i}" for i in range(8)]
+
+
+# -- --retry-delay backoff ----------------------------------------------------
+def test_retry_delay_applies_exponential_backoff():
+    plan = FaultPlan(by_seq={1: FaultSpec("flaky", times=2)})
+    start = time.time()
+    summary = Parallel(lambda x: x, jobs=2, retries=3, retry_delay=0.2, seed=1,
+                       backend=faulty(lambda x: x, plan)).run(["a"])
+    elapsed = time.time() - start
+    assert summary.ok
+    assert summary.results[0].attempt == 3
+    # Jittered delays are >= base/2: 0.1 (attempt 1) + 0.2 (attempt 2).
+    assert elapsed >= 0.28
+    assert elapsed < 3.0  # and capped: never the unjittered worst case x5
+
+
+def test_retry_delay_does_not_block_other_jobs():
+    plan = FaultPlan(by_seq={1: FaultSpec("flaky", times=1)})
+    order = []
+    lock = threading.Lock()
+
+    def work(x):
+        with lock:
+            order.append(x)
+
+    summary = Parallel(work, jobs=2, retries=2, retry_delay=0.3, seed=0,
+                       backend=FaultyBackend(CallableBackend(work), plan)).run(
+        ["a", "b", "c", "d"]
+    )
+    assert summary.ok
+    # While "a" backs off, the scheduler kept dispatching fresh input.
+    assert order.index("a") == len(order) - 1
+
+
+# -- the acceptance scenario --------------------------------------------------
+def chaos_invocation(seed):
+    """A crash+hang+flaky plan over 200 jobs; returns the run's fingerprint."""
+    plan = FaultPlan(seed=seed, random_faults=[
+        (0.10, FaultSpec("flaky", times=2)),
+        (0.06, FaultSpec("crash", times=1)),
+        (0.03, FaultSpec("hang", times=1)),
+        (0.04, FaultSpec("signal", signal=9, times=1)),
+    ])
+    backend = faulty(lambda x: x, plan)
+    summary = Parallel(lambda x: x, jobs=16, retries=3, retry_delay=0.01,
+                       timeout=0.2, seed=seed, backend=backend).run(
+        list(range(200))
+    )
+    return {
+        "n_succeeded": summary.n_succeeded,
+        "n_failed": summary.n_failed,
+        "n_dispatched": summary.n_dispatched,
+        "attempts": tuple(sorted((r.seq, r.attempt) for r in summary.results)),
+        "injected": tuple(sorted(backend.injected.items())),
+    }
+
+
+def test_seeded_chaos_run_is_reproducible():
+    first = chaos_invocation(seed=42)
+    second = chaos_invocation(seed=42)
+    assert first == second  # identical retry/success counts, per-seq attempts
+    assert first["n_succeeded"] == 200  # transient faults < retries: converged
+    assert first["n_dispatched"] > 200  # faults actually fired
+    assert dict(first["injected"]).keys() >= {"flaky", "crash"}
+    # A different seed really does pick different victims.
+    assert chaos_invocation(seed=43)["attempts"] != first["attempts"]

@@ -155,3 +155,31 @@ def test_max_args_cli():
 def test_quote_cli():
     code, out = run_cli(["-q", "-k", "echo", "{}", ":::", "a;b"])
     assert code == 0 and out.strip() == "a;b"
+
+
+def test_retry_delay_flag_parses_and_runs():
+    code, out = run_cli(["--retries", "2", "--retry-delay", "0.01", "-k",
+                         "echo", "{}", ":::", "a", "b"])
+    assert code == 0
+    assert out.splitlines() == ["a", "b"]
+
+
+def test_fault_plan_flag_injects_crashes(tmp_path):
+    from repro.faults import FaultPlan, FaultSpec
+
+    plan = tmp_path / "plan.json"
+    plan.write_text(FaultPlan(by_seq={1: FaultSpec("crash")}).to_json())
+    code, out = run_cli(["--fault-plan", str(plan), "--retries", "2", "-k",
+                         "echo", "{}", ":::", "a", "b"])
+    assert code == 1  # seq 1 crashes every attempt; exit code counts failures
+    assert out.splitlines() == ["b"]
+
+
+def test_fault_plan_inline_json_with_retries_converges(tmp_path):
+    from repro.faults import FaultPlan, FaultSpec
+
+    inline = FaultPlan(by_seq={2: FaultSpec("flaky", times=1)}).to_json()
+    code, out = run_cli(["--fault-plan", inline, "--retries", "2", "-k",
+                         "echo", "{}", ":::", "a", "b", "c"])
+    assert code == 0
+    assert out.splitlines() == ["a", "b", "c"]

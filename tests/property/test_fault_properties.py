@@ -1,0 +1,126 @@
+"""Property tests for the fault-injection subsystem.
+
+The two invariants the chaos layer promises:
+
+* **Convergence** — any seeded plan whose faults are transient
+  (``times < retries``) lets every job eventually succeed;
+* **Replay** — a completed joblog replays to an identical skip-set, so a
+  ``--resume`` after any fault history re-runs nothing (and two scans of
+  the same log always agree).
+"""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Parallel
+from repro.core.backends.callable_backend import CallableBackend
+from repro.core.joblog import completed_seqs, scan_joblog
+from repro.faults import FaultPlan, FaultSpec, FaultyBackend
+
+transient_kinds = st.sampled_from(["flaky", "crash", "signal"])
+
+
+@st.composite
+def transient_plans(draw):
+    """A seeded plan of transient faults plus a sufficient retry budget."""
+    times = draw(st.integers(min_value=1, max_value=3))
+    prob = draw(st.floats(min_value=0.05, max_value=0.6))
+    kind = draw(transient_kinds)
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    plan = FaultPlan(seed=seed,
+                     random_faults=[(prob, FaultSpec(kind, times=times))])
+    return plan, times + 1  # retries strictly greater than failing attempts
+
+
+@given(transient_plans(), st.integers(min_value=1, max_value=30),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=25, deadline=None)
+def test_transient_faults_always_converge(plan_and_retries, n_jobs, jobs):
+    plan, retries = plan_and_retries
+    backend = FaultyBackend(CallableBackend(lambda x: x), plan)
+    summary = Parallel(lambda x: x, jobs=jobs, retries=retries,
+                       backend=backend).run(list(range(n_jobs)))
+    assert summary.ok
+    assert summary.n_succeeded == n_jobs
+    assert summary.n_failed == 0
+    # Each job's final attempt is within the budget and consistent with
+    # the plan: faulted jobs used times+1 attempts, clean jobs exactly 1.
+    for r in summary.sorted_results():
+        spec = plan.spec_for(r.seq)
+        expected = 1 if spec is None else int(spec.attempts_affected) + 1
+        assert r.attempt == expected
+
+
+@given(transient_plans(), st.integers(min_value=1, max_value=20),
+       st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=15, deadline=None)
+def test_joblog_replays_to_identical_skip_set_under_resume(
+    plan_and_retries, n_jobs, run_seed
+):
+    plan, retries = plan_and_retries
+    fd, path = tempfile.mkstemp(prefix="joblog-prop-")
+    os.close(fd)
+    try:
+        backend = FaultyBackend(CallableBackend(lambda x: x), plan)
+        summary = Parallel(lambda x: x, jobs=4, retries=retries, seed=run_seed,
+                           joblog=path, backend=backend).run(list(range(n_jobs)))
+        assert summary.ok
+
+        # Replay: two scans of the same log agree exactly, and the
+        # skip-set covers every seq (all converged to success).
+        first = completed_seqs(path, include_failed=True)
+        assert completed_seqs(path, include_failed=True) == first
+        assert first == set(range(1, n_jobs + 1))
+        assert scan_joblog(path).ok
+
+        # --resume re-runs nothing: the fault history is irrelevant once
+        # every seq has a successful record.
+        resumed = Parallel(lambda x: x, jobs=4, retries=retries,
+                           joblog=path, resume=True,
+                           backend=FaultyBackend(
+                               CallableBackend(lambda x: x), plan)).run(
+            list(range(n_jobs))
+        )
+        assert resumed.n_dispatched == 0
+        assert resumed.n_skipped == n_jobs
+    finally:
+        os.unlink(path)
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.lists(st.tuples(st.floats(min_value=0.0, max_value=1.0),
+                          transient_kinds),
+                min_size=1, max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_fault_selection_is_a_pure_function_of_seed(seed, rules):
+    build = lambda: FaultPlan(
+        seed=seed, random_faults=[(p, FaultSpec(k)) for p, k in rules]
+    )
+    a, b = build(), build()
+    for seq in range(1, 200):
+        sa, sb = a.spec_for(seq), b.spec_for(seq)
+        assert (sa is None) == (sb is None)
+        if sa is not None:
+            assert sa == sb
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=1, max_value=6),
+       st.integers(min_value=2, max_value=50))
+@settings(max_examples=30, deadline=None)
+def test_retry_backoff_is_monotonic_and_capped(seed, attempt, base_x100):
+    import random
+
+    from repro.core.policies import retry_backoff_delay
+
+    base = base_x100 / 100.0
+    cap = 4 * base
+    raw_prev = retry_backoff_delay(attempt, base, cap)
+    raw_next = retry_backoff_delay(attempt + 1, base, cap)
+    assert raw_prev <= raw_next <= cap  # doubling, saturating at the cap
+    jittered = retry_backoff_delay(attempt, base, cap, random.Random(seed))
+    assert raw_prev / 2 <= jittered <= raw_prev  # jitter window [raw/2, raw]
+    assert retry_backoff_delay(attempt, 0.0, cap) == 0.0
