@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Dispatch-throughput runner: the engine's analog of the paper's Fig. 3.
+
+Measures single-node job launch/completion throughput through the real
+engine — the metric the paper's low-overhead claim rests on — for:
+
+* ``callable``: no-op Python callables (pure engine bookkeeping cost);
+* ``subprocess``: real ``/bin/true`` jobs (fork+exec included);
+* ``template``: per-job command-render cost (hot-path microcost).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_dispatch.py --label after \
+        --out BENCH_pr2.json
+
+The output file accumulates one entry per label, so a before/after pair
+lives in a single tracked JSON (the repo's perf trajectory seed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import Parallel  # noqa: E402
+from repro.core.template import CommandTemplate  # noqa: E402
+
+
+def _noop(_x):
+    return None
+
+
+def bench_callable(n: int = 2000, jobs: int = 8, repeats: int = 5) -> dict:
+    """Jobs/s through the engine with a no-op Python callable."""
+    rates = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        summary = Parallel(_noop, jobs=jobs).run(range(n))
+        dt = time.perf_counter() - t0
+        assert summary.n_succeeded == n, summary.n_failed
+        rates.append(n / dt)
+    return {"n": n, "jobs": jobs, "repeats": repeats,
+            "jobs_per_s": statistics.median(rates),
+            "jobs_per_s_best": max(rates)}
+
+
+def bench_subprocess(n: int = 300, jobs: int = 8, repeats: int = 3) -> dict:
+    """Jobs/s launching real /bin/true subprocesses."""
+    rates = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        summary = Parallel("true # {}", jobs=jobs).run(range(n))
+        dt = time.perf_counter() - t0
+        assert summary.n_succeeded == n, summary.n_failed
+        rates.append(n / dt)
+    return {"n": n, "jobs": jobs, "repeats": repeats,
+            "jobs_per_s": statistics.median(rates),
+            "jobs_per_s_best": max(rates)}
+
+
+def bench_template(iters: int = 50_000) -> dict:
+    """Renders/s for a realistic multi-token template."""
+    t = CommandTemplate("convert {1} -scale {2}% {1/.}_{2}.png {#} {%}")
+    args = ("/data/images/photo.jpg", "50")
+    out = t.render(args, seq=1, slot=1)
+    assert "photo_50.png" in out
+    t0 = time.perf_counter()
+    for i in range(iters):
+        t.render(args, seq=i, slot=7)
+    dt = time.perf_counter() - t0
+    return {"iters": iters, "renders_per_s": iters / dt}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--label", default="run",
+                    help="entry name in the output JSON (e.g. before/after)")
+    ap.add_argument("--out", default=None,
+                    help="JSON file to merge results into (default: stdout)")
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller problem sizes (CI smoke run)")
+    ns = ap.parse_args(argv)
+
+    if ns.quick:
+        results = {
+            "callable": bench_callable(n=400, repeats=3),
+            "subprocess": bench_subprocess(n=100, repeats=2),
+            "template": bench_template(iters=10_000),
+        }
+    else:
+        results = {
+            "callable": bench_callable(),
+            "subprocess": bench_subprocess(),
+            "template": bench_template(),
+        }
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "results": results,
+    }
+    for name, r in results.items():
+        rate = r.get("jobs_per_s") or r.get("renders_per_s")
+        print(f"{ns.label:>8s}  {name:<10s} {rate:12.1f} /s")
+    if ns.out:
+        doc = {}
+        if os.path.exists(ns.out):
+            with open(ns.out, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        doc[ns.label] = entry
+        with open(ns.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"[merged into {ns.out}]")
+    else:
+        json.dump(entry, sys.stdout, indent=1)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

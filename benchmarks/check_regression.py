@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fail the bench job on a >30% throughput regression.
+
+Compares one labelled entry of a ``bench_dispatch.py`` output file against
+the checked-in floors in ``benchmarks/thresholds.json``::
+
+    PYTHONPATH=src python benchmarks/bench_dispatch.py --quick \
+        --label ci --out BENCH_ci.json
+    python benchmarks/check_regression.py BENCH_ci.json --label ci
+
+A benchmark passes when ``measured >= tolerance * threshold`` (default
+tolerance 0.7, i.e. fail only when more than 30% below the floor — slack
+for noisy shared runners).  Exit code 1 lists every failing benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_THRESHOLDS = os.path.join(os.path.dirname(__file__), "thresholds.json")
+
+
+def check(bench_file: str, label: str, thresholds_file: str,
+          tolerance: float) -> list[str]:
+    with open(bench_file, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if label not in doc:
+        return [f"label {label!r} not found in {bench_file} "
+                f"(have: {', '.join(sorted(doc))})"]
+    results = doc[label]["results"]
+    with open(thresholds_file, "r", encoding="utf-8") as fh:
+        thresholds = json.load(fh)
+
+    failures = []
+    for name, spec in thresholds.items():
+        if name.startswith("_"):
+            continue
+        metric, floor = spec["metric"], float(spec["threshold"])
+        entry = results.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from benchmark results")
+            continue
+        measured = float(entry[metric])
+        limit = tolerance * floor
+        verdict = "ok" if measured >= limit else "REGRESSION"
+        print(f"{name:<12s} {metric:<14s} measured {measured:12.1f}  "
+              f"floor {limit:12.1f} ({tolerance:.0%} of {floor:.0f})  {verdict}")
+        if measured < limit:
+            failures.append(
+                f"{name}: {measured:.1f} {metric} < {limit:.1f} "
+                f"({tolerance:.0%} of threshold {floor:.0f})")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_file", help="bench_dispatch.py output JSON")
+    ap.add_argument("--label", default="ci", help="entry to check")
+    ap.add_argument("--thresholds", default=DEFAULT_THRESHOLDS)
+    ap.add_argument("--tolerance", type=float, default=0.7,
+                    help="fraction of threshold that must be met (default 0.7)")
+    ns = ap.parse_args(argv)
+
+    failures = check(ns.bench_file, ns.label, ns.thresholds, ns.tolerance)
+    if failures:
+        print("\nthroughput regression detected:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

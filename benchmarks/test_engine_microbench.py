@@ -24,8 +24,10 @@ def test_callable_dispatch_throughput(benchmark):
         return summary
 
     summary = benchmark(run)
-    # Sanity: dozens of jobs/s at the very least, on any machine.
-    assert n / benchmark.stats.stats.mean > 50
+    # The pooled dispatch engine clears 50k jobs/s on a dev box; even a
+    # heavily shared CI runner must manage hundreds (the pre-pool
+    # thread-per-job engine already did ~10k/s).
+    assert n / benchmark.stats.stats.mean > 500
 
 
 def test_subprocess_dispatch_throughput(benchmark):

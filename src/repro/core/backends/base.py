@@ -33,6 +33,14 @@ class Backend(abc.ABC):
         ordinary job failure; failures are results, not exceptions.
         """
 
+    def prepare_run(self, options: Options) -> None:
+        """One-time per-run setup, called by the scheduler before dispatch.
+
+        Backends hoist per-job-invariant work here — merged environments,
+        process pools — so nothing constant is recomputed on the per-job
+        hot path.  Default: nothing.
+        """
+
     def cancel_all(self) -> None:
         """Best-effort termination of everything in flight (``--halt now``)."""
 

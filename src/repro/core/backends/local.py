@@ -33,6 +33,30 @@ class LocalShellBackend(Backend):
         self._procs: dict[int, subprocess.Popen] = {}
         self._lock = threading.Lock()
         self._cancelled = threading.Event()
+        #: Per-run merged environment cache (``prepare_run``): copying
+        #: ``os.environ`` per job is pure hot-path waste.
+        self._run_env: dict[str, str] | None = None
+        self._env_key: int | None = None
+
+    def prepare_run(self, options: Options) -> None:
+        self._run_env = self._merged_env(options)
+        self._env_key = id(options)
+
+    @staticmethod
+    def _merged_env(options: Options) -> dict[str, str] | None:
+        if not options.env:
+            return None  # inherit, no copy at all
+        env = dict(os.environ)
+        env.update(options.env)
+        return env
+
+    def _env_for(self, options: Options) -> dict[str, str] | None:
+        # Direct run_job callers (tests, wrappers) may skip prepare_run;
+        # fall back to computing-and-caching on first use per options.
+        if self._env_key != id(options):
+            self._run_env = self._merged_env(options)
+            self._env_key = id(options)
+        return self._run_env
 
     def run_job(
         self, job: Job, slot: int, options: Options, timeout: float | None = None
@@ -40,18 +64,17 @@ class LocalShellBackend(Backend):
         if self._cancelled.is_set():
             return self._result(job, slot, -1, "", "", time.time(), time.time(), JobState.KILLED)
 
-        env = None
-        if options.env:
-            env = dict(os.environ)
-            env.update(options.env)
-
-        def preexec():  # runs in the child between fork and exec
-            os.setpgrp()
-            if options.nice is not None:
-                os.nice(options.nice)
+        env = self._env_for(options)
 
         start = time.time()
         try:
+            # start_new_session (setsid in the child, after fork) replaces
+            # the old preexec_fn path: preexec_fn runs arbitrary Python
+            # between fork and exec, which is both slow (it forces
+            # single-threaded fork bookkeeping in CPython) and unsafe under
+            # a threaded dispatcher.  The child is its own session (and
+            # thus process-group) leader, so kill-by-group still covers the
+            # whole job tree.
             proc = subprocess.Popen(
                 [self.shell, "-c", job.command],
                 stdin=subprocess.PIPE if job.stdin_data is not None else subprocess.DEVNULL,
@@ -60,16 +83,31 @@ class LocalShellBackend(Backend):
                 cwd=options.workdir,
                 env=env,
                 text=True,
-                preexec_fn=preexec if os.name == "posix" else None,
+                start_new_session=(os.name == "posix"),
             )
         except OSError as exc:
             end = time.time()
             return self._result(
                 job, slot, 127, "", f"spawn failed: {exc}", start, end, JobState.FAILED
             )
+        if options.nice is not None and hasattr(os, "setpriority"):
+            # Applied from the parent right after spawn (no preexec_fn);
+            # the first few ms of the job may run un-niced, an accepted
+            # trade for keeping fork+exec on the fast path.  PRIO_PGRP
+            # (the child is its own group leader) covers helpers the
+            # shell already forked, which PRIO_PROCESS would race.
+            try:
+                os.setpriority(os.PRIO_PGRP, proc.pid, options.nice)
+            except OSError:
+                pass
 
         with self._lock:
             self._procs[proc.pid] = proc
+            cancelled = self._cancelled.is_set()
+        if cancelled:
+            # cancel_all ran between the entry check and registration: its
+            # snapshot missed this process, so deliver the kill ourselves.
+            self._kill_group(proc)
         try:
             try:
                 stdout, stderr = proc.communicate(

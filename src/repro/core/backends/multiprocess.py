@@ -45,6 +45,11 @@ class MultiprocessBackend(Backend):
         self._max_workers = max_workers
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
+    def prepare_run(self, options: Options) -> None:
+        # Build the process pool once per run, up front, instead of paying
+        # pool construction inside the first job's dispatch.
+        self._ensure_pool()
+
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:
             self._pool = concurrent.futures.ProcessPoolExecutor(

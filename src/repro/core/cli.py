@@ -64,6 +64,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    help="split input lines into columns on REGEX ({1}, {2}, ...)")
     p.add_argument("--load", type=float, default=None, dest="max_load",
                    help="do not start jobs while 1-min load average exceeds this")
+    p.add_argument("--memfree", type=int, default=None, metavar="BYTES",
+                   help="do not start jobs while available memory is below this")
+    # Engine extensions (not GNU Parallel flags): dispatch-pool tunables.
+    p.add_argument("--pool-prestart", action="store_true", dest="pool_prestart",
+                   help="start all worker threads up front instead of "
+                        "growing the pool lazily")
+    p.add_argument("--joblog-flush-every", type=int, default=32, metavar="N",
+                   dest="joblog_flush_every",
+                   help="flush the joblog every N records (default 32; "
+                        "1 = every record)")
+    p.add_argument("--throttle-poll-max", type=float, default=0.25,
+                   metavar="SECS", dest="throttle_poll_max",
+                   help="cap for the exponential --load/--memfree poll "
+                        "interval (default 0.25s)")
     p.add_argument("--bar", action="store_true",
                    help="show a progress bar on stderr")
     p.add_argument("-q", "--quote", action="store_true",
@@ -182,9 +196,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             nice=ns.nice,
             colsep=ns.colsep,
             max_load=ns.max_load,
+            memfree=ns.memfree,
             quote=ns.quote,
             max_args=ns.max_args,
             retry_delay=ns.retry_delay,
+            pool_prestart=ns.pool_prestart,
+            joblog_flush_every=ns.joblog_flush_every,
+            throttle_poll_max=ns.throttle_poll_max,
         )
         command = " ".join(ns.command) if len(ns.command) > 1 else ns.command[0]
         progress = None

@@ -229,6 +229,17 @@ class Options:
     #: Pack this many consecutive arguments into each job (``-n``); the
     #: packed values fill ``{1}``..``{n}`` (and ``{}`` space-joined).
     max_args: Optional[int] = None
+    #: Start all dispatch-pool worker threads up front instead of growing
+    #: the pool lazily with observed concurrency (engine extension, not a
+    #: GNU Parallel flag).  Helps very short latency-sensitive runs.
+    pool_prestart: bool = False
+    #: Flush the ``--joblog`` after this many records (engine extension).
+    #: 1 = flush every record (the old behaviour); a time-based flush
+    #: still bounds staleness between batches.
+    joblog_flush_every: int = 32
+    #: Cap on the exponential ``--load``/``--memfree`` poll backoff,
+    #: seconds (engine extension; the poll starts at 5 ms and doubles).
+    throttle_poll_max: float = 0.25
 
     # Parsed halt policy (computed in __post_init__).
     halt_spec: HaltSpec = field(init=False, repr=False)
@@ -262,6 +273,14 @@ class Options:
             )
         if self.halt_grace < 0:
             raise OptionsError(f"halt_grace must be >= 0, got {self.halt_grace}")
+        if self.joblog_flush_every < 1:
+            raise OptionsError(
+                f"joblog_flush_every must be >= 1, got {self.joblog_flush_every}"
+            )
+        if self.throttle_poll_max <= 0:
+            raise OptionsError(
+                f"throttle_poll_max must be > 0, got {self.throttle_poll_max}"
+            )
         if self.resume_failed:
             # --resume-failed implies --resume bookkeeping.
             self.resume = True

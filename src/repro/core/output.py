@@ -9,6 +9,7 @@ both the real and simulated schedulers share it.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Optional
 
 from repro.core.job import JobResult
@@ -16,6 +17,14 @@ from repro.core.options import Options
 from repro.core.template import CommandTemplate
 
 __all__ = ["OutputSequencer", "format_output"]
+
+
+@lru_cache(maxsize=64)
+def _tag_template(tagstring: str) -> CommandTemplate:
+    # Parsing the --tagstring template per emitted result was a per-job
+    # cost; a run uses one tagstring, so the cache is effectively a
+    # parse-once.
+    return CommandTemplate(tagstring, implicit_append=False)
 
 
 def format_output(result: JobResult, options: Options) -> str:
@@ -28,7 +37,7 @@ def format_output(result: JobResult, options: Options) -> str:
     if not options.tag:
         return text
     if options.tagstring:
-        tag = CommandTemplate(options.tagstring, implicit_append=False).render(
+        tag = _tag_template(options.tagstring).render(
             result.args, seq=result.seq, slot=result.slot
         )
     else:

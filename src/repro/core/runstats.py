@@ -1,0 +1,57 @@
+"""Streaming run statistics for the dispatch hot path.
+
+The dynamic ``--timeout N%`` form needs the median runtime of all
+successful jobs *so far*, queried once per dispatched job.  Recomputing
+``statistics.median`` over a growing list is O(n log n) per job — the
+kind of per-job cost the paper's low-overhead claim rules out.  The
+classic two-heap scheme keeps the running median at O(log n) insert and
+O(1) query, with O(1) amortized memory churn.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+__all__ = ["StreamingMedian"]
+
+
+class StreamingMedian:
+    """Running median over a stream: O(log n) push, O(1) median.
+
+    The lower half lives in a max-heap (stored negated), the upper half
+    in a min-heap; the halves are rebalanced so ``len(lo)`` is either
+    equal to ``len(hi)`` or one larger.  Matches ``statistics.median``:
+    the middle element for odd counts, the mean of the two middle
+    elements for even counts.
+    """
+
+    __slots__ = ("_lo", "_hi")
+
+    def __init__(self) -> None:
+        self._lo: list[float] = []  # max-heap (negated): lower half
+        self._hi: list[float] = []  # min-heap: upper half
+
+    def push(self, value: float) -> None:
+        """Add one observation."""
+        if self._lo and value > -self._lo[0]:
+            heapq.heappush(self._hi, value)
+        else:
+            heapq.heappush(self._lo, -value)
+        if len(self._lo) > len(self._hi) + 1:
+            heapq.heappush(self._hi, -heapq.heappop(self._lo))
+        elif len(self._hi) > len(self._lo):
+            heapq.heappush(self._lo, -heapq.heappop(self._hi))
+
+    def median(self) -> float:
+        """The current median; raises ``ValueError`` on an empty stream."""
+        if not self._lo:
+            raise ValueError("median of an empty stream")
+        if len(self._lo) > len(self._hi):
+            return -self._lo[0]
+        return (-self._lo[0] + self._hi[0]) / 2.0
+
+    def __len__(self) -> int:
+        return len(self._lo) + len(self._hi)
+
+    def __bool__(self) -> bool:
+        return bool(self._lo)

@@ -12,22 +12,32 @@ Reproduces GNU Parallel's job-control behaviour:
 * ``--keep-order`` output sequencing, ``--tag`` prefixes,
 * ``--results`` capture trees, ``--dry-run``.
 
-One OS thread runs per in-flight job (GNU Parallel forks one process per
-job; a Python thread per job is the analogous cost model, and the real
-work happens in a subprocess anyway for the shell backend).
+Execution model: a pool of at most ``-j`` *persistent* worker threads is
+fed through an in-memory dispatch queue; each worker loops "take job →
+``backend.run_job`` → post completion".  GNU Parallel forks one process
+per job, but its *perl-side* bookkeeping per job is tiny — that is the
+cost model this pool reproduces.  Spawning an OS thread per job (the
+previous design) put ~100 µs of thread start/join on the per-job hot
+path, which dominates exactly the single-node launch-rate regime the
+paper's Fig. 3 stress test measures.
+
+Ordering invariant (retry fairness): a worker posts its completion and
+the *scheduler* releases the job's slot only after the completion has
+been fully handled.  A free slot therefore proves the completion that
+freed it — including any retry re-queue — has been processed, so retries
+can never starve behind a stream of fresh input racing freed slots.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import os
 import queue
 import random
 import re
-import statistics
 import threading
 import time
-from collections import deque
 from typing import Callable, Iterable, Iterator, Optional
 
 from repro.core.backends.base import Backend
@@ -38,24 +48,158 @@ from repro.core.options import Options
 from repro.core.output import OutputSequencer
 from repro.core.policies import HaltTracker, retry_backoff_delay, should_retry
 from repro.core.results import ResultsWriter
+from repro.core.runstats import StreamingMedian
 from repro.core.slots import SlotPool
 from repro.core.template import CommandTemplate
 
 __all__ = ["run_scheduler"]
 
-_DONE = "done"
+#: Sentinel telling a pool worker to exit its take-run-post loop.
+_STOP = None
+
+#: Initial --load/--memfree poll interval; doubles up to
+#: ``Options.throttle_poll_max``.
+_THROTTLE_POLL_INITIAL = 0.005
 
 
-def _read_mem_available() -> int:
-    """Available memory in bytes from /proc/meminfo (inf when unreadable)."""
-    try:
-        with open("/proc/meminfo", "r", encoding="ascii") as fh:
-            for line in fh:
-                if line.startswith("MemAvailable:"):
+class _MemAvailableProbe:
+    """``/proc/meminfo`` MemAvailable reader with a cached file handle.
+
+    ``--memfree`` probes before every dispatch; reopening the procfs file
+    each time costs a path lookup + open/close per job.  The handle is
+    opened once and rewound per probe (procfs regenerates content on
+    read).  Unreadable or unparseable → "infinite" memory: never throttle.
+    """
+
+    def __init__(self, path: str = "/proc/meminfo"):
+        self._path = path
+        self._fh = None
+
+    def __call__(self) -> int:
+        try:
+            if self._fh is None:
+                self._fh = open(self._path, "rb", buffering=0)
+            else:
+                self._fh.seek(0)
+            for line in self._fh.read().splitlines():
+                if line.startswith(b"MemAvailable:"):
                     return int(line.split()[1]) * 1024
-    except OSError:
-        pass
-    return 2**63  # no probe available: never throttle
+        except (OSError, ValueError, IndexError):
+            self.close()
+        return 2**63  # no probe available: never throttle
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+
+class _RetryQueue:
+    """Min-heap of retry jobs keyed on ``eligible_at``, FIFO within ties.
+
+    Replaces the former O(n)-per-dispatch linear scan of a deque: peek
+    and pop of the earliest-eligible job are O(1)/O(log n).
+    """
+
+    __slots__ = ("_heap", "_tie")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Job]] = []
+        self._tie = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, job: Job) -> None:
+        heapq.heappush(self._heap, (job.eligible_at, next(self._tie), job))
+
+    def pop_ready(self, now: float) -> Optional[Job]:
+        """The earliest job whose backoff has elapsed, or None."""
+        if self._heap and self._heap[0][0] <= now:
+            return heapq.heappop(self._heap)[2]
+        return None
+
+    def earliest_at(self) -> float:
+        """``eligible_at`` of the earliest queued retry (queue non-empty)."""
+        return self._heap[0][0]
+
+
+class _WorkerPool:
+    """Persistent worker threads fed by an in-memory dispatch queue.
+
+    Workers loop ``take (job, slot) → run_one → post completion``; none
+    of the per-job thread create/start/join cost of the previous
+    thread-per-job design remains.  The pool grows lazily with observed
+    concurrency (slot-gating bounds in-flight jobs, so it can never
+    exceed ``capacity``) unless ``prestart`` asks for all workers up
+    front.  Threads are daemons: a worker wedged inside a backend cannot
+    block interpreter exit after the bounded shutdown join.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        run_one: Callable[[Job, int], JobResult],
+        done_q: "queue.SimpleQueue",
+        prestart: bool = False,
+    ):
+        self.capacity = capacity
+        self._run_one = run_one
+        self._done_q = done_q
+        self._dispatch_q: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._threads: list[threading.Thread] = []
+        if prestart:
+            while len(self._threads) < capacity:
+                self._spawn()
+
+    @property
+    def size(self) -> int:
+        """Workers spawned so far (monotone within a run, <= capacity)."""
+        return len(self._threads)
+
+    def submit(self, job: Job, slot: int, active: int) -> None:
+        """Queue one job; ``active`` counts in-flight jobs including it."""
+        if len(self._threads) < min(self.capacity, active):
+            self._spawn()
+        self._dispatch_q.put((job, slot))
+
+    def _spawn(self) -> None:
+        thread = threading.Thread(
+            target=self._worker_loop,
+            daemon=True,
+            name=f"repro-worker-{len(self._threads) + 1}",
+        )
+        self._threads.append(thread)
+        thread.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._dispatch_q.get()
+            if item is _STOP:
+                return
+            job, slot = item
+            result = self._run_one(job, slot)
+            self._done_q.put((job, slot, result))
+
+    def shutdown(self, deadline: float) -> int:
+        """Stop workers, joining until ``deadline`` (monotonic seconds).
+
+        Returns the number of threads still alive (wedged in a backend);
+        they are daemons and die with the process.
+        """
+        for _ in self._threads:
+            self._dispatch_q.put(_STOP)
+        wedged = 0
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            wedged += thread.is_alive()
+        return wedged
 
 
 def run_scheduler(
@@ -100,12 +244,22 @@ def run_scheduler(
     slots = SlotPool(jobs_cap)
     halt = HaltTracker(options.halt_spec, total_jobs=known_total)
 
+    # Per-run backend setup: merged environments, process pools — every
+    # per-job-invariant cost a backend can hoist off the hot path.
+    prepare_run = getattr(backend, "prepare_run", None)
+    if prepare_run is not None:
+        prepare_run(options)
+
     joblog: Optional[JoblogWriter] = None
     skip: set[int] = set()
     if options.joblog:
         if options.resume:
             skip = completed_seqs(options.joblog, include_failed=not options.resume_failed)
-        joblog = JoblogWriter(options.joblog, append=options.resume)
+        joblog = JoblogWriter(
+            options.joblog,
+            append=options.resume,
+            flush_every=options.joblog_flush_every,
+        )
 
     results_writer = ResultsWriter(options.results) if options.results else None
     sequencer = OutputSequencer(emit or (lambda r, text: None), options)
@@ -126,19 +280,16 @@ def run_scheduler(
             )
         )
 
-    done_q: "queue.Queue[tuple[str, Job, Optional[JobResult]]]" = queue.Queue()
-    retry_q: deque[Job] = deque()
+    done_q: "queue.SimpleQueue[tuple[Job, int, JobResult]]" = queue.SimpleQueue()
+    retry_q = _RetryQueue()
     active = 0
     halted_soon = False
-    #: Wall-clock deadline for draining in-flight work after ``--halt now``;
+    #: Monotonic deadline for draining in-flight work after ``--halt now``;
     #: None while no kill is pending.
     halt_deadline: Optional[float] = None
     #: Jobs currently running, by seq — the set we must account for (or
     #: abandon with synthetic KILLED results) before ``backend.close()``.
     in_flight: dict[int, Job] = {}
-    #: Worker threads started this run, joined (bounded) at shutdown so
-    #: ``backend.close()`` cannot race an in-flight ``run_job``.
-    workers: list[threading.Thread] = []
     seq_counter = itertools.count(1)
     wall_start = time.time()
     last_dispatch = -float("inf")
@@ -152,50 +303,51 @@ def run_scheduler(
             attempt, options.retry_delay, options.retry_delay_max, retry_rng
         )
 
+    # Per-job command description; per-run invariants hoisted out.  A
+    # constant template (possible in --pipe mode, where the command line
+    # gets no substitution) renders exactly once.
+    static_command: Optional[str] = None
+    if template is not None and options.pipe_mode and template.is_static:
+        static_command = template.render(("",), seq=0, slot=0).rstrip()
+    callable_repr: Optional[str] = None
+    if template is None:
+        callable_repr = repr(getattr(backend, "func", backend))
+
     def describe(args: ArgGroup, seq: int, slot: int) -> str:
         if template is not None:
             if options.pipe_mode:
                 # --pipe: the block goes to stdin, not the command line.
+                if static_command is not None:
+                    return static_command
                 return template.render(("",), seq=seq, slot=slot).rstrip()
             return template.render(args, seq=seq, slot=slot, quote=options.quote)
-        return f"{getattr(backend, 'func', backend)!r}({', '.join(args)})"
+        return f"{callable_repr}({', '.join(args)})"
 
     # --timeout: fixed seconds, or N% of the median runtime seen so far
     # (GNU Parallel's dynamic form; needs >= 3 completed jobs to engage).
-    runtimes: list[float] = []
-    runtimes_lock = threading.Lock()
+    # The running median is a two-heap stream: O(log n) insert, O(1)
+    # query — runtimes are only tracked when the dynamic form is active.
+    fixed_timeout = options.timeout_s
+    dynamic_pct = options.timeout_pct
+    median_stream = StreamingMedian()
+    median_lock = threading.Lock()
 
     def effective_timeout() -> Optional[float]:
-        if options.timeout_s is not None:
-            return options.timeout_s
-        if options.timeout_pct is not None:
-            with runtimes_lock:
-                if len(runtimes) >= 3:
-                    return statistics.median(runtimes) * options.timeout_pct
+        if fixed_timeout is not None:
+            return fixed_timeout
+        if dynamic_pct is not None:
+            with median_lock:
+                if len(median_stream) >= 3:
+                    return median_stream.median() * dynamic_pct
         return None
 
-    # --load: stall dispatch while the 1-minute load average is too high.
-    load_probe = options.load_probe or (
-        (lambda: os.getloadavg()[0]) if hasattr(os, "getloadavg") else (lambda: 0.0)
-    )
-
-    # --memfree: stall dispatch while available memory is too low.
-    mem_probe = options.memfree_probe or _read_mem_available
-
-    def wait_for_load() -> None:
-        if options.max_load is not None:
-            while load_probe() > options.max_load:
-                time.sleep(0.05)
-        if options.memfree is not None:
-            while mem_probe() < options.memfree:
-                time.sleep(0.05)
-
-    def worker(job: Job, slot: int) -> None:
+    def run_one(job: Job, slot: int) -> JobResult:
+        """Worker body: one job through the backend, exceptions contained."""
         try:
             result = backend.run_job(job, slot, options, timeout=effective_timeout())
-            if result.state == JobState.SUCCEEDED:
-                with runtimes_lock:
-                    runtimes.append(result.runtime)
+            if dynamic_pct is not None and result.state == JobState.SUCCEEDED:
+                with median_lock:
+                    median_stream.push(result.runtime)
         except Exception as exc:  # backend bug; convert to a failed result
             now = time.time()
             result = JobResult(
@@ -211,23 +363,21 @@ def run_scheduler(
                 attempt=job.attempt,
                 state=JobState.FAILED,
             )
-        finally:
-            slots.release(slot)
-        done_q.put((_DONE, job, result))
+        return result
 
-    def pop_ready_retry() -> Optional[Job]:
-        """A retry job whose ``--retry-delay`` backoff has elapsed, or None."""
-        if not retry_q:
-            return None
-        now = time.time()
-        for i, job in enumerate(retry_q):
-            if job.eligible_at <= now:
-                del retry_q[i]
-                return job
-        return None
+    pool = _WorkerPool(jobs_cap, run_one, done_q, prestart=options.pool_prestart)
 
-    def earliest_retry_at() -> float:
-        return min(job.eligible_at for job in retry_q)
+    # --load / --memfree probes.
+    load_probe = options.load_probe or (
+        (lambda: os.getloadavg()[0]) if hasattr(os, "getloadavg") else (lambda: 0.0)
+    )
+    default_mem_probe: Optional[_MemAvailableProbe] = None
+    if options.memfree_probe is not None:
+        mem_probe = options.memfree_probe
+    else:
+        default_mem_probe = _MemAvailableProbe()
+        mem_probe = default_mem_probe
+    throttled = options.max_load is not None or options.memfree is not None
 
     def next_job() -> Optional[Job]:
         """Next dispatchable job: eligible retries first, then fresh input.
@@ -235,7 +385,7 @@ def run_scheduler(
         None means no fresh input remains — retries still backing off may
         be waiting in ``retry_q``.
         """
-        job = pop_ready_retry()
+        job = retry_q.pop_ready(time.time())
         if job is not None:
             return job
         for args in groups:
@@ -248,46 +398,72 @@ def run_scheduler(
         return None
 
     def reap(timeout: Optional[float] = None) -> bool:
-        """Consume one completion from the workers; False on timeout."""
+        """Consume one completion from the workers; False on timeout.
+
+        The slot is released only *after* the completion — retry re-queue
+        included — has been handled, so a freed slot can never outrun its
+        own completion (the structural retry-fairness guarantee).
+        """
         nonlocal active, halted_soon, halt_deadline
         try:
             if timeout is not None and timeout <= 0:
-                _kind, job, result = done_q.get_nowait()
+                job, slot, result = done_q.get_nowait()
             else:
-                _kind, job, result = done_q.get(timeout=timeout)
+                job, slot, result = done_q.get(timeout=timeout)
         except queue.Empty:
             return False
-        active -= 1
         in_flight.pop(job.seq, None)
-        _handle_completion(
-            job, result, options, halt, retry_q, summary,
-            sequencer, joblog, results_writer, retry_delay_for=retry_delay_for,
-        )
+        try:
+            _handle_completion(
+                job, result, options, halt, retry_q, summary,
+                sequencer, joblog, results_writer, retry_delay_for=retry_delay_for,
+            )
+        finally:
+            slots.release(slot)
+            active -= 1
         notify_progress()
         if halt.triggered and not halted_soon:
             halted_soon = True
             if halt.kill_running:
                 backend.cancel_all()
-                halt_deadline = time.time() + options.halt_grace
+                halt_deadline = time.monotonic() + options.halt_grace
         return True
 
     def halt_wait() -> Optional[float]:
         """How long reap() may block: bounded once a kill is pending."""
         if halt_deadline is None:
             return None
-        return max(0.0, halt_deadline - time.time())
+        return max(0.0, halt_deadline - time.monotonic())
 
     def drain() -> None:
         """Consume completions already posted, without blocking.
 
-        Workers release their slot before posting, so a free slot does not
-        mean an empty ``done_q`` — without this, fast jobs let the loop
-        dispatch fresh input indefinitely while finished failures sit
-        unprocessed, and retries starve to the back of the run.
+        Keeps completion handling (and thus retry re-queues and halt
+        detection) current while fresh input streams through free slots.
         """
         while not done_q.empty():
             if not reap(timeout=0):
                 break
+
+    def wait_for_throttle() -> None:
+        """Stall dispatch while ``--load``/``--memfree`` say so.
+
+        Polls with exponential backoff (capped at
+        ``options.throttle_poll_max``) instead of a fixed busy-wait; each
+        wait blocks on the completion queue, so a finishing job — or the
+        halt it triggers — wakes the loop immediately instead of sleeping
+        out the full interval.
+        """
+        delay = _THROTTLE_POLL_INITIAL
+        while not halted_soon and not halt.triggered:
+            if options.max_load is not None and load_probe() > options.max_load:
+                pass
+            elif options.memfree is not None and mem_probe() < options.memfree:
+                pass
+            else:
+                return
+            reap(timeout=delay)
+            delay = min(delay * 2.0, options.throttle_poll_max)
 
     pending: Optional[Job] = next_job()
 
@@ -304,15 +480,19 @@ def run_scheduler(
                 # All slots busy: wait for a completion, then loop.
                 reap()
                 continue
-            # Pace dispatches per --delay and throttle on --load.
+            # Pace dispatches per --delay and throttle on --load/--memfree.
             if options.delay > 0:
                 gap = time.time() - last_dispatch
                 if gap < options.delay:
                     time.sleep(options.delay - gap)
-            wait_for_load()
+            if throttled:
+                wait_for_throttle()
+                if halted_soon or halt.triggered:
+                    slots.release(slot)  # halt fired while stalled: no new work
+                    continue
             # Retries outrank fresh input at every dispatch point (a failed
             # job must not starve behind a stream of new work).
-            ready_retry = pop_ready_retry()
+            ready_retry = retry_q.pop_ready(time.time())
             if ready_retry is not None:
                 job = ready_retry
             else:
@@ -340,13 +520,9 @@ def run_scheduler(
                 )
                 notify_progress()
             else:
-                thread = threading.Thread(target=worker, args=(job, slot), daemon=True)
-                in_flight[job.seq] = job
-                workers.append(thread)
-                thread.start()
                 active += 1
-                if len(workers) > 32 + 2 * jobs_cap:
-                    workers[:] = [t for t in workers if t.is_alive()]
+                in_flight[job.seq] = job
+                pool.submit(job, slot, active)
             if pending is None:
                 pending = next_job()
             continue
@@ -355,7 +531,7 @@ def run_scheduler(
             if not reap(timeout=halt_wait()):
                 break  # halt grace expired: abandon stragglers
             if pending is None and not halted_soon:
-                pending = pop_ready_retry()
+                pending = retry_q.pop_ready(time.time())
             continue
 
         if halted_soon or halt.triggered:
@@ -363,8 +539,8 @@ def run_scheduler(
 
         if pending is None and retry_q:
             # Only backing-off retries remain: sleep out the earliest delay.
-            time.sleep(max(0.0, earliest_retry_at() - time.time()))
-            pending = pop_ready_retry()
+            time.sleep(max(0.0, retry_q.earliest_at() - time.time()))
+            pending = retry_q.pop_ready(time.time())
             continue
 
         break
@@ -373,13 +549,13 @@ def run_scheduler(
     summary.halt_reason = halt.reason
 
     # Shutdown: drain completions within the grace window, then account
-    # for anything still wedged with a synthetic KILLED result, and join
-    # the workers (bounded) so backend.close() cannot race run_job.
-    shutdown_deadline = time.time() + options.halt_grace
+    # for anything still wedged with a synthetic KILLED result, and stop
+    # the pool (bounded) so backend.close() cannot race run_job.
+    shutdown_deadline = time.monotonic() + options.halt_grace
     if halt_deadline is not None:
         shutdown_deadline = min(shutdown_deadline, halt_deadline)
     while active > 0:
-        if not reap(timeout=max(0.01, shutdown_deadline - time.time())):
+        if not reap(timeout=max(0.01, shutdown_deadline - time.monotonic())):
             break
     if active > 0:
         for job in list(in_flight.values()):
@@ -396,10 +572,13 @@ def run_scheduler(
             )
         in_flight.clear()
         active = 0
-    for thread in workers:
-        thread.join(timeout=max(0.0, shutdown_deadline - time.time()))
+    # Idle workers only need to drain a _STOP sentinel; grant a small
+    # join floor even when the halt grace window is already spent.
+    pool.shutdown(max(shutdown_deadline, time.monotonic() + 0.5))
 
     summary.wall_time = time.time() - wall_start
+    if default_mem_probe is not None:
+        default_mem_probe.close()
     if joblog is not None:
         joblog.close()
     backend.close()
@@ -411,7 +590,7 @@ def _handle_completion(
     result: Optional[JobResult],
     options: Options,
     halt: HaltTracker,
-    retry_q: deque[Job],
+    retry_q: _RetryQueue,
     summary: RunSummary,
     sequencer: OutputSequencer,
     joblog: Optional[JoblogWriter],
@@ -431,7 +610,7 @@ def _handle_completion(
         job.state = JobState.PENDING
         delay = retry_delay_for(job.attempt) if retry_delay_for is not None else 0.0
         job.eligible_at = time.time() + delay if delay > 0 else 0.0
-        retry_q.append(job)
+        retry_q.push(job)
         return
     job.state = result.state
     summary.results.append(result)

@@ -27,24 +27,34 @@ class SlotPool:
         self.capacity = capacity
         self._free = list(range(1, capacity + 1))
         heapq.heapify(self._free)
+        #: Slots currently granted — O(1) double-release detection (the
+        #: former ``slot in self._free`` list scan was O(capacity) per
+        #: release, a per-job cost).
+        self._held: set[int] = set()
         self._lock = threading.Lock()
         self._available = threading.Semaphore(capacity)
 
     def acquire(self, blocking: bool = True, timeout: float | None = None) -> int | None:
         """Take the lowest free slot number; None on timeout/non-blocking miss."""
-        acquired = self._available.acquire(blocking=blocking, timeout=timeout)
+        if blocking:
+            acquired = self._available.acquire(blocking=True, timeout=timeout)
+        else:
+            acquired = self._available.acquire(blocking=False)
         if not acquired:
             return None
         with self._lock:
-            return heapq.heappop(self._free)
+            slot = heapq.heappop(self._free)
+            self._held.add(slot)
+            return slot
 
     def release(self, slot: int) -> None:
         """Return ``slot`` to the pool."""
         if not 1 <= slot <= self.capacity:
             raise OptionsError(f"slot {slot} out of range 1..{self.capacity}")
         with self._lock:
-            if slot in self._free:
+            if slot not in self._held:
                 raise OptionsError(f"slot {slot} released twice")
+            self._held.discard(slot)
             heapq.heappush(self._free, slot)
         self._available.release()
 
@@ -52,4 +62,4 @@ class SlotPool:
     def in_use(self) -> int:
         """Number of slots currently held."""
         with self._lock:
-            return self.capacity - len(self._free)
+            return len(self._held)

@@ -130,8 +130,38 @@ class CommandTemplate:
             # strings even though they don't consume the input).
             if self._argv_mode:
                 self._argv_pieces.append([_Token(None, "")])
+                self._pieces = [p for word in self._argv_pieces for p in word]
             else:
                 self._pieces = self._pieces + [" ", _Token(None, "")]
+        self._compile()
+
+    def _compile(self) -> None:
+        """Precompile the render plan (rendering is the per-job hot path).
+
+        String mode compiles to a ``%``-format string plus the ordered
+        token tuple, so each render is one C-level interpolation instead
+        of a Python-level piece walk.  A template with no tokens at all
+        renders to a cached constant.  Argv mode precomputes which words
+        are static so only token-bearing words are re-rendered per job.
+        """
+        self._tokens: tuple[_Token, ...] = tuple(
+            p for p in self._pieces if isinstance(p, _Token)
+        )
+        if self._argv_mode:
+            self._argv_plan: list[Union[str, list[Piece]]] = [
+                word
+                if any(isinstance(p, _Token) for p in word)
+                else "".join(word)  # type: ignore[arg-type]
+                for word in self._argv_pieces
+            ]
+            self._fmt = ""
+            self._static: str | None = None
+        else:
+            self._fmt = "".join(
+                "%s" if isinstance(p, _Token) else p.replace("%", "%%")
+                for p in self._pieces
+            )
+            self._static = None if self._tokens else "".join(self._pieces)  # type: ignore[arg-type]
 
     @staticmethod
     def _parse(text: str) -> list[Piece]:
@@ -166,6 +196,15 @@ class CommandTemplate:
         return any(isinstance(p, _Token) for p in self._pieces)
 
     @property
+    def is_static(self) -> bool:
+        """True when rendering is input-independent (no tokens at all).
+
+        Only possible with ``implicit_append=False`` (``--pipe`` mode);
+        the scheduler renders such a template exactly once per run.
+        """
+        return not any(isinstance(p, _Token) for p in self._pieces)
+
+    @property
     def has_input_token(self) -> bool:
         """True if any token consumes the input argument(s)."""
         return any(
@@ -190,16 +229,24 @@ class CommandTemplate:
         """
         if self._argv_mode:
             return shlex.join(self.render_argv(args, seq, slot))
-        out: list[str] = []
-        for piece in self._pieces:
-            if isinstance(piece, _Token):
-                value = render_token(piece, args, seq, slot)
-                if quote and piece.op not in ("#", "%"):
-                    value = shlex.quote(value)
-                out.append(value)
+        if self._static is not None:
+            return self._static
+        single = len(args) == 1
+        values: list[str] = []
+        for token in self._tokens:
+            op = token.op
+            if op == "#":
+                values.append(str(seq))
+                continue
+            if op == "%":
+                values.append(str(slot))
+                continue
+            if op == "" and single and token.pos is None:
+                value = args[0]  # the dominant `cmd {}` case, zero calls
             else:
-                out.append(piece)
-        return "".join(out)
+                value = render_token(token, args, seq, slot)
+            values.append(shlex.quote(value) if quote else value)
+        return self._fmt % tuple(values)
 
     def render_argv(
         self, args: Sequence[str], seq: int = 1, slot: int = 1
@@ -210,12 +257,16 @@ class CommandTemplate:
                 "render_argv() requires a template built from an argv list"
             )
         argv: list[str] = []
-        for word_pieces in self._argv_pieces:
-            word = "".join(
-                render_token(p, args, seq, slot) if isinstance(p, _Token) else p
-                for p in word_pieces
+        for entry in self._argv_plan:
+            if isinstance(entry, str):  # static word, precomputed
+                argv.append(entry)
+                continue
+            argv.append(
+                "".join(
+                    render_token(p, args, seq, slot) if isinstance(p, _Token) else p
+                    for p in entry
+                )
             )
-            argv.append(word)
         return argv
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -82,6 +82,13 @@ class FaultyBackend(Backend):
                    f"(attempt {job.attempt})",
         )
 
+    def prepare_run(self, options: Options) -> None:
+        # Per-run setup (env caches, pools) must reach the real backend
+        # even when the fault wrapper sits in between.
+        prepare = getattr(self.inner, "prepare_run", None)
+        if prepare is not None:
+            prepare(options)
+
     def cancel_all(self) -> None:
         self._cancelled.set()
         self.inner.cancel_all()

@@ -116,8 +116,10 @@ def test_colsep_leaves_multi_source_groups_alone():
 def test_load_throttle_blocks_until_load_drops():
     load_values = iter([9.0, 9.0, 0.5])  # two high readings, then OK
     last = [0.5]
+    calls = [0]
 
     def probe():
+        calls[0] += 1
         last[0] = next(load_values, last[0])
         return last[0]
 
@@ -125,7 +127,10 @@ def test_load_throttle_blocks_until_load_drops():
     start = time.time()
     summary = Parallel("echo {}", options=opts).run(["a"])
     assert summary.ok
-    assert time.time() - start >= 0.08  # two 50 ms throttle sleeps
+    # Dispatch stalled until the third probe said OK; the exponential
+    # backoff waits 5 ms + 10 ms between probes before that.
+    assert calls[0] >= 3
+    assert time.time() - start >= 0.014
 
 
 def test_load_validation():

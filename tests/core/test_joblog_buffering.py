@@ -1,0 +1,74 @@
+"""Buffered ``JoblogWriter`` flush batching (torn-tail-safe)."""
+
+import time
+
+from repro.core.job import JobResult
+from repro.core.joblog import JOBLOG_HEADER, JoblogWriter, read_joblog
+
+
+def _result(seq):
+    return JobResult(seq=seq, args=(str(seq),), command=f"echo {seq}",
+                     exit_code=0, start_time=1.0, end_time=2.0)
+
+
+def test_records_buffer_until_batch_size(tmp_path):
+    path = str(tmp_path / "log")
+    w = JoblogWriter(path, flush_every=100, flush_interval=3600.0)
+    try:
+        for seq in range(1, 6):
+            w.write(_result(seq))
+        # Below both thresholds: nothing past the header reaches the file.
+        with open(path) as fh:
+            assert fh.read().strip() == JOBLOG_HEADER
+        w.flush()
+        assert [e.seq for e in read_joblog(path)] == [1, 2, 3, 4, 5]
+    finally:
+        w.close()
+
+
+def test_batch_size_triggers_flush(tmp_path):
+    path = str(tmp_path / "log")
+    with JoblogWriter(path, flush_every=3, flush_interval=3600.0) as w:
+        for seq in range(1, 4):
+            w.write(_result(seq))
+        assert [e.seq for e in read_joblog(path)] == [1, 2, 3]
+
+
+def test_time_interval_triggers_flush(tmp_path):
+    path = str(tmp_path / "log")
+    with JoblogWriter(path, flush_every=10**6, flush_interval=0.05) as w:
+        w.write(_result(1))
+        time.sleep(0.06)
+        w.write(_result(2))  # interval elapsed: both records flushed
+        assert [e.seq for e in read_joblog(path)] == [1, 2]
+
+
+def test_close_flushes_everything(tmp_path):
+    path = str(tmp_path / "log")
+    with JoblogWriter(path, flush_every=10**6, flush_interval=3600.0) as w:
+        for seq in range(1, 8):
+            w.write(_result(seq))
+    assert [e.seq for e in read_joblog(path)] == list(range(1, 8))
+
+
+def test_flush_every_one_is_unbuffered(tmp_path):
+    path = str(tmp_path / "log")
+    w = JoblogWriter(path, flush_every=1)
+    try:
+        w.write(_result(1))
+        assert [e.seq for e in read_joblog(path)] == [1]
+    finally:
+        w.close()
+
+
+def test_append_after_buffered_run_seals_torn_tail(tmp_path):
+    path = str(tmp_path / "log")
+    with JoblogWriter(path, flush_every=1) as w:
+        w.write(_result(1))
+    # Simulate a crash mid-write: a flush tore the final record.
+    with open(path, "a") as fh:
+        fh.write("2\tlocal\t1.0")  # no newline, half the columns
+    with JoblogWriter(path, append=True, flush_every=2) as w:
+        w.write(_result(3))
+    entries = read_joblog(path)
+    assert [e.seq for e in entries] == [1, 3]  # torn record skipped, sealed

@@ -1,0 +1,48 @@
+"""StreamingMedian must match ``statistics.median`` on any stream."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.runstats import StreamingMedian
+
+
+def test_empty_stream_raises():
+    with pytest.raises(ValueError):
+        StreamingMedian().median()
+    assert len(StreamingMedian()) == 0
+    assert not StreamingMedian()
+
+
+def test_single_and_pair():
+    m = StreamingMedian()
+    m.push(3.0)
+    assert m.median() == 3.0
+    m.push(5.0)
+    assert m.median() == 4.0
+
+
+def test_matches_statistics_median_prefixwise():
+    rng = random.Random(42)
+    values = [rng.uniform(0, 100) for _ in range(500)]
+    m = StreamingMedian()
+    for i, v in enumerate(values, start=1):
+        m.push(v)
+        assert len(m) == i
+        assert m.median() == pytest.approx(statistics.median(values[:i]))
+
+
+def test_sorted_and_reversed_streams():
+    for stream in (list(range(100)), list(reversed(range(100)))):
+        m = StreamingMedian()
+        for i, v in enumerate(stream, start=1):
+            m.push(float(v))
+        assert m.median() == pytest.approx(statistics.median(stream))
+
+
+def test_duplicates():
+    m = StreamingMedian()
+    for _ in range(10):
+        m.push(7.0)
+    assert m.median() == 7.0

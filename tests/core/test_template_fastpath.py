@@ -1,0 +1,79 @@
+"""Precompiled-template render plan: fast paths must stay exact."""
+
+import pytest
+
+from repro.core.template import CommandTemplate
+from repro.errors import TemplateError
+
+
+def test_static_pipe_template_is_flagged_and_cached():
+    t = CommandTemplate("wc -l", implicit_append=False)
+    assert t.is_static
+    a = t.render(("",), seq=1, slot=1)
+    b = t.render(("ignored",), seq=99, slot=3)
+    assert a == b == "wc -l"
+    assert a is b  # the constant renders to one cached object
+
+
+def test_templates_with_tokens_are_not_static():
+    assert not CommandTemplate("echo {}").is_static
+    assert not CommandTemplate("echo {#}", implicit_append=False).is_static
+    assert not CommandTemplate("echo").is_static  # implicit {} appended
+
+
+def test_percent_literal_survives_format_plan():
+    t = CommandTemplate("convert {} -scale 50% out.png", implicit_append=True)
+    assert t.render(("x.jpg",)) == "convert x.jpg -scale 50% out.png"
+    t2 = CommandTemplate("printf %s {}", implicit_append=False)
+    assert t2.render(("v",)) == "printf %s v"
+    t3 = CommandTemplate("100%% {}", implicit_append=False)
+    assert t3.render(("v",)) == "100%% v"
+
+
+def test_fastpath_matches_expected_on_assorted_templates():
+    cases = [
+        ("echo {}", ("a b",), "echo a b"),
+        ("cp {1} {2}", ("src.txt", "dst.txt"), "cp src.txt dst.txt"),
+        (
+            "gzip {.}.log {/} {//} {/.}",
+            ("/var/log/app.log",),
+            "gzip /var/log/app.log app.log /var/log app",
+        ),
+        ("run {#} on {%} with {}", ("x",), "run 7 on 3 with x"),
+        ("{1/.}_{2}.png", ("/d/photo.jpg", "50"), "photo_50.png"),
+    ]
+    for text, args, expected in cases:
+        t = CommandTemplate(text, implicit_append=False)
+        assert t.render(args, seq=7, slot=3) == expected
+
+
+def test_quote_only_quotes_input_tokens():
+    t = CommandTemplate("echo {#} {%} {}")
+    out = t.render(("a b; rm -rf /",), seq=2, slot=1, quote=True)
+    assert out == "echo 2 1 'a b; rm -rf /'"
+
+
+def test_multi_source_join_still_works():
+    t = CommandTemplate("echo {}")
+    assert t.render(("a", "b")) == "echo a b"
+
+
+def test_argv_mode_precomputes_static_words():
+    t = CommandTemplate(["cp", "-v", "{}", "{.}.bak"])
+    argv = t.render_argv(("file.txt",))
+    assert argv == ["cp", "-v", "file.txt", "file.bak"]
+    # Static words come back as the same precomputed objects every render.
+    argv2 = t.render_argv(("other.txt",))
+    assert argv[0] is argv2[0] and argv[1] is argv2[1]
+
+
+def test_argv_mode_implicit_append_tracks_tokens():
+    t = CommandTemplate(["echo"])
+    assert t.has_any_token  # the appended {} is visible to introspection
+    assert t.render_argv(("x",)) == ["echo", "x"]
+
+
+def test_positional_out_of_range_still_raises():
+    t = CommandTemplate("echo {3}", implicit_append=False)
+    with pytest.raises(TemplateError):
+        t.render(("a", "b"))

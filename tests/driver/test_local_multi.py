@@ -79,4 +79,7 @@ def test_memfree_throttle_blocks_until_memory_frees():
     start = time.time()
     summary = Parallel("echo {}", options=opts).run(["a"])
     assert summary.ok
-    assert time.time() - start >= 0.08  # throttled twice at 50 ms
+    # Dispatch stalled until the third probe reported enough memory; the
+    # exponential backoff waits 5 ms + 10 ms between probes before that.
+    assert last[0] == 10**12
+    assert time.time() - start >= 0.014
