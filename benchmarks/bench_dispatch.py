@@ -5,6 +5,9 @@ Measures single-node job launch/completion throughput through the real
 engine — the metric the paper's low-overhead claim rests on — for:
 
 * ``callable``: no-op Python callables (pure engine bookkeeping cost);
+* ``callable_traced``: the same run with ``--trace``-style tracing live —
+  the observability subsystem's overhead bound (must stay within 10% of
+  the untraced rate);
 * ``subprocess``: real ``/bin/true`` jobs (fork+exec included);
 * ``template``: per-job command-render cost (hot-path microcost).
 
@@ -51,6 +54,32 @@ def bench_callable(n: int = 2000, jobs: int = 8, repeats: int = 5) -> dict:
             "jobs_per_s_best": max(rates)}
 
 
+def bench_callable_traced(n: int = 2000, jobs: int = 8, repeats: int = 5) -> dict:
+    """Jobs/s with a full RunTracer (Chrome trace sink) attached."""
+    import tempfile
+
+    from repro.core.options import Options
+    from repro.obs import RunTracer
+
+    rates = []
+    with tempfile.TemporaryDirectory() as td:
+        for i in range(repeats):
+            trace = os.path.join(td, f"bench-{i}.trace.json")
+            tracer = RunTracer.from_options(
+                Options(trace=trace, metrics_interval=0.5)
+            )
+            options = Options(jobs=jobs, tracer=tracer)
+            t0 = time.perf_counter()
+            summary = Parallel(_noop, options=options).run(range(n))
+            dt = time.perf_counter() - t0
+            assert summary.n_succeeded == n, summary.n_failed
+            assert os.path.exists(trace), "trace file was not written"
+            rates.append(n / dt)
+    return {"n": n, "jobs": jobs, "repeats": repeats,
+            "jobs_per_s": statistics.median(rates),
+            "jobs_per_s_best": max(rates)}
+
+
 def bench_subprocess(n: int = 300, jobs: int = 8, repeats: int = 3) -> dict:
     """Jobs/s launching real /bin/true subprocesses."""
     rates = []
@@ -91,12 +120,14 @@ def main(argv=None) -> int:
     if ns.quick:
         results = {
             "callable": bench_callable(n=400, repeats=3),
+            "callable_traced": bench_callable_traced(n=400, repeats=3),
             "subprocess": bench_subprocess(n=100, repeats=2),
             "template": bench_template(iters=10_000),
         }
     else:
         results = {
             "callable": bench_callable(),
+            "callable_traced": bench_callable_traced(),
             "subprocess": bench_subprocess(),
             "template": bench_template(),
         }

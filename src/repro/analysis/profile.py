@@ -15,7 +15,13 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["ParallelProfile", "concurrency_timeline", "profile_intervals"]
+__all__ = [
+    "ParallelProfile",
+    "concurrency_timeline",
+    "intervals_from_joblog",
+    "profile_from_joblog",
+    "profile_intervals",
+]
 
 
 def concurrency_timeline(
@@ -97,3 +103,24 @@ def profile_intervals(
         mean_concurrency=mean_conc,
         serial_fraction=serial_time / makespan if makespan > 0 else 1.0,
     )
+
+
+def intervals_from_joblog(path: str) -> "tuple[list[float], list[float]]":
+    """Job (start, end) intervals from a GNU Parallel joblog.
+
+    One interval per joblog line, i.e. per *attempt* — the same
+    granularity as :func:`repro.obs.attempt_intervals` over a traced
+    run's spans, so profiles from either source agree.
+    """
+    from repro.core.joblog import read_joblog
+
+    entries = read_joblog(path)
+    starts = [e.start_time for e in entries]
+    ends = [e.start_time + e.runtime for e in entries]
+    return starts, ends
+
+
+def profile_from_joblog(path: str) -> ParallelProfile:
+    """Compute a :class:`ParallelProfile` straight from a joblog file."""
+    starts, ends = intervals_from_joblog(path)
+    return profile_intervals(starts, ends)

@@ -21,6 +21,15 @@ class Backend(abc.ABC):
     #: Reported in joblogs and results as the execution host.
     host: str = "local"
 
+    #: Observability hook (a :class:`repro.obs.RunTracer`); None when the
+    #: run is not being traced.  Backends emit point events through it
+    #: (``self._tracer.instant(...)``) guarded by an ``is not None`` test.
+    _tracer = None
+
+    def bind_tracer(self, tracer) -> None:
+        """Attach the run's tracer (called by the scheduler per run)."""
+        self._tracer = tracer
+
     @abc.abstractmethod
     def run_job(
         self, job: Job, slot: int, options: Options, timeout: float | None = None

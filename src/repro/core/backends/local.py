@@ -90,6 +90,10 @@ class LocalShellBackend(Backend):
             return self._result(
                 job, slot, 127, "", f"spawn failed: {exc}", start, end, JobState.FAILED
             )
+        if self._tracer is not None:
+            self._tracer.instant(
+                "proc_spawn", seq=job.seq, slot=slot, pid=proc.pid
+            )
         if options.nice is not None and hasattr(os, "setpriority"):
             # Applied from the parent right after spawn (no preexec_fn);
             # the first few ms of the job may run un-niced, an accepted
@@ -116,6 +120,11 @@ class LocalShellBackend(Backend):
                 state = JobState.SUCCEEDED if proc.returncode == 0 else JobState.FAILED
             except subprocess.TimeoutExpired:
                 self._kill_group(proc)
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "proc_timeout_kill", seq=job.seq, slot=slot,
+                        pid=proc.pid, timeout=timeout,
+                    )
                 stdout, stderr = proc.communicate()
                 state = JobState.TIMED_OUT
         finally:
@@ -130,6 +139,8 @@ class LocalShellBackend(Backend):
         self._cancelled.set()
         with self._lock:
             procs = list(self._procs.values())
+        if self._tracer is not None:
+            self._tracer.instant("cancel_all", n_procs=len(procs))
         for proc in procs:
             self._kill_group(proc)
 

@@ -78,6 +78,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    metavar="SECS", dest="throttle_poll_max",
                    help="cap for the exponential --load/--memfree poll "
                         "interval (default 0.25s)")
+    # Observability (engine extensions): structured run tracing/metrics.
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a Chrome/Perfetto trace_event JSON trace of "
+                        "the run (open in chrome://tracing or ui.perfetto.dev)")
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="write a newline-JSON metrics log (queue depth, slot "
+                        "occupancy, throughput EWMA, ...)")
+    p.add_argument("--metrics-interval", type=float, default=1.0,
+                   metavar="SECS", dest="metrics_interval",
+                   help="seconds between metrics samples (default 1.0)")
     p.add_argument("--bar", action="store_true",
                    help="show a progress bar on stderr")
     p.add_argument("-q", "--quote", action="store_true",
@@ -203,6 +213,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             pool_prestart=ns.pool_prestart,
             joblog_flush_every=ns.joblog_flush_every,
             throttle_poll_max=ns.throttle_poll_max,
+            trace=ns.trace,
+            metrics=ns.metrics,
+            metrics_interval=ns.metrics_interval,
         )
         command = " ".join(ns.command) if len(ns.command) > 1 else ns.command[0]
         progress = None

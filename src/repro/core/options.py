@@ -240,6 +240,19 @@ class Options:
     #: Cap on the exponential ``--load``/``--memfree`` poll backoff,
     #: seconds (engine extension; the poll starts at 5 ms and doubles).
     throttle_poll_max: float = 0.25
+    #: Write a Chrome/Perfetto ``trace_event`` JSON trace of the run to
+    #: this path (``--trace``; engine extension).  None = no trace.
+    trace: Optional[str] = None
+    #: Write a newline-JSON metrics log (periodic gauge samples) to this
+    #: path (``--metrics``; engine extension).  None = no metrics log.
+    metrics: Optional[str] = None
+    #: Seconds between metrics samples (``--metrics-interval``).
+    metrics_interval: float = 1.0
+    #: Pre-built :class:`repro.obs.RunTracer` to observe the run with;
+    #: injectable for tests and multi-instance drivers.  When None, the
+    #: scheduler builds one iff ``trace``/``metrics`` ask for output
+    #: (an injected tracer takes precedence — the paths are ignored).
+    tracer: Optional[object] = field(default=None, repr=False)
 
     # Parsed halt policy (computed in __post_init__).
     halt_spec: HaltSpec = field(init=False, repr=False)
@@ -280,6 +293,10 @@ class Options:
         if self.throttle_poll_max <= 0:
             raise OptionsError(
                 f"throttle_poll_max must be > 0, got {self.throttle_poll_max}"
+            )
+        if self.metrics_interval <= 0:
+            raise OptionsError(
+                f"--metrics-interval must be > 0, got {self.metrics_interval}"
             )
         if self.resume_failed:
             # --resume-failed implies --resume bookkeeping.

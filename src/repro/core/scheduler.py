@@ -51,6 +51,7 @@ from repro.core.results import ResultsWriter
 from repro.core.runstats import StreamingMedian
 from repro.core.slots import SlotPool
 from repro.core.template import CommandTemplate
+from repro.obs.tracer import RunTracer
 
 __all__ = ["run_scheduler"]
 
@@ -163,6 +164,11 @@ class _WorkerPool:
         """Workers spawned so far (monotone within a run, <= capacity)."""
         return len(self._threads)
 
+    @property
+    def queue_depth(self) -> int:
+        """Jobs queued for dispatch, not yet taken by a worker (a gauge)."""
+        return self._dispatch_q.qsize()
+
     def submit(self, job: Job, slot: int, active: int) -> None:
         """Queue one job; ``active`` counts in-flight jobs including it."""
         if len(self._threads) < min(self.capacity, active):
@@ -244,11 +250,23 @@ def run_scheduler(
     slots = SlotPool(jobs_cap)
     halt = HaltTracker(options.halt_spec, total_jobs=known_total)
 
+    # Observability: an injected tracer wins; otherwise build one only
+    # when --trace/--metrics asked for output.  tracer stays None on the
+    # default path, so every instrumentation site below costs a single
+    # `is not None` test per job stage when tracing is off.
+    tracer: Optional[RunTracer] = options.tracer  # type: ignore[assignment]
+    if tracer is None and (options.trace or options.metrics):
+        tracer = RunTracer.from_options(options)
+
     # Per-run backend setup: merged environments, process pools — every
     # per-job-invariant cost a backend can hoist off the hot path.
     prepare_run = getattr(backend, "prepare_run", None)
     if prepare_run is not None:
         prepare_run(options)
+    if tracer is not None:
+        bind_tracer = getattr(backend, "bind_tracer", None)
+        if bind_tracer is not None:
+            bind_tracer(tracer)
 
     joblog: Optional[JoblogWriter] = None
     skip: set[int] = set()
@@ -343,6 +361,8 @@ def run_scheduler(
 
     def run_one(job: Job, slot: int) -> JobResult:
         """Worker body: one job through the backend, exceptions contained."""
+        if tracer is not None:
+            tracer.job_running(job.seq, job.attempt, slot)
         try:
             result = backend.run_job(job, slot, options, timeout=effective_timeout())
             if dynamic_pct is not None and result.state == JobState.SUCCEEDED:
@@ -366,6 +386,15 @@ def run_scheduler(
         return result
 
     pool = _WorkerPool(jobs_cap, run_one, done_q, prestart=options.pool_prestart)
+    if tracer is not None:
+        tracer.bind_gauges(
+            queue_depth=lambda: pool.queue_depth,
+            slots_in_use=lambda: slots.in_use,
+            pool_size=lambda: pool.size,
+            retry_depth=lambda: len(retry_q),
+            in_flight=lambda: len(in_flight),
+        )
+        tracer.run_started(jobs_cap=jobs_cap, total=known_total)
 
     # --load / --memfree probes.
     load_probe = options.load_probe or (
@@ -394,6 +423,8 @@ def run_scheduler(
                 summary.n_skipped += 1
                 sequencer.skip(seq)
                 continue
+            if tracer is not None:
+                tracer.job_submitted(seq)
             return Job(seq=seq, args=args)
         return None
 
@@ -417,6 +448,7 @@ def run_scheduler(
             _handle_completion(
                 job, result, options, halt, retry_q, summary,
                 sequencer, joblog, results_writer, retry_delay_for=retry_delay_for,
+                tracer=tracer,
             )
         finally:
             slots.release(slot)
@@ -498,6 +530,8 @@ def run_scheduler(
             else:
                 job, pending = pending, None
             job.attempt += 1
+            if tracer is not None:
+                tracer.attempt_started(job.seq, job.attempt, slot)
             if options.pipe_mode and job.stdin_data is None:
                 job.stdin_data = job.args[0]
                 job.args = (f"<block {job.seq}>",)
@@ -517,11 +551,16 @@ def run_scheduler(
                 _handle_completion(
                     job, result, options, halt, retry_q, summary,
                     sequencer, joblog, results_writer, dry_run=True,
+                    tracer=tracer,
                 )
                 notify_progress()
             else:
                 active += 1
                 in_flight[job.seq] = job
+                # Dispatch is recorded before the queue put: a worker may
+                # pick the job up (and stamp RUNNING) instantly.
+                if tracer is not None:
+                    tracer.job_dispatched(job.seq, job.attempt, slot)
                 pool.submit(job, slot, active)
             if pending is None:
                 pending = next_job()
@@ -568,7 +607,7 @@ def run_scheduler(
             )
             _handle_completion(
                 job, abandoned, options, halt, retry_q, summary,
-                sequencer, joblog, results_writer,
+                sequencer, joblog, results_writer, tracer=tracer,
             )
         in_flight.clear()
         active = 0
@@ -581,6 +620,8 @@ def run_scheduler(
         default_mem_probe.close()
     if joblog is not None:
         joblog.close()
+    if tracer is not None:
+        tracer.run_finished(summary)
     backend.close()
     return summary
 
@@ -597,6 +638,7 @@ def _handle_completion(
     results_writer: Optional[ResultsWriter],
     dry_run: bool = False,
     retry_delay_for: Optional[Callable[[int], float]] = None,
+    tracer: Optional[RunTracer] = None,
 ) -> None:
     assert result is not None
     if joblog is not None and not dry_run:
@@ -610,8 +652,14 @@ def _handle_completion(
         job.state = JobState.PENDING
         delay = retry_delay_for(job.attempt) if retry_delay_for is not None else 0.0
         job.eligible_at = time.time() + delay if delay > 0 else 0.0
+        if tracer is not None:
+            tracer.attempt_finished(
+                job, result, retried=True, eligible_at=job.eligible_at
+            )
         retry_q.push(job)
         return
+    if tracer is not None:
+        tracer.attempt_finished(job, result)
     job.state = result.state
     summary.results.append(result)
     if result.state == JobState.SUCCEEDED:

@@ -71,7 +71,9 @@ def _apply_op(value: str, op: str) -> str:
     if op == "/":
         return os.path.basename(value)
     if op == "//":
-        return os.path.dirname(value)
+        # GNU Parallel renders the dirname of a bare filename as ".",
+        # where os.path.dirname gives "".
+        return os.path.dirname(value) or "."
     if op == "/.":
         root, _ext = os.path.splitext(os.path.basename(value))
         return root

@@ -41,6 +41,10 @@ class ShardedRun:
     n_lost: int = 0
     #: True when a rescue wave re-ran lost inputs on the survivors.
     rebalanced: bool = False
+    #: Per-instance tracers (one per instance per wave) when the run was
+    #: traced; their merged Chrome trace is at ``trace_path``.
+    tracers: list = field(default_factory=list, repr=False)
+    trace_path: Optional[str] = None
 
     @property
     def results(self) -> list[JobResult]:
@@ -76,6 +80,7 @@ def run_local_sharded(
     jobs_per_instance: Union[int, str] = 0,
     engine_factory: Optional[Callable[[int], Parallel]] = None,
     node_faults: "Optional[NodeFaultPlan]" = None,
+    trace: Optional[str] = None,
     **option_fields,
 ) -> ShardedRun:
     """Run ``inputs`` through ``n_instances`` concurrent engine instances.
@@ -93,20 +98,33 @@ def run_local_sharded(
     instance per node means one node's death never takes down the run;
     the driver just re-feeds the missing input lines).  Raises when every
     instance dies, since no survivor can absorb the lost work.
+
+    ``trace`` writes one merged Chrome trace for the whole sharded run:
+    each instance runs under its own :class:`~repro.obs.RunTracer`
+    (node id ``shard<i>``, rescue waves ``shard<i>+rescue``) and the
+    per-node shard streams land in the file as separate pids.
     """
     if n_instances < 1:
         raise ReproError(f"n_instances must be >= 1, got {n_instances}")
     inputs = list(inputs)
-    run = ShardedRun(n_instances=n_instances)
+    run = ShardedRun(n_instances=n_instances, trace_path=trace)
     summaries: list[Optional[RunSummary]] = [None] * n_instances
     lost_shards: list[list[object]] = [[] for _ in range(n_instances)]
     died = [False] * n_instances
     errors: list[Exception] = []
 
-    def make_engine(instance: int) -> Parallel:
+    def make_engine(instance: int, wave: str = "") -> Parallel:
         if engine_factory is not None:
-            return engine_factory(instance)
-        return Parallel(command, jobs=jobs_per_instance, **option_fields)
+            engine = engine_factory(instance)
+        else:
+            engine = Parallel(command, jobs=jobs_per_instance, **option_fields)
+        if trace is not None:
+            from repro.obs import RunTracer
+
+            tracer = RunTracer(node=f"shard{instance}{wave}")
+            engine.options.tracer = tracer
+            run.tracers.append(tracer)
+        return engine
 
     def instance_main(instance: int) -> None:
         shard = list(shard_cyclic(inputs, n_instances, instance))
@@ -153,7 +171,7 @@ def run_local_sharded(
             if not share:
                 return
             try:
-                rescue[k] = make_engine(instance).run(share)
+                rescue[k] = make_engine(instance, "+rescue").run(share)
             except Exception as exc:
                 errors.append(exc)
 
@@ -163,4 +181,8 @@ def run_local_sharded(
         )
         run.summaries.extend(s for s in rescue if s is not None)
         run.rebalanced = True
+    if trace is not None and run.tracers:
+        from repro.obs import write_merged_trace
+
+        write_merged_trace(trace, run.tracers)
     return run

@@ -48,6 +48,13 @@ class FaultyBackend(Backend):
             return self.inner.run_job(job, slot, options, timeout=timeout)
         with self._lock:
             self._injected[spec.kind] += 1
+        if self._tracer is not None:
+            # Chaos runs are traceable: every injected fault is a point
+            # event, so a trace shows *why* an attempt failed.
+            self._tracer.instant(
+                "fault_injected", seq=job.seq, slot=slot,
+                kind=spec.kind, attempt=job.attempt,
+            )
         start = time.time()
 
         if spec.kind == "slow":
@@ -88,6 +95,14 @@ class FaultyBackend(Backend):
         prepare = getattr(self.inner, "prepare_run", None)
         if prepare is not None:
             prepare(options)
+
+    def bind_tracer(self, tracer) -> None:
+        # Both layers observe: the wrapper reports injections, the inner
+        # backend reports real process spawns/kills.
+        super().bind_tracer(tracer)
+        bind = getattr(self.inner, "bind_tracer", None)
+        if bind is not None:
+            bind(tracer)
 
     def cancel_all(self) -> None:
         self._cancelled.set()

@@ -1,0 +1,71 @@
+"""Run-wide tracing and metrics (the engine's observability subsystem).
+
+The paper frames GNU Parallel as "a quick prototyping tool to design and
+extract parallel profiles from application executions"; ``repro.obs``
+turns that from an end-of-run summary into a live, structured view.  A
+:class:`RunTracer` attached to a run receives typed per-job lifecycle
+events (submitted → slot-acquired → dispatched → running →
+retry-queued / completed) from the scheduler, the worker pool and every
+backend, builds nested job/attempt spans from them, and periodically
+samples counters and gauges (queue depth, slot occupancy, pool size,
+retry-heap depth, throughput EWMA).
+
+Two sinks ship with the bus:
+
+* :class:`ChromeTraceSink` — a Chrome/Perfetto ``trace_event`` JSON
+  file (load it in ``chrome://tracing`` or https://ui.perfetto.dev);
+* :class:`MetricsJsonlSink` — a newline-JSON metrics log, one sample
+  per line, greppable and pandas-loadable.
+
+The bridge (:mod:`repro.obs.bridge`) feeds finished spans straight into
+:mod:`repro.analysis.profile`, so a parallel profile can be computed
+from a trace instead of a joblog.
+
+Everything here is off the hot path unless enabled: the scheduler keeps
+``tracer = None`` when no trace/metrics output was requested, and every
+instrumentation site is a single ``is not None`` check.
+"""
+
+from repro.obs.bridge import (
+    attempt_intervals,
+    intervals_from_trace,
+    load_trace,
+    profile_from_spans,
+    profile_from_trace,
+    write_merged_trace,
+    write_sim_trace,
+)
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    AttemptSpan,
+    Event,
+    EventKind,
+    JobSpan,
+    MetricsSample,
+)
+from repro.obs.sinks import (
+    CHROME_TRACE_SCHEMA,
+    ChromeTraceSink,
+    MetricsJsonlSink,
+)
+from repro.obs.tracer import RunTracer
+
+__all__ = [
+    "AttemptSpan",
+    "CHROME_TRACE_SCHEMA",
+    "ChromeTraceSink",
+    "Event",
+    "EventBus",
+    "EventKind",
+    "JobSpan",
+    "MetricsJsonlSink",
+    "MetricsSample",
+    "RunTracer",
+    "attempt_intervals",
+    "intervals_from_trace",
+    "load_trace",
+    "profile_from_spans",
+    "profile_from_trace",
+    "write_merged_trace",
+    "write_sim_trace",
+]

@@ -1,0 +1,76 @@
+"""A small, thread-safe, synchronous event bus.
+
+Publishers (the scheduler's dispatch loop, pool workers, backends) call
+:meth:`EventBus.publish` from several threads; subscribers (sinks, the
+tracer's span builder) receive each event under the bus lock, in
+subscription order.  Delivery is synchronous by design: the per-event
+work each sink does is an append to an in-memory buffer, so a dedicated
+consumer thread would cost more in handoff than it saves — and
+synchronous delivery means a trace is complete the instant the run is.
+
+A sink that raises does not take the run down: the event is counted as
+dropped for that sink and delivery continues.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Optional
+
+from repro.obs.events import Event
+
+__all__ = ["EventBus"]
+
+
+class EventBus:
+    """Fan-out of :class:`Event` records to subscribed handlers."""
+
+    def __init__(self) -> None:
+        #: (handler, kinds) pairs; kinds None = wants every event.
+        self._handlers: list[tuple[Callable[[Event], None], Optional[frozenset]]] = []
+        self._lock = threading.Lock()
+        #: Events a handler raised on, by handler position.
+        self.dropped = 0
+        #: Union of subscribed kinds; None once any subscriber wants all.
+        self._wanted: Optional[frozenset] = frozenset()
+
+    def subscribe(
+        self,
+        handler: Callable[[Event], None],
+        kinds: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Register ``handler`` (an ``Event -> None`` callable or a sink's
+        ``handle`` method) for every subsequent event.
+
+        ``kinds`` restricts delivery to those event kinds — the per-job
+        hot path uses :meth:`wants` to skip even *constructing* events no
+        subscriber will see.
+        """
+        with self._lock:
+            kindset = None if kinds is None else frozenset(kinds)
+            self._handlers.append((handler, kindset))
+            if kindset is None:
+                self._wanted = None
+            elif self._wanted is not None:
+                self._wanted = self._wanted | kindset
+
+    def wants(self, kind: str) -> bool:
+        """True when at least one subscriber would receive ``kind``."""
+        wanted = self._wanted
+        return wanted is None or kind in wanted
+
+    def publish(self, event: Event) -> None:
+        """Deliver ``event`` to every subscriber, swallowing sink errors."""
+        with self._lock:
+            for handler, kinds in self._handlers:
+                if kinds is not None and event.kind not in kinds:
+                    continue
+                try:
+                    handler(event)
+                except Exception:
+                    self.dropped += 1
+
+    @property
+    def n_subscribers(self) -> int:
+        with self._lock:
+            return len(self._handlers)

@@ -1,0 +1,41 @@
+"""Exit-status aggregation conformance.
+
+GNU Parallel's exit code is the number of failed jobs, saturating at
+101 ("more than 100 jobs failed"); 0 means every job succeeded.
+"""
+
+from tests.conformance.conftest import requires_gnu_parallel
+
+
+def test_all_success_exits_zero(pyparallel):
+    proc = pyparallel(["-j4", "true", ":::", "a", "b", "c"])
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_exit_code_counts_failed_jobs(pyparallel):
+    proc = pyparallel(["-j4", "sh -c 'test {} -lt 3'",
+                       ":::", "1", "2", "3", "4", "5"])
+    assert proc.returncode == 3
+
+
+def test_exit_code_saturates_at_101(pyparallel):
+    inputs = [str(n) for n in range(110)]
+    proc = pyparallel(["-j8", "false", ":::", *inputs], timeout=120)
+    assert proc.returncode == 101
+
+
+def test_command_not_found_counts_as_failure(pyparallel):
+    proc = pyparallel(["-j2", "definitely-not-a-command-xyz",
+                       ":::", "a", "b"])
+    assert proc.returncode == 2
+
+
+@requires_gnu_parallel
+def test_exit_codes_match_gnu_parallel(pyparallel, gnu_parallel):
+    for argv in (
+        ["-j4", "true", ":::", "a", "b"],
+        ["-j4", "sh -c 'test {} -lt 3'", ":::", "1", "2", "3", "4"],
+        ["-j2", "false", ":::", "a", "b", "c"],
+    ):
+        ours, theirs = pyparallel(argv), gnu_parallel(argv)
+        assert ours.returncode == theirs.returncode, argv

@@ -1,0 +1,63 @@
+"""``--joblog`` conformance: GNU Parallel's column layout and semantics."""
+
+from tests.conformance.conftest import requires_gnu_parallel
+
+GNU_COLUMNS = [
+    "Seq", "Host", "Starttime", "JobRuntime", "Send", "Receive",
+    "Exitval", "Signal", "Command",
+]
+
+
+def read_log(path):
+    lines = open(path).read().splitlines()
+    header, rows = lines[0].split("\t"), [l.split("\t") for l in lines[1:]]
+    return header, rows
+
+
+def test_joblog_columns_and_one_line_per_job(pyparallel, tmp_path):
+    log = str(tmp_path / "joblog.tsv")
+    proc = pyparallel(["-j2", "--joblog", log, "true", ":::", "a", "b", "c"])
+    assert proc.returncode == 0, proc.stderr
+    header, rows = read_log(log)
+    assert header == GNU_COLUMNS
+    assert len(rows) == 3
+    assert sorted(r[0] for r in rows) == ["1", "2", "3"]  # Seq column
+    assert all(r[6] == "0" for r in rows)  # Exitval
+    assert all(float(r[3]) >= 0 for r in rows)  # JobRuntime
+    assert all(r[8].startswith("true") for r in rows)  # Command
+
+
+def test_joblog_records_exit_values(pyparallel, tmp_path):
+    log = str(tmp_path / "joblog.tsv")
+    proc = pyparallel(["-j2", "--joblog", log,
+                       "sh -c 'exit {}'", ":::", "0", "3", "7"])
+    assert proc.returncode == 2  # two failed jobs
+    _, rows = read_log(log)
+    by_seq = sorted((int(r[0]), r[6]) for r in rows)
+    assert [v for _, v in by_seq] == ["0", "3", "7"]
+
+
+def test_joblog_records_one_line_per_retry_attempt(pyparallel, tmp_path):
+    log = str(tmp_path / "joblog.tsv")
+    proc = pyparallel(["-j1", "--retries", "2", "--joblog", log,
+                       "false", ":::", "x"])
+    assert proc.returncode == 1
+    _, rows = read_log(log)
+    assert len(rows) == 2  # both attempts logged
+    assert all(r[6] == "1" for r in rows)
+
+
+@requires_gnu_parallel
+def test_joblog_columns_match_gnu_parallel(pyparallel, gnu_parallel, tmp_path):
+    ours_log = str(tmp_path / "ours.tsv")
+    theirs_log = str(tmp_path / "theirs.tsv")
+    argv = ["-j2", "true", ":::", "a", "b"]
+    pyparallel(["--joblog", ours_log, *argv])
+    gnu_parallel(["--joblog", theirs_log, *argv])
+    ours_header, ours_rows = read_log(ours_log)
+    theirs_header, theirs_rows = read_log(theirs_log)
+    assert ours_header == theirs_header
+    assert len(ours_rows) == len(theirs_rows)
+    # Same Seq and Exitval columns on both sides.
+    assert sorted(r[0] for r in ours_rows) == sorted(r[0] for r in theirs_rows)
+    assert [r[6] for r in ours_rows] == [r[6] for r in theirs_rows]

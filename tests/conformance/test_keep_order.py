@@ -1,0 +1,39 @@
+"""``--keep-order`` conformance: output order is input order, always."""
+
+from tests.conformance.conftest import requires_gnu_parallel
+
+#: Sleeps chosen so completion order is the reverse of input order —
+#: keep-order must still emit input order.
+REVERSING = ["-k", "-j4", "sh -c 'sleep {}; echo {}'",
+             ":::", "0.3", "0.2", "0.1", "0"]
+EXPECTED = ["0.3", "0.2", "0.1", "0"]
+
+
+def test_keep_order_beats_completion_order(pyparallel):
+    proc = pyparallel(REVERSING)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.splitlines() == EXPECTED
+
+
+def test_keep_order_with_failures_keeps_order(pyparallel):
+    proc = pyparallel([
+        "-k", "-j4",
+        "sh -c 'sleep {}; echo {}; test {} != 0.2'",
+        ":::", "0.3", "0.2", "0.1", "0",
+    ])
+    assert proc.returncode == 1  # exactly one job failed
+    assert proc.stdout.splitlines() == EXPECTED
+
+
+def test_keep_order_from_stdin(pyparallel):
+    proc = pyparallel(["-k", "-j4", "sh -c 'sleep {}; echo {}'"],
+                      stdin="0.2\n0.1\n0\n")
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.splitlines() == ["0.2", "0.1", "0"]
+
+
+@requires_gnu_parallel
+def test_keep_order_matches_gnu_parallel(pyparallel, gnu_parallel):
+    ours, theirs = pyparallel(REVERSING), gnu_parallel(REVERSING)
+    assert ours.stdout == theirs.stdout
+    assert ours.returncode == theirs.returncode == 0

@@ -1,0 +1,119 @@
+"""Replacement-string rendering conformance (``--dry-run`` output).
+
+Each case is one canned invocation.  The hardcoded expectation encodes
+GNU Parallel's documented rendering semantics (``man parallel``,
+REPLACEMENT STRINGS) and always runs; the differential half re-runs the
+identical invocation through a real ``parallel`` binary when one is on
+PATH and requires byte-identical command lines.
+"""
+
+import pytest
+
+from tests.conformance.conftest import requires_gnu_parallel
+
+# (case id, argv after the program name, expected dry-run lines)
+# -j1 everywhere: dry-run emission order is input order on both sides.
+RENDER_CASES = [
+    ("implicit-append", ["echo"], ["a", "b"], ["echo a", "echo b"]),
+    ("explicit-braces", ["echo", "{}", "x"], ["a"], ["echo a x"]),
+    ("repeated-braces", ["echo", "{}", "{}"], ["a"], ["echo a a"]),
+    ("strip-extension", ["echo", "{.}"], ["dir/file.txt"], ["echo dir/file"]),
+    ("strip-last-extension-only", ["echo", "{.}"], ["a.b.c.txt"],
+     ["echo a.b.c"]),
+    ("no-extension-unchanged", ["echo", "{.}"], ["plain"], ["echo plain"]),
+    ("basename", ["echo", "{/}"], ["dir/sub/file.txt"], ["echo file.txt"]),
+    ("dirname", ["echo", "{//}"], ["dir/sub/file.txt"], ["echo dir/sub"]),
+    ("dirname-of-bare-file", ["echo", "{//}"], ["file.txt"], ["echo ."]),
+    ("basename-no-extension", ["echo", "{/.}"], ["dir/file.tar"],
+     ["echo file"]),
+    ("seq-number", ["echo", "{#}", "{}"], ["a", "b", "c"],
+     ["echo 1 a", "echo 2 b", "echo 3 c"]),
+    ("slot-number-j1", ["echo", "{%}", "{}"], ["a", "b"],
+     ["echo 1 a", "echo 1 b"]),
+]
+
+# Cases whose input is two ::: sources (crossed, GNU default).
+CROSS_CASES = [
+    ("positional-cross", ["echo", "{1}-{2}"], ["a", "b"], ["1", "2"],
+     ["echo a-1", "echo a-2", "echo b-1", "echo b-2"]),
+    ("positional-swapped", ["echo", "{2}", "{1}"], ["a", "b"], ["1", "2"],
+     ["echo 1 a", "echo 2 a", "echo 1 b", "echo 2 b"]),
+    ("positional-with-op", ["echo", "{1/}", "{2}"], ["d/x.c", "d/y.c"],
+     ["1", "2"],
+     ["echo x.c 1", "echo x.c 2", "echo y.c 1", "echo y.c 2"]),
+]
+
+LINK_CASES = [
+    ("linked-sources", ["echo", "{1}", "{2}"], ["a", "b"], ["1", "2"],
+     ["echo a 1", "echo b 2"]),
+]
+
+
+def dry_run_args(command, sources):
+    args = ["-j1", "--dry-run", *command]
+    for source in sources:
+        args.append(":::")
+        args.extend(source)
+    return args
+
+
+def case_args(case_table):
+    """Flatten a case table into (id, argv, expected) triples."""
+    flat = []
+    for case in case_table:
+        name, command, *sources, expected = case
+        flat.append((name, dry_run_args(command, list(sources)), expected))
+    return flat
+
+
+ALL_CASES = case_args(RENDER_CASES) + case_args(CROSS_CASES) + [
+    (name, ["-j1", "--dry-run", "--link", *command,
+            ":::", *src1, ":::", *src2], expected)
+    for name, command, src1, src2, expected in LINK_CASES
+]
+
+
+@pytest.mark.parametrize(
+    "argv,expected", [c[1:] for c in ALL_CASES], ids=[c[0] for c in ALL_CASES]
+)
+def test_dry_run_rendering(pyparallel, argv, expected):
+    proc = pyparallel(argv)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.splitlines() == expected
+
+
+@requires_gnu_parallel
+@pytest.mark.parametrize(
+    "argv,expected", [c[1:] for c in ALL_CASES], ids=[c[0] for c in ALL_CASES]
+)
+def test_dry_run_rendering_matches_gnu_parallel(
+    pyparallel, gnu_parallel, argv, expected
+):
+    ours = pyparallel(argv)
+    theirs = gnu_parallel(argv)
+    assert ours.returncode == theirs.returncode == 0
+    assert ours.stdout.splitlines() == theirs.stdout.splitlines()
+
+
+def test_linked_plus_separator(pyparallel):
+    """``:::+`` links the second source to the first (no cross product)."""
+    proc = pyparallel(["-j1", "--dry-run", "echo", "{1}", "{2}",
+                       ":::", "a", "b", ":::+", "1", "2"])
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.splitlines() == ["echo a 1", "echo b 2"]
+
+
+def test_max_args_packing(pyparallel):
+    """``-n2`` packs two arguments per job into {1} and {2}."""
+    proc = pyparallel(["-j1", "--dry-run", "-n2", "echo", "{1}+{2}",
+                       ":::", "a", "b", "c", "d"])
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.splitlines() == ["echo a+b", "echo c+d"]
+
+
+@requires_gnu_parallel
+def test_max_args_packing_matches_gnu_parallel(pyparallel, gnu_parallel):
+    argv = ["-j1", "--dry-run", "-n2", "echo", "{1}+{2}",
+            ":::", "a", "b", "c", "d"]
+    ours, theirs = pyparallel(argv), gnu_parallel(argv)
+    assert ours.stdout.splitlines() == theirs.stdout.splitlines()

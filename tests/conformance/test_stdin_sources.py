@@ -1,0 +1,41 @@
+"""Input-source conformance: stdin arguments and ``::::`` arg files."""
+
+from tests.conformance.conftest import requires_gnu_parallel
+
+
+def test_stdin_lines_become_arguments(pyparallel):
+    proc = pyparallel(["-j1", "echo"], stdin="a\nb\nc\n")
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.splitlines() == ["a", "b", "c"]
+
+
+def test_arg_file_source(pyparallel, tmp_path):
+    arg_file = tmp_path / "args.txt"
+    arg_file.write_text("x\ny\n")
+    proc = pyparallel(["-j1", "--dry-run", "echo", "{}",
+                       "::::", str(arg_file)])
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.splitlines() == ["echo x", "echo y"]
+
+
+def test_arg_file_crossed_with_literal_source(pyparallel, tmp_path):
+    arg_file = tmp_path / "args.txt"
+    arg_file.write_text("x\ny\n")
+    proc = pyparallel(["-j1", "--dry-run", "echo", "{1}{2}",
+                       "::::", str(arg_file), ":::", "1", "2"])
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.splitlines() == ["echo x1", "echo x2",
+                                        "echo y1", "echo y2"]
+
+
+@requires_gnu_parallel
+def test_stdin_and_arg_files_match_gnu_parallel(
+    pyparallel, gnu_parallel, tmp_path
+):
+    ours = pyparallel(["-j1", "echo"], stdin="a\nb\n")
+    theirs = gnu_parallel(["-j1", "echo"], stdin="a\nb\n")
+    assert ours.stdout == theirs.stdout
+    arg_file = tmp_path / "args.txt"
+    arg_file.write_text("x\ny\n")
+    argv = ["-j1", "--dry-run", "echo", "{}", "::::", str(arg_file)]
+    assert pyparallel(argv).stdout == gnu_parallel(argv).stdout

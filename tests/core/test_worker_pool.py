@@ -33,15 +33,20 @@ def test_pool_never_exceeds_jobs_cap():
     cap = 3
     peak = [0]
     lock = threading.Lock()
+    # Every job rendezvouses with cap-1 peers before finishing: the pool
+    # is provably at full occupancy at each barrier trip — no sleeps, and
+    # a scheduler that stopped reaching cap concurrency breaks the
+    # barrier (bounded timeout) instead of passing vacuously.
+    barrier = threading.Barrier(cap)
 
     def work(_x):
-        time.sleep(0.005)
+        barrier.wait(timeout=10.0)
         with lock:
             peak[0] = max(peak[0], len(_pool_threads()))
 
     summary = Parallel(work, jobs=cap).run(range(30))
     assert summary.n_succeeded == 30
-    assert 1 <= peak[0] <= cap
+    assert peak[0] == cap
 
 
 def test_no_per_job_thread_creation(monkeypatch):

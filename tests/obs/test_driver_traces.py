@@ -1,0 +1,120 @@
+"""Merged multi-instance traces and the simulated-run exporter."""
+
+import json
+
+import jsonschema
+
+from repro.cluster import FRONTIER, MachineSpec, SimMachine
+from repro.driver import run_local_sharded, run_multinode
+from repro.faults.plan import NodeFaultPlan
+from repro.obs import CHROME_TRACE_SCHEMA, load_trace, write_sim_trace
+from repro.sim import Environment
+from repro.simengine import SimTask
+from repro.slurm import Allocation
+
+CALM = MachineSpec(
+    name="calm",
+    node=FRONTIER.node,
+    total_nodes=8,
+    alloc_delay_mean=1e-9,
+    straggler_prob=0.0,
+)
+
+
+def x_events(doc):
+    return [e for e in doc["traceEvents"] if e["ph"] == "X"]
+
+
+def process_names(doc):
+    return {
+        e["pid"]: e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+
+
+class TestShardedTrace:
+    def test_one_pid_per_instance(self, tmp_path):
+        trace = str(tmp_path / "sharded.json")
+        run = run_local_sharded(
+            "true {}", list(range(12)), n_instances=3,
+            jobs_per_instance=2, trace=trace,
+        )
+        assert run.ok and run.trace_path == trace
+        assert len(run.tracers) == 3
+        doc = load_trace(trace)
+        jsonschema.validate(doc, CHROME_TRACE_SCHEMA)
+        names = process_names(doc)
+        assert sorted(names.values()) == [
+            "pyparallel shard0", "pyparallel shard1", "pyparallel shard2"
+        ]
+        assert len(x_events(doc)) == 12
+        # Each instance's four jobs landed under its own pid.
+        per_pid = {pid: 0 for pid in names}
+        for e in x_events(doc):
+            per_pid[e["pid"]] += 1
+        assert all(n == 4 for n in per_pid.values())
+
+    def test_rescue_wave_appears_as_its_own_process(self, tmp_path):
+        trace = str(tmp_path / "rescue.json")
+        plan = NodeFaultPlan(die_after={1: 1})
+        run = run_local_sharded(
+            "true {}", list(range(12)), n_instances=3,
+            jobs_per_instance=2, node_faults=plan, trace=trace,
+        )
+        assert run.rebalanced
+        doc = load_trace(trace)
+        jsonschema.validate(doc, CHROME_TRACE_SCHEMA)
+        names = set(process_names(doc).values())
+        assert "pyparallel shard1" in names
+        rescue = {n for n in names if n.endswith("+rescue")}
+        assert rescue, "rescue wave missing from the merged trace"
+        # Every input ran somewhere: main-wave + rescue events cover all 12.
+        assert len(x_events(doc)) == 12
+
+    def test_untraced_run_keeps_no_tracers(self):
+        run = run_local_sharded(
+            "true {}", list(range(4)), n_instances=2, jobs_per_instance=2
+        )
+        assert run.tracers == [] and run.trace_path is None
+
+
+class TestSimTrace:
+    def make_run(self, trace=None, n_nodes=2, n_tasks=8):
+        env = Environment()
+        machine = SimMachine(env, CALM, with_lustre=False)
+        alloc = Allocation(machine, n_nodes)
+        return run_multinode(
+            alloc, list(range(n_tasks)),
+            lambda item, nid: SimTask(duration=0.5),
+            jobs_per_node=2, trace=trace,
+        )
+
+    def test_sim_trace_validates_and_covers_all_tasks(self, tmp_path):
+        trace = str(tmp_path / "sim.json")
+        run = self.make_run(trace=trace)
+        doc = load_trace(trace)
+        jsonschema.validate(doc, CHROME_TRACE_SCHEMA)
+        assert len(x_events(doc)) == run.n_tasks == 8
+        assert doc["otherData"]["n_nodes"] == 2
+        assert doc["otherData"]["n_tasks"] == 8
+        assert len(process_names(doc)) == 2  # one pid per node
+
+    def test_sim_times_map_to_microseconds(self, tmp_path):
+        trace = str(tmp_path / "sim.json")
+        run = self.make_run(trace=trace)
+        doc = load_trace(trace)
+        by_end = {}
+        for e in x_events(doc):
+            by_end.setdefault(e["pid"], []).append((e["ts"] + e["dur"]) / 1e6)
+        latest = max(t for times in by_end.values() for t in times)
+        assert latest <= run.makespan + 1e-6
+
+    def test_write_sim_trace_returns_event_count(self, tmp_path):
+        run = self.make_run()
+        trace = str(tmp_path / "again.json")
+        n = write_sim_trace(trace, run.results, meta={"source": "test"})
+        assert n == len(run.results) == 8
+        doc = json.load(open(trace))
+        jsonschema.validate(doc, CHROME_TRACE_SCHEMA)
+        assert doc["otherData"]["source"] == "test"

@@ -1,0 +1,158 @@
+"""Sink unit tests: Chrome trace translation/schema, metrics JSONL shape."""
+
+import json
+import os
+
+import jsonschema
+import pytest
+
+from repro.obs import CHROME_TRACE_SCHEMA, ChromeTraceSink, MetricsJsonlSink
+from repro.obs.events import Event, EventKind
+from repro.obs.sinks import attempt_trace_event, process_name_event
+
+
+def finished_event(seq=1, attempt=1, slot=2, start=10.0, end=10.5,
+                   kind=EventKind.FINISHED, state="succeeded", exit_code=0):
+    return Event(
+        ts=end, kind=kind, seq=seq, attempt=attempt, slot=slot,
+        data={"start": start, "end": end, "state": state,
+              "exit_code": exit_code, "command": "echo hi"},
+    )
+
+
+class TestChromeTraceSink:
+    def test_finished_becomes_complete_event(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        sink = ChromeTraceSink(path, node="n0")
+        sink.handle(finished_event())
+        sink.close()
+        doc = json.load(open(path))
+        jsonschema.validate(doc, CHROME_TRACE_SCHEMA)
+        (x,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert x["name"] == "job 1"
+        assert x["tid"] == 2  # tid is the slot
+        assert x["ts"] == pytest.approx(10.0 * 1e6)
+        assert x["dur"] == pytest.approx(0.5 * 1e6)
+        assert x["args"]["state"] == "succeeded"
+        assert x["args"]["exit_code"] == 0
+        assert x["args"]["command"] == "echo hi"
+
+    def test_retry_event_is_marked_and_named(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        sink = ChromeTraceSink(path)
+        sink.handle(finished_event(attempt=2, kind=EventKind.RETRY_QUEUED,
+                                   state="failed", exit_code=1))
+        sink.close()
+        (x,) = [e for e in json.load(open(path))["traceEvents"]
+                if e["ph"] == "X"]
+        assert x["name"] == "job 1 (attempt 2)"
+        assert x["args"]["retried"] is True
+
+    def test_metrics_become_counter_events_numeric_only(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        sink = ChromeTraceSink(path)
+        sink.handle(Event(ts=1.0, kind=EventKind.METRICS, data={
+            "ts": 1.0, "node": "n0", "queue_depth": 3, "slots_in_use": 2,
+            "throughput_ewma": 12.5,
+        }))
+        sink.close()
+        doc = json.load(open(path))
+        jsonschema.validate(doc, CHROME_TRACE_SCHEMA)
+        (c,) = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        # Counter args must be numeric series only: no node, no ts echo.
+        assert c["args"] == {"queue_depth": 3, "slots_in_use": 2,
+                             "throughput_ewma": 12.5}
+
+    def test_instants_and_run_meta(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        sink = ChromeTraceSink(path, node="n0")
+        sink.handle(Event(ts=1.0, kind=EventKind.RUN_META,
+                          data={"jobs_cap": 4, "total": 10}))
+        sink.handle(Event(ts=2.0, kind=EventKind.INSTANT, seq=7, slot=3,
+                          name="proc_spawn", data={"pid": 1234}))
+        sink.handle(Event(ts=3.0, kind=EventKind.INSTANT,
+                          name="cancel_all", data={"n_procs": 2}))
+        sink.close()
+        doc = json.load(open(path))
+        jsonschema.validate(doc, CHROME_TRACE_SCHEMA)
+        assert doc["otherData"] == {"jobs_cap": 4, "total": 10}
+        spawn, cancel = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert spawn["name"] == "proc_spawn"
+        assert spawn["s"] == "t"  # slot-scoped instant
+        assert spawn["args"] == {"seq": 7, "pid": 1234}
+        assert cancel["s"] == "p"  # process-scoped instant
+
+    def test_lifecycle_events_do_not_leak_into_the_trace(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        sink = ChromeTraceSink(path, node="n0")
+        for kind in (EventKind.SUBMITTED, EventKind.SLOT_ACQUIRED,
+                     EventKind.DISPATCHED, EventKind.RUNNING,
+                     EventKind.RUN_END):
+            sink.handle(Event(ts=1.0, kind=kind, seq=1))
+        sink.close()
+        doc = json.load(open(path))
+        # Only the process_name metadata record remains.
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
+        assert doc["traceEvents"][0]["args"]["name"] == "pyparallel n0"
+
+    def test_buffers_until_close(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        sink = ChromeTraceSink(path)
+        sink.handle(finished_event())
+        assert not os.path.exists(path), "sink wrote before close"
+        sink.close()
+        sink.close()  # idempotent
+        assert os.path.exists(path)
+
+    def test_long_commands_are_truncated(self):
+        event = attempt_trace_event(0, 1, 1, 1, 0.0, 1.0, state="succeeded",
+                                    command="x" * 500)
+        assert len(event["args"]["command"]) == 160
+
+    def test_schema_rejects_malformed_documents(self):
+        with pytest.raises(jsonschema.ValidationError):
+            jsonschema.validate({"traceEvents": [{"ph": "X"}]},
+                                CHROME_TRACE_SCHEMA)
+        with pytest.raises(jsonschema.ValidationError):
+            # X without ts/dur.
+            jsonschema.validate(
+                {"traceEvents": [{"ph": "X", "pid": 0, "tid": 0, "name": "j"}]},
+                CHROME_TRACE_SCHEMA,
+            )
+
+    def test_process_name_event_shape(self):
+        event = process_name_event(3, "pyparallel shard3")
+        assert event == {"ph": "M", "name": "process_name", "pid": 3,
+                         "tid": 0, "args": {"name": "pyparallel shard3"}}
+
+
+class TestMetricsJsonlSink:
+    def test_sample_and_bracket_lines(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        sink = MetricsJsonlSink(path, node="n1")
+        sink.handle(Event(ts=1.0, kind=EventKind.RUN_META,
+                          data={"jobs_cap": 2, "node": "n1"}))
+        sink.handle(Event(ts=2.0, kind=EventKind.METRICS, data={
+            "ts": 2.0, "node": "n1", "queue_depth": 1, "slots_in_use": 2,
+            "pool_size": 2, "retry_depth": 0, "in_flight": 2,
+            "completed": 5, "attempts_done": 6, "throughput_ewma": 2.5,
+        }))
+        sink.handle(Event(ts=3.0, kind=EventKind.RUN_END,
+                          data={"node": "n1", "n_failed": 0}))
+        assert not os.path.exists(path), "sink wrote before close"
+        sink.close()
+        lines = [json.loads(l) for l in open(path)]
+        assert [l["kind"] for l in lines] == ["run_meta", "sample", "run_end"]
+        sample = lines[1]
+        assert sample["node"] == "n1"
+        assert sample["completed"] == 5
+        assert sample["throughput_ewma"] == 2.5
+        assert lines[2]["n_failed"] == 0
+
+    def test_non_metrics_events_are_ignored(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        sink = MetricsJsonlSink(path)
+        sink.handle(finished_event())
+        sink.handle(Event(ts=1.0, kind=EventKind.INSTANT, name="proc_spawn"))
+        sink.close()
+        assert not os.path.exists(path) or open(path).read() == ""

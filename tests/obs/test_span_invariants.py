@@ -1,0 +1,187 @@
+"""Property tests: span structure invariants over real scheduler runs.
+
+Every test drives the production dispatch loop (`Parallel` over a
+`CallableBackend`, optionally fault-wrapped) with an injected
+:class:`RunTracer` and asserts structural invariants of the recorded
+spans: monotone stage timestamps, exact reconciliation against the
+:class:`RunSummary` and the joblog, nested attempt spans under retries,
+and slot-occupancy never exceeding the concurrency cap.
+"""
+
+import collections
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Parallel
+from repro.analysis.profile import concurrency_timeline
+from repro.core.backends.callable_backend import CallableBackend
+from repro.core.joblog import read_joblog
+from repro.core.options import Options
+from repro.faults import FaultPlan, FaultSpec, FaultyBackend
+from repro.obs import RunTracer
+
+
+def traced_run(
+    n_jobs,
+    jobs_cap,
+    fail_seqs=(),
+    fail_times=1,
+    retries=0,
+    joblog=None,
+    metrics_interval=None,
+):
+    """One real engine run with a tracer injected; returns (tracer, summary)."""
+    tracer = RunTracer(metrics_interval=metrics_interval)
+    backend = CallableBackend(lambda x: x)
+    if fail_seqs:
+        plan = FaultPlan(
+            by_seq={s: FaultSpec("flaky", times=fail_times) for s in fail_seqs}
+        )
+        backend = FaultyBackend(backend, plan)
+    options = Options(
+        jobs=jobs_cap, retries=retries, tracer=tracer, joblog=joblog
+    )
+    engine = Parallel(lambda x: x, backend=backend, options=options)
+    summary = engine.run(range(n_jobs))
+    return tracer, summary
+
+
+run_shapes = st.tuples(
+    st.integers(min_value=1, max_value=16),  # n_jobs
+    st.integers(min_value=1, max_value=4),  # jobs_cap
+)
+
+
+@given(shape=run_shapes)
+@settings(max_examples=15, deadline=None)
+def test_one_closed_span_per_job_and_counts_reconcile(shape):
+    n_jobs, jobs_cap = shape
+    tracer, summary = traced_run(n_jobs, jobs_cap)
+    assert len(tracer.spans) == n_jobs == len(summary.results)
+    assert sorted(tracer.spans) == list(range(1, n_jobs + 1))
+    n_attempts = sum(s.n_attempts for s in tracer.spans.values())
+    assert n_attempts == summary.n_dispatched
+    assert tracer.completed == n_jobs
+    assert tracer.attempts_done == summary.n_dispatched
+    for result in summary.results:
+        span = tracer.spans[result.seq]
+        assert span.closed
+        assert span.final_state == result.state.value
+
+
+@given(shape=run_shapes)
+@settings(max_examples=15, deadline=None)
+def test_attempt_timelines_are_monotone(shape):
+    n_jobs, jobs_cap = shape
+    tracer, _ = traced_run(n_jobs, jobs_cap)
+    for span in tracer.spans.values():
+        assert span.t_submitted is not None
+        for att in span.attempts:
+            stamps = att.timeline()
+            assert stamps == sorted(stamps)
+            assert span.t_submitted <= stamps[0]
+        assert span.t_done is not None
+        assert span.t_done >= span.t_submitted
+
+
+@given(
+    shape=run_shapes,
+    n_fail=st.integers(min_value=1, max_value=3),
+    fail_times=st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=15, deadline=None)
+def test_retries_nest_attempt_spans(shape, n_fail, fail_times):
+    n_jobs, jobs_cap = shape
+    fail_seqs = list(range(1, min(n_fail, n_jobs) + 1))
+    retries = fail_times + 1  # enough budget for every flake to recover
+    tracer, summary = traced_run(
+        n_jobs, jobs_cap, fail_seqs=fail_seqs, fail_times=fail_times,
+        retries=retries,
+    )
+    assert summary.n_failed == 0
+    for seq in fail_seqs:
+        span = tracer.spans[seq]
+        assert span.n_attempts == fail_times + 1
+        assert [a.attempt for a in span.attempts] == list(
+            range(1, fail_times + 2)
+        )
+        # All but the last attempt failed and were re-queued.
+        for att in span.attempts[:-1]:
+            assert att.retried
+            assert att.state == "failed"
+        last = span.attempts[-1]
+        assert not last.retried
+        assert last.state == "succeeded"
+    for seq in range(len(fail_seqs) + 1, n_jobs + 1):
+        assert tracer.spans[seq].n_attempts == 1
+
+
+@given(shape=run_shapes)
+@settings(max_examples=15, deadline=None)
+def test_slot_held_concurrency_never_exceeds_cap(shape):
+    n_jobs, jobs_cap = shape
+    tracer, _ = traced_run(n_jobs, jobs_cap)
+    starts, ends = [], []
+    for span in tracer.spans.values():
+        for att in span.attempts:
+            assert att.t_slot_acquired is not None and att.t_end is not None
+            starts.append(att.t_slot_acquired)
+            ends.append(att.t_end)
+    _, counts = concurrency_timeline(starts, ends)
+    assert counts.max() <= jobs_cap
+
+
+@given(shape=run_shapes)
+@settings(max_examples=15, deadline=None)
+def test_slots_are_unique_while_held(shape):
+    """No two concurrently-open attempts ever share a slot number."""
+    n_jobs, jobs_cap = shape
+    tracer, _ = traced_run(n_jobs, jobs_cap)
+    by_slot = collections.defaultdict(list)
+    for span in tracer.spans.values():
+        for att in span.attempts:
+            assert 1 <= att.slot <= jobs_cap
+            by_slot[att.slot].append((att.t_slot_acquired, att.t_end))
+    for intervals in by_slot.values():
+        intervals.sort()
+        for (_, prev_end), (nxt_start, _) in zip(intervals, intervals[1:]):
+            assert nxt_start >= prev_end
+
+
+@given(
+    shape=run_shapes,
+    n_fail=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=10, deadline=None)
+def test_attempt_spans_reconcile_with_joblog(shape, n_fail, tmp_path_factory):
+    n_jobs, jobs_cap = shape
+    joblog = str(tmp_path_factory.mktemp("jl") / "joblog.tsv")
+    fail_seqs = list(range(1, min(n_fail, n_jobs) + 1))
+    tracer, _ = traced_run(
+        n_jobs, jobs_cap, fail_seqs=fail_seqs, retries=2, joblog=joblog
+    )
+    entries = read_joblog(joblog)
+    attempts = [a for s in tracer.spans.values() for a in s.attempts]
+    # One joblog line per attempt, with matching (1 ms-quantized) stamps.
+    assert len(entries) == len(attempts)
+    logged = sorted((e.seq, round(e.start_time, 3)) for e in entries)
+    spanned = sorted((a.seq, round(a.t_start, 3)) for a in attempts)
+    assert logged == spanned
+
+
+def test_gauge_samples_respect_caps():
+    tracer, summary = traced_run(200, 3, metrics_interval=0.002)
+    assert summary.n_succeeded == 200
+    assert tracer.samples, "sampler thread never fired"
+    for sample in tracer.samples:
+        assert 0 <= sample.slots_in_use <= 3
+        assert 0 <= sample.pool_size <= 3
+        assert sample.queue_depth >= 0
+        assert sample.retry_depth >= 0
+        assert 0 <= sample.in_flight <= 3
+        assert 0 <= sample.completed <= 200
+        assert sample.attempts_done >= sample.completed
+    ts = [s.ts for s in tracer.samples]
+    assert ts == sorted(ts)
+    assert tracer.samples[-1].completed == 200

@@ -1,0 +1,192 @@
+"""RunTracer and EventBus unit tests (fake clock, no engine involved)."""
+
+import threading
+
+import pytest
+
+from repro.core.job import Job, JobResult, JobState
+from repro.obs import EventBus, RunTracer
+from repro.obs.events import Event, EventKind
+
+
+class FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+        return self.t
+
+
+def make_result(seq=1, attempt=1, slot=1, start=100.0, end=101.0,
+                state=JobState.SUCCEEDED, exit_code=0):
+    return JobResult(
+        seq=seq, args=("x",), command="echo x", exit_code=exit_code,
+        start_time=start, end_time=end, slot=slot, attempt=attempt,
+        state=state,
+    )
+
+
+def make_job(seq=1, attempt=1):
+    job = Job(seq=seq, args=("x",), command="echo x")
+    job.attempt = attempt
+    return job
+
+
+class TestEventBus:
+    def test_fan_out_in_subscription_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(("a", e.kind)))
+        bus.subscribe(lambda e: seen.append(("b", e.kind)))
+        bus.publish(Event(ts=1.0, kind=EventKind.SUBMITTED, seq=1))
+        assert seen == [("a", "submitted"), ("b", "submitted")]
+        assert bus.n_subscribers == 2
+
+    def test_sink_exceptions_are_counted_not_raised(self):
+        bus = EventBus()
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("sink broke")
+
+        bus.subscribe(bad)
+        bus.subscribe(lambda e: seen.append(e))
+        bus.publish(Event(ts=1.0, kind=EventKind.SUBMITTED))
+        bus.publish(Event(ts=2.0, kind=EventKind.SUBMITTED))
+        assert len(seen) == 2, "a broken sink must not starve the others"
+        assert bus.dropped == 2
+
+
+class TestTracerLifecycle:
+    def test_full_attempt_lifecycle(self):
+        clock = FakeClock()
+        tracer = RunTracer(node="n0", clock=clock)
+        tracer.job_submitted(1)
+        clock.advance(0.1)
+        tracer.attempt_started(1, 1, slot=2)
+        clock.advance(0.1)
+        tracer.job_dispatched(1, 1, slot=2)
+        clock.advance(0.1)
+        tracer.job_running(1, 1, slot=2)
+        clock.advance(1.0)
+        tracer.attempt_finished(
+            make_job(), make_result(slot=2, start=100.3, end=101.3)
+        )
+        span = tracer.spans[1]
+        assert span.closed and span.final_state == "succeeded"
+        att = span.attempt(1)
+        assert att.timeline() == pytest.approx(
+            [100.1, 100.2, 100.3, 100.3, 101.3]
+        )
+        assert att.runtime == pytest.approx(1.0)
+        assert att.exit_code == 0 and not att.retried
+        assert tracer.completed == 1 and tracer.attempts_done == 1
+
+    def test_retried_attempt_keeps_job_open(self):
+        tracer = RunTracer(clock=FakeClock())
+        tracer.attempt_started(1, 1, slot=1)
+        tracer.attempt_finished(
+            make_job(), make_result(state=JobState.FAILED, exit_code=1),
+            retried=True, eligible_at=105.0,
+        )
+        span = tracer.spans[1]
+        assert not span.closed
+        assert span.attempt(1).retried
+        assert tracer.completed == 0 and tracer.attempts_done == 1
+        tracer.attempt_started(1, 2, slot=1)
+        tracer.attempt_finished(make_job(attempt=2), make_result(attempt=2))
+        assert span.closed and span.n_attempts == 2
+        assert tracer.completed == 1 and tracer.attempts_done == 2
+
+    def test_completion_without_open_attempt_is_self_contained(self):
+        # Dry-run and shutdown-abandoned jobs finish without slot events.
+        tracer = RunTracer(clock=FakeClock())
+        tracer.attempt_finished(make_job(), make_result())
+        span = tracer.spans[1]
+        assert span.closed and span.n_attempts == 1
+        assert span.attempt(1).t_slot_acquired is None
+        assert span.attempt(1).timeline() == [100.0, 101.0]
+
+    def test_bind_gauges_rejects_unknown_names(self):
+        tracer = RunTracer()
+        with pytest.raises(ValueError, match="unknown gauges"):
+            tracer.bind_gauges(bogus=lambda: 1)
+
+    def test_run_finished_is_idempotent(self, tmp_path):
+        closes = []
+
+        class Sink:
+            def handle(self, event):
+                pass
+
+            def close(self):
+                closes.append(1)
+
+        tracer = RunTracer(sinks=[Sink()])
+        tracer.run_started(jobs_cap=2)
+        tracer.run_finished()
+        tracer.run_finished()
+        assert closes == [1]
+
+    def test_broken_gauge_reads_zero(self):
+        tracer = RunTracer(clock=FakeClock())
+
+        def broken():
+            raise RuntimeError("gauge exploded")
+
+        tracer.bind_gauges(queue_depth=broken, slots_in_use=lambda: 3)
+        sample = tracer.sample()
+        assert sample.queue_depth == 0
+        assert sample.slots_in_use == 3
+
+
+class TestEwma:
+    def test_ewma_tracks_completion_rate(self):
+        clock = FakeClock()
+        tracer = RunTracer(ewma_alpha=0.5, clock=clock)
+        tracer.sample()  # baseline: no rate yet
+        assert tracer.throughput_ewma == 0.0
+        for n in range(10):  # 10 completions per second, sampled each second
+            tracer.attempt_started(n + 1, 1, slot=1)
+            tracer.attempt_finished(make_job(seq=n + 1), make_result(seq=n + 1))
+        clock.advance(1.0)
+        tracer.sample()
+        assert tracer.throughput_ewma == pytest.approx(5.0)  # 0 + 0.5*(10-0)
+        clock.advance(1.0)
+        tracer.sample()  # no new completions: rate 0
+        assert tracer.throughput_ewma == pytest.approx(2.5)
+
+    def test_sample_ignores_zero_dt(self):
+        clock = FakeClock()
+        tracer = RunTracer(clock=clock)
+        tracer.sample()
+        tracer.sample()  # same timestamp: must not divide by zero
+        assert tracer.throughput_ewma == 0.0
+
+
+class TestSamplerThread:
+    def test_sampler_runs_and_stops(self):
+        tracer = RunTracer(metrics_interval=0.005)
+        tracer.bind_gauges(slots_in_use=lambda: 1)
+        tracer.run_started(jobs_cap=1)
+        deadline = threading.Event()
+        for _ in range(200):
+            if len(tracer.samples) >= 3:
+                break
+            deadline.wait(0.01)
+        assert len(tracer.samples) >= 3, "sampler thread produced no samples"
+        tracer.run_finished()
+        n = len(tracer.samples)
+        deadline.wait(0.05)
+        # At most the final sample may have landed after the stop signal.
+        assert len(tracer.samples) == n
+
+    def test_no_sampler_without_interval(self):
+        tracer = RunTracer()
+        tracer.run_started(jobs_cap=1)
+        assert tracer._sampler is None
+        tracer.run_finished()

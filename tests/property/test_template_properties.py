@@ -40,7 +40,10 @@ def test_brace_substitution_is_exact(value):
 @given(arg_values)
 def test_path_ops_consistent_with_os_path(value):
     t = CommandTemplate("{/}|{//}|{.}|{/.}")
-    base, dirname = os.path.basename(value), os.path.dirname(value)
+    base = os.path.basename(value)
+    # GNU Parallel renders {//} of a bare filename as ".", where
+    # os.path.dirname gives "" (see tests/conformance/test_rendering.py).
+    dirname = os.path.dirname(value) or "."
     root, _ = os.path.splitext(value)
     broot, _ = os.path.splitext(base)
     assert t.render((value,)) == f"{base}|{dirname}|{root}|{broot}"
