@@ -94,6 +94,29 @@ def bench_subprocess(n: int = 300, jobs: int = 8, repeats: int = 3) -> dict:
             "jobs_per_s_best": max(rates)}
 
 
+def bench_remote_local_transport(
+    n: int = 200, hosts: int = 4, slots: int = 2, repeats: int = 3
+) -> dict:
+    """Jobs/s through RemoteBackend + LocalTransport on a 4-host roster.
+
+    The full remote path per job — least-loaded placement, per-host
+    re-render, transport execute, health bookkeeping — with the cheapest
+    real transport, so the number isolates coordination overhead over the
+    plain ``subprocess`` rate rather than network cost.
+    """
+    roster = ",".join(f"{slots}/bench{i}" for i in range(hosts))
+    rates = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        summary = Parallel("true # {}", sshlogin=[roster]).run(range(n))
+        dt = time.perf_counter() - t0
+        assert summary.n_succeeded == n, summary.n_failed
+        rates.append(n / dt)
+    return {"n": n, "hosts": hosts, "slots": slots, "repeats": repeats,
+            "jobs_per_s": statistics.median(rates),
+            "jobs_per_s_best": max(rates)}
+
+
 def bench_template(iters: int = 50_000) -> dict:
     """Renders/s for a realistic multi-token template."""
     t = CommandTemplate("convert {1} -scale {2}% {1/.}_{2}.png {#} {%}")
@@ -122,6 +145,7 @@ def main(argv=None) -> int:
             "callable": bench_callable(n=400, repeats=3),
             "callable_traced": bench_callable_traced(n=400, repeats=3),
             "subprocess": bench_subprocess(n=100, repeats=2),
+            "remote_local": bench_remote_local_transport(n=80, repeats=2),
             "template": bench_template(iters=10_000),
         }
     else:
@@ -129,6 +153,7 @@ def main(argv=None) -> int:
             "callable": bench_callable(),
             "callable_traced": bench_callable_traced(),
             "subprocess": bench_subprocess(),
+            "remote_local": bench_remote_local_transport(),
             "template": bench_template(),
         }
     entry = {

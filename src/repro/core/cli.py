@@ -21,7 +21,7 @@ from typing import Optional, Sequence
 from repro.core.engine import Parallel
 from repro.core.inputs import combine, from_file, link
 from repro.core.options import DEFAULT_JOBS, Options
-from repro.errors import ReproError
+from repro.errors import OptionsError, ReproError
 
 __all__ = ["main", "build_arg_parser", "split_command_line"]
 
@@ -114,8 +114,36 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    help="stream output unbuffered")
     p.add_argument("--link", action="store_true",
                    help="link (zip) input sources instead of crossing them")
-    p.add_argument("--wd", dest="workdir", default=None,
-                   help="working directory for jobs")
+    p.add_argument("--wd", "--workdir", dest="workdir", default=None,
+                   help="working directory for jobs ('...' = a unique "
+                        "per-run directory, removed afterwards)")
+    # Remote execution (GNU Parallel --sshlogin family).
+    p.add_argument("-S", "--sshlogin", action="append", default=[],
+                   dest="sshlogin", metavar="[N/]HOST,...",
+                   help="run jobs on these hosts (repeatable; N/host sets "
+                        "the host's slot count, ':' is the local machine); "
+                        "-j then means slots per host")
+    p.add_argument("--sshloginfile", "--slf", default=None, metavar="FILE",
+                   dest="sshloginfile",
+                   help="read sshlogins from FILE (one per line, # comments)")
+    p.add_argument("--transferfile", "--trc", action="append", default=[],
+                   dest="transfer_files", metavar="TMPL",
+                   help="stage this file to the executing host per job "
+                        "(replacement strings supported; repeatable)")
+    p.add_argument("--return", action="append", default=[],
+                   dest="return_files", metavar="TMPL",
+                   help="fetch this file back from the host after the job "
+                        "(repeatable)")
+    p.add_argument("--cleanup", action="store_true",
+                   help="remove transferred and returned files from the "
+                        "host after each job")
+    p.add_argument("--basefile", action="append", default=[],
+                   dest="basefiles", metavar="FILE",
+                   help="stage this file once per host per run (repeatable)")
+    p.add_argument("--ban-after", type=int, default=3, metavar="N",
+                   dest="ban_after",
+                   help="ban a host after N consecutive transport failures "
+                        "(engine extension; default 3)")
     p.add_argument("--nice", type=int, default=None,
                    help="niceness for spawned jobs")
     p.add_argument("-a", "--arg-file", action="append", default=[],
@@ -216,7 +244,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             trace=ns.trace,
             metrics=ns.metrics,
             metrics_interval=ns.metrics_interval,
+            sshlogin=ns.sshlogin,
+            sshloginfile=ns.sshloginfile,
+            transfer_files=ns.transfer_files,
+            return_files=ns.return_files,
+            cleanup=ns.cleanup,
+            basefiles=ns.basefiles,
+            ban_after=ns.ban_after,
         )
+        if ns.fault_plan and options.remote:
+            raise OptionsError(
+                "--fault-plan applies to the local backend; combine "
+                "FaultyTransport with the remote API instead"
+            )
         command = " ".join(ns.command) if len(ns.command) > 1 else ns.command[0]
         progress = None
         if ns.bar:

@@ -131,10 +131,10 @@ class Parallel:
         )
         options = dataclasses.replace(self.options, pipe_mode=True)
         template = CommandTemplate(self._command, implicit_append=False)  # type: ignore[arg-type]
-        backend = self._make_backend()
+        backend = self._make_backend(template=template)
         return run_scheduler(
-            template, blocks, options, backend, self._make_emit(),
-            progress=self._progress,
+            template, blocks, self._scheduler_options(options, backend),
+            backend, self._make_emit(), progress=self._progress,
         )
 
     def map(self, inputs: Iterable[object]) -> list[object]:
@@ -156,15 +156,44 @@ class Parallel:
         backend = self._make_backend()
         emit = self._make_emit()
         return run_scheduler(
-            self.template, source, self.options, backend, emit,
-            progress=self._progress,
+            self.template, source, self._scheduler_options(self.options, backend),
+            backend, emit, progress=self._progress,
         )
 
     # -- plumbing ------------------------------------------------------------
-    def _make_backend(self) -> Backend:
+    def _make_backend(self, template: Optional[CommandTemplate] = None) -> Backend:
         if self._default_backend is not None:
             return self._fresh_backend(self._default_backend)
+        if self.options.remote:
+            from repro.errors import OptionsError
+            from repro.remote import LocalTransport, RemoteBackend
+
+            tmpl = template if template is not None else self.template
+            if tmpl is None:
+                raise OptionsError(
+                    "-S/--sshlogin requires a command template, not a callable"
+                )
+            return RemoteBackend.from_options(
+                self.options, transport=LocalTransport(), template=tmpl
+            )
         return LocalShellBackend()
+
+    @staticmethod
+    def _scheduler_options(options: Options, backend: Backend) -> Options:
+        """Remote runs: the scheduler's concurrency is the roster's total.
+
+        ``-j`` means slots *per host* under ``-S`` (GNU Parallel), so the
+        dispatch cap becomes the sum of per-host slots, read off the
+        backend (or a fault-injecting wrapper's inner backend).
+        """
+        total = getattr(backend, "total_slots", None)
+        if total is None:
+            total = getattr(getattr(backend, "inner", None), "total_slots", None)
+        if total is None or total == options.jobs:
+            return options
+        import dataclasses
+
+        return dataclasses.replace(options, jobs=total)
 
     @classmethod
     def _fresh_backend(cls, backend: Backend) -> Backend:
@@ -173,11 +202,14 @@ class Parallel:
         # them.  Fault-injecting wrappers are refreshed recursively so a
         # reused engine does not inherit a cancelled inner backend.
         from repro.faults.backend import FaultyBackend
+        from repro.remote.backend import RemoteBackend
 
         if isinstance(backend, LocalShellBackend):
             return LocalShellBackend(shell=backend.shell)
         if isinstance(backend, CallableBackend):
             return CallableBackend(backend.func)
+        if isinstance(backend, RemoteBackend):
+            return backend.renew()
         if isinstance(backend, FaultyBackend):
             # Reset in place (not a copy) so the caller's handle keeps
             # seeing the injected-fault counters after the run.

@@ -253,6 +253,25 @@ class Options:
     #: scheduler builds one iff ``trace``/``metrics`` ask for output
     #: (an injected tracer takes precedence — the paths are ignored).
     tracer: Optional[object] = field(default=None, repr=False)
+    #: Remote host specs (``-S``/``--sshlogin``): each entry is a
+    #: comma-separated list of ``[N/]host`` sshlogins; ``:`` = localhost.
+    #: Non-empty makes the run remote.  ``-j`` then means slots *per host*.
+    sshlogin: list[str] = field(default_factory=list)
+    #: File of sshlogins, one per line, ``#`` comments (``--sshloginfile``).
+    sshloginfile: Optional[str] = None
+    #: Per-job file(s) to stage to the executing host (``--transferfile``);
+    #: each entry is a replacement-string template rendered per job.
+    transfer_files: list[str] = field(default_factory=list)
+    #: Per-job file(s) to fetch back after the job (``--return``).
+    return_files: list[str] = field(default_factory=list)
+    #: Remove transferred/returned files from the host afterwards
+    #: (``--cleanup``).
+    cleanup: bool = False
+    #: Files staged once per host per run, never per job (``--basefile``).
+    basefiles: list[str] = field(default_factory=list)
+    #: Ban a host after this many *consecutive* transport failures; its
+    #: in-flight jobs re-place onto surviving hosts (engine extension).
+    ban_after: int = 3
 
     # Parsed halt policy (computed in __post_init__).
     halt_spec: HaltSpec = field(init=False, repr=False)
@@ -298,6 +317,24 @@ class Options:
             raise OptionsError(
                 f"--metrics-interval must be > 0, got {self.metrics_interval}"
             )
+        if self.ban_after < 1:
+            raise OptionsError(f"ban_after must be >= 1, got {self.ban_after}")
+        if not self.remote:
+            staging_flags = [
+                name
+                for name, value in (
+                    ("--transferfile", self.transfer_files),
+                    ("--return", self.return_files),
+                    ("--cleanup", self.cleanup),
+                    ("--basefile", self.basefiles),
+                )
+                if value
+            ]
+            if staging_flags:
+                raise OptionsError(
+                    f"{'/'.join(staging_flags)} require(s) -S/--sshlogin "
+                    "or --sshloginfile"
+                )
         if self.resume_failed:
             # --resume-failed implies --resume bookkeeping.
             self.resume = True
@@ -306,6 +343,11 @@ class Options:
         if self.tagstring is not None:
             self.tag = True
         self.halt_spec = HaltSpec.parse(self.halt)
+
+    @property
+    def remote(self) -> bool:
+        """True when a host roster was given: dispatch goes multi-host."""
+        return bool(self.sshlogin or self.sshloginfile)
 
     def effective_jobs(self, n_inputs: Optional[int] = None) -> int:
         """Resolve ``jobs=0`` ("run everything at once") against input count."""

@@ -43,9 +43,11 @@ __all__ = ["CommandTemplate", "render_token", "SEQ_TOKEN", "SLOT_TOKEN"]
 SEQ_TOKEN = "{#}"
 SLOT_TOKEN = "{%}"
 
-# {}, {.}, {/}, {//}, {/.}, {#}, {%}, {3}, {3.}, {3/}, {3//}, {3/.}
+# {}, {.}, {/}, {//}, {/.}, {#}, {%}, {3}, {3.}, {3/}, {3//}, {3/.},
+# plus the engine-extension {host} (the executing sshlogin; renders as the
+# literal "{host}" outside remote runs, so local output is unchanged).
 _TOKEN_RE = re.compile(
-    r"\{(?P<pos>\d+)?(?P<op>\.|/\.|//|/|#|%)?\}"
+    r"\{(?:(?P<host>host)|(?P<pos>\d+)?(?P<op>\.|/\.|//|/|#|%)?)\}"
 )
 _PERL_EXPR_RE = re.compile(r"\{=.*?=\}", re.DOTALL)
 
@@ -81,13 +83,19 @@ def _apply_op(value: str, op: str) -> str:
 
 
 def render_token(
-    token: _Token, args: Sequence[str], seq: int, slot: int
+    token: _Token, args: Sequence[str], seq: int, slot: int,
+    host: "str | None" = None,
 ) -> str:
     """Render a single token against an argument group."""
     if token.op == "#":
         return str(seq)
     if token.op == "%":
         return str(slot)
+    if token.op == "host":
+        # Outside a remote run there is no executing host: render the
+        # literal text back, matching what GNU Parallel (which treats
+        # {host} as plain text) would pass to the job.
+        return host if host is not None else "{host}"
     if token.pos is None:
         # {} over a multi-source argument group joins with a space —
         # matches GNU Parallel when sources are linked/combined.
@@ -177,6 +185,10 @@ class CommandTemplate:
         for m in _TOKEN_RE.finditer(text):
             if m.start() > last:
                 pieces.append(text[last : m.start()])
+            if m.group("host"):
+                pieces.append(_Token(None, "host"))
+                last = m.end()
+                continue
             pos = int(m.group("pos")) if m.group("pos") else None
             op = m.group("op") or ""
             if pos is not None and op in ("#", "%"):
@@ -194,8 +206,14 @@ class CommandTemplate:
 
     @property
     def has_any_token(self) -> bool:
-        """True if the template contains any replacement string."""
-        return any(isinstance(p, _Token) for p in self._pieces)
+        """True if the template contains any GNU replacement string.
+
+        ``{host}`` is excluded: GNU Parallel treats it as literal text, so
+        for the implicit-``{}``-append decision it must not count.
+        """
+        return any(
+            isinstance(p, _Token) and p.op != "host" for p in self._pieces
+        )
 
     @property
     def is_static(self) -> bool:
@@ -210,7 +228,7 @@ class CommandTemplate:
     def has_input_token(self) -> bool:
         """True if any token consumes the input argument(s)."""
         return any(
-            isinstance(p, _Token) and p.op not in ("#", "%")
+            isinstance(p, _Token) and p.op not in ("#", "%", "host")
             for p in self._pieces
         )
 
@@ -220,17 +238,23 @@ class CommandTemplate:
         return any(isinstance(p, _Token) and p.op == "%" for p in self._pieces)
 
     def render(
-        self, args: Sequence[str], seq: int = 1, slot: int = 1, quote: bool = False
+        self,
+        args: Sequence[str],
+        seq: int = 1,
+        slot: int = 1,
+        quote: bool = False,
+        host: "str | None" = None,
     ) -> str:
         """Render to a single shell-command string.
 
         ``quote=True`` (GNU Parallel ``-q``) shell-quotes every substituted
         input value, so arguments containing spaces, quotes, ``;`` or ``$``
         cannot be reinterpreted by the job's shell.  ``{#}``/``{%}`` are
-        never quoted (they are always plain integers).
+        never quoted (they are always plain integers).  ``host`` fills
+        ``{host}`` tokens (remote runs); None renders them back literally.
         """
         if self._argv_mode:
-            return shlex.join(self.render_argv(args, seq, slot))
+            return shlex.join(self.render_argv(args, seq, slot, host=host))
         if self._static is not None:
             return self._static
         single = len(args) == 1
@@ -243,6 +267,9 @@ class CommandTemplate:
             if op == "%":
                 values.append(str(slot))
                 continue
+            if op == "host":
+                values.append(host if host is not None else "{host}")
+                continue
             if op == "" and single and token.pos is None:
                 value = args[0]  # the dominant `cmd {}` case, zero calls
             else:
@@ -251,7 +278,8 @@ class CommandTemplate:
         return self._fmt % tuple(values)
 
     def render_argv(
-        self, args: Sequence[str], seq: int = 1, slot: int = 1
+        self, args: Sequence[str], seq: int = 1, slot: int = 1,
+        host: "str | None" = None,
     ) -> list[str]:
         """Render to an argv list (argv-mode templates only)."""
         if not self._argv_mode:
@@ -265,7 +293,9 @@ class CommandTemplate:
                 continue
             argv.append(
                 "".join(
-                    render_token(p, args, seq, slot) if isinstance(p, _Token) else p
+                    render_token(p, args, seq, slot, host=host)
+                    if isinstance(p, _Token)
+                    else p
                     for p in entry
                 )
             )

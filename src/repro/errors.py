@@ -59,6 +59,30 @@ class StorageError(ReproError):
     """Raised for filesystem-model misuse (missing paths, double create)."""
 
 
+class TransportError(ReproError):
+    """Raised when a remote-execution transport fails at the *host* level.
+
+    Distinct from a job failing (nonzero exit), which is a result, not an
+    exception: a :class:`TransportError` means the host could not be
+    reached or the connection died, so the job should be re-placed on a
+    different host.  ``phase`` names where it broke (``"connect"``,
+    ``"execute"``, ``"transfer"``, ``"return"``, ``"cleanup"``).
+    """
+
+    def __init__(self, message: str, phase: str = "execute"):
+        super().__init__(message)
+        self.phase = phase
+
+
+class StagingError(ReproError):
+    """Raised when file staging fails for *job-local* reasons.
+
+    A missing ``--transferfile`` source or an absent ``--return`` output is
+    the job's problem, not the host's: the job fails, the host stays
+    healthy, and no re-placement happens.
+    """
+
+
 class ContainerError(ReproError):
     """Raised when a simulated container launch fails.
 

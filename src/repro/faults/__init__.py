@@ -25,14 +25,23 @@ Same seed → identical retry/success counts, regardless of thread timing.
 
 from repro.faults.backend import FaultyBackend
 from repro.faults.joblog import corrupt_joblog, truncate_joblog
-from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, NodeFaultPlan
+from repro.faults.plan import (
+    FAULT_KINDS,
+    TRANSPORT_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    NodeFaultPlan,
+)
+from repro.faults.transport import FaultyTransport
 
 __all__ = [
     "FAULT_KINDS",
+    "TRANSPORT_FAULT_KINDS",
     "FaultSpec",
     "FaultPlan",
     "NodeFaultPlan",
     "FaultyBackend",
+    "FaultyTransport",
     "truncate_joblog",
     "corrupt_joblog",
 ]

@@ -23,7 +23,12 @@ from collections import Counter
 from repro.core.backends.base import Backend
 from repro.core.job import Job, JobResult, JobState
 from repro.core.options import Options
-from repro.faults.plan import DEFAULT_HANG_S, FaultPlan, FaultSpec
+from repro.faults.plan import (
+    DEFAULT_HANG_S,
+    TRANSPORT_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
 
 __all__ = ["FaultyBackend"]
 
@@ -44,7 +49,9 @@ class FaultyBackend(Backend):
         self, job: Job, slot: int, options: Options, timeout: float | None = None
     ) -> JobResult:
         spec = self.plan.fault_for(job.seq, job.attempt)
-        if spec is None:
+        if spec is None or spec.kind in TRANSPORT_FAULT_KINDS:
+            # Transport faults fire inside a FaultyTransport (host-level);
+            # at the backend layer they are not ours to inject.
             return self.inner.run_job(job, slot, options, timeout=timeout)
         with self._lock:
             self._injected[spec.kind] += 1

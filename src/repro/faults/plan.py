@@ -34,7 +34,13 @@ from typing import Mapping, Optional, Sequence
 
 from repro.errors import ReproError
 
-__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "NodeFaultPlan"]
+__all__ = [
+    "FAULT_KINDS",
+    "TRANSPORT_FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "NodeFaultPlan",
+]
 
 #: Supported fault kinds:
 #:
@@ -51,7 +57,23 @@ __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "NodeFaultPlan"]
 #: ``signal``
 #:     The job dies to a spurious signal (negative exit code, the
 #:     ``subprocess`` convention for signal deaths).
-FAULT_KINDS = ("crash", "flaky", "hang", "slow", "signal")
+#: ``connect_timeout``
+#:     Transport-level (remote runs, via ``FaultyTransport``): the
+#:     connection to the chosen host times out before the job starts; the
+#:     backend re-places the job on another host.
+#: ``drop``
+#:     Transport-level: the connection drops *mid-job* — the command may
+#:     have run, but the coordinator never hears back.
+FAULT_KINDS = (
+    "crash", "flaky", "hang", "slow", "signal", "connect_timeout", "drop",
+)
+
+#: The subset of :data:`FAULT_KINDS` injected at the transport layer
+#: (host-level failures) rather than as job results.  A plain
+#: :class:`~repro.faults.backend.FaultyBackend` passes these through
+#: untouched — they only fire inside a
+#: :class:`~repro.faults.transport.FaultyTransport`.
+TRANSPORT_FAULT_KINDS = ("connect_timeout", "drop")
 
 #: Hang duration when the run has no timeout and the spec no delay —
 #: bounded so a plan can never wedge a test suite forever.
@@ -89,10 +111,16 @@ class FaultSpec:
 
     @property
     def attempts_affected(self) -> float:
-        """How many attempts this fault hits (``inf`` = every attempt)."""
+        """How many attempts this fault hits (``inf`` = every attempt).
+
+        Transport faults default to transient (1) like ``flaky``: a
+        permanent connect failure for one seq would otherwise survive
+        every re-placement *and* every scheduler retry.
+        """
         if self.times is not None:
             return float(self.times)
-        return 1.0 if self.kind == "flaky" else math.inf
+        transient = ("flaky",) + TRANSPORT_FAULT_KINDS
+        return 1.0 if self.kind in transient else math.inf
 
     def to_dict(self) -> dict:
         d: dict = {"kind": self.kind}

@@ -1,0 +1,153 @@
+"""``FaultyTransport`` — deterministic host-level fault injection.
+
+The transport analogue of :class:`~repro.faults.backend.FaultyBackend`:
+it wraps any :class:`~repro.remote.transport.Transport` and raises
+:class:`~repro.errors.TransportError` where the plan says a *host* (not a
+job) fails, so the :class:`~repro.remote.backend.RemoteBackend`'s
+re-placement and banning machinery is exercised by reproducible chaos:
+
+``connect_timeout``
+    Raised *before* the command runs (phase ``connect``) — the clean case:
+    nothing executed, re-placement is free.
+``drop``
+    Raised *after* the inner transport ran the command (phase
+    ``execute``) — the nasty case: the work may have happened but the
+    coordinator never hears back, modelling a mid-job connection loss
+    (re-placement re-executes, exactly the real-world hazard).
+
+Each plan fault fires **once per (seq, attempt, kind)**: the first
+placement of an attempt hits it, the re-placement succeeds — which is how
+a *transient* network blip looks to the backend.  Permanent outages are
+modelled separately with ``host_down_after``: after host *h* completes
+``k`` executes, every later operation on *h* fails with a ``connect``
+error until the backend bans it — the deterministic "node dies mid-run"
+scenario of the chaos suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Mapping, Optional
+
+from repro.errors import TransportError
+from repro.faults.plan import TRANSPORT_FAULT_KINDS, FaultPlan, FaultSpec
+from repro.remote.hosts import HostSpec
+from repro.remote.transport import ExecResult, Transport
+
+__all__ = ["FaultyTransport"]
+
+
+class FaultyTransport(Transport):
+    """Decorator injecting transport faults around ``inner``."""
+
+    def __init__(
+        self,
+        inner: Transport,
+        plan: Optional[FaultPlan] = None,
+        host_down_after: Optional[Mapping[str, int]] = None,
+    ):
+        self.inner = inner
+        self.plan = plan
+        #: host name -> number of completed executes after which the host
+        #: is permanently dead (0 = dead from the start).
+        self.host_down_after = dict(host_down_after or {})
+        self._lock = threading.Lock()
+        self._fired: set[tuple[int, int, str]] = set()
+        self._exec_count: Counter = Counter()
+        self._injected: Counter = Counter()
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def injected(self) -> dict[str, int]:
+        """Transport faults injected so far, by kind (snapshot copy)."""
+        with self._lock:
+            return dict(self._injected)
+
+    def completed_on(self, name: str) -> int:
+        """Commands the inner transport finished on host ``name``."""
+        with self._lock:
+            return self._exec_count[name]
+
+    # -- fault selection -----------------------------------------------------
+    def _check_down(self, host: HostSpec) -> None:
+        with self._lock:
+            down_at = self.host_down_after.get(host.name)
+            if down_at is not None and self._exec_count[host.name] >= down_at:
+                self._injected["host_down"] += 1
+                raise TransportError(
+                    f"injected outage: host {host.name!r} is down",
+                    phase="connect",
+                )
+
+    def _plan_fault(self, seq: int, attempt: int) -> Optional[FaultSpec]:
+        if self.plan is None or seq <= 0:
+            return None
+        spec = self.plan.fault_for(seq, attempt)
+        if spec is None or spec.kind not in TRANSPORT_FAULT_KINDS:
+            return None
+        # Fire once per (seq, attempt, kind): the backend's host-hop of
+        # this same attempt must then succeed — a transient blip.
+        key = (seq, attempt, spec.kind)
+        with self._lock:
+            if key in self._fired:
+                return None
+            self._fired.add(key)
+            self._injected[spec.kind] += 1
+        return spec
+
+    # -- Transport interface -------------------------------------------------
+    def ensure_workdir(self, host: HostSpec, workdir: Optional[str]) -> str:
+        return self.inner.ensure_workdir(host, workdir)
+
+    def execute(
+        self,
+        host: HostSpec,
+        command: str,
+        *,
+        workdir: str,
+        stdin: Optional[str] = None,
+        env: Optional[dict[str, str]] = None,
+        timeout: Optional[float] = None,
+        seq: int = 0,
+        attempt: int = 1,
+    ) -> ExecResult:
+        self._check_down(host)
+        spec = self._plan_fault(seq, attempt)
+        if spec is not None and spec.kind == "connect_timeout":
+            raise TransportError(
+                f"injected connect timeout to {host.name!r} "
+                f"(seq {seq}, attempt {attempt})",
+                phase="connect",
+            )
+        res = self.inner.execute(
+            host, command, workdir=workdir, stdin=stdin, env=env,
+            timeout=timeout, seq=seq, attempt=attempt,
+        )
+        with self._lock:
+            self._exec_count[host.name] += 1
+        if spec is not None and spec.kind == "drop":
+            # The command ran; the result is lost in transit.
+            raise TransportError(
+                f"injected mid-job connection drop on {host.name!r} "
+                f"(seq {seq}, attempt {attempt})",
+                phase="execute",
+            )
+        return res
+
+    def put(self, host: HostSpec, src: str, relpath: str, workdir: str) -> int:
+        self._check_down(host)
+        return self.inner.put(host, src, relpath, workdir)
+
+    def get(self, host: HostSpec, relpath: str, dest: str, workdir: str) -> int:
+        self._check_down(host)
+        return self.inner.get(host, relpath, dest, workdir)
+
+    def remove(self, host: HostSpec, relpaths: list[str], workdir: str) -> int:
+        return self.inner.remove(host, relpaths, workdir)
+
+    def cancel_all(self) -> None:
+        self.inner.cancel_all()
+
+    def close(self) -> None:
+        self.inner.close()

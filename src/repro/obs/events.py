@@ -66,6 +66,9 @@ class AttemptSpan:
     seq: int
     attempt: int
     slot: int = 0
+    #: Sshlogin/hostname the attempt executed on ("" until closed; remote
+    #: runs record the host the backend actually placed the job on).
+    host: str = ""
     t_slot_acquired: Optional[float] = None
     t_dispatched: Optional[float] = None  # handed to the worker pool
     t_running: Optional[float] = None  # worker began backend.run_job

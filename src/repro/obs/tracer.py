@@ -229,6 +229,7 @@ class RunTracer:
             att.t_end = result.end_time
             att.state = state
             att.exit_code = result.exit_code
+            att.host = result.host
             att.retried = retried
             self._attempts_done += 1
             if not retried:
@@ -244,6 +245,7 @@ class RunTracer:
             "state": state,
             "exit_code": result.exit_code,
             "command": result.command,
+            "host": result.host,
         }
         if retried:
             data["eligible_at"] = eligible_at

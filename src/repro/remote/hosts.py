@@ -1,0 +1,299 @@
+"""Host rosters for centralized multi-host dispatch (``--sshlogin``).
+
+GNU Parallel's second scaling axis (next to the paper's driver-script
+sharding) is one coordinator feeding jobs to many hosts.  A roster is
+parsed from the ``-S``/``--sshlogin`` syntax::
+
+    -S 8/node1,16/node2,:        # 8 slots on node1, 16 on node2, localhost
+    --sshloginfile hosts.txt     # one sshlogin per line, '#' comments
+
+``N/host`` fixes the host's slot count; a bare host inherits the run's
+``-j`` value (GNU Parallel's ``-j`` is *per host* when ``-S`` is used);
+``:`` is the local machine without any transport hop.
+
+:class:`HostPool` is the scheduler-facing piece: thread-safe least-loaded
+placement over the roster with per-host slot numbering (``{%}`` is 1-based
+*within* the host, the property the paper's GPU-isolation idiom needs on
+every node independently), plus health tracking — ``ban_after``
+consecutive transport failures take a host out of rotation and wake every
+blocked acquirer so in-flight work re-places onto the survivors.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import OptionsError
+
+__all__ = [
+    "HostSpec",
+    "HostLease",
+    "HostPool",
+    "parse_sshlogin",
+    "parse_sshloginfile",
+    "hosts_from_options",
+]
+
+#: The sshlogin spelling of "this machine, no transport hop".
+LOCALHOST_NAMES = (":", "localhost")
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One execution host: sshlogin string plus its slot count."""
+
+    #: The sshlogin as given (``node1``, ``user@node1``, ``:``); recorded
+    #: verbatim in joblogs, as GNU Parallel does.
+    name: str
+    #: Concurrent job slots on this host (``N/host``; defaults to ``-j``).
+    slots: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise OptionsError("empty sshlogin host name")
+        if self.slots < 1:
+            raise OptionsError(
+                f"host {self.name!r} needs >= 1 slot, got {self.slots}"
+            )
+
+    @property
+    def is_local(self) -> bool:
+        """True for ``:`` — run on this machine without a transport hop."""
+        return self.name in LOCALHOST_NAMES
+
+    @property
+    def user(self) -> Optional[str]:
+        """The ``user@host`` user part, or None."""
+        return self.name.split("@", 1)[0] if "@" in self.name else None
+
+
+def parse_sshlogin(spec: str, default_slots: int = 1) -> list[HostSpec]:
+    """Parse one ``-S`` value: comma-separated ``[N/]host`` entries."""
+    hosts: list[HostSpec] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        slots = default_slots
+        name = entry
+        if "/" in entry:
+            count, name = entry.split("/", 1)
+            count, name = count.strip(), name.strip()
+            if not count.isdigit():
+                raise OptionsError(
+                    f"bad sshlogin {entry!r}: expected N/host with integer N"
+                )
+            slots = int(count)
+        if not name:
+            raise OptionsError(f"bad sshlogin {entry!r}: missing host name")
+        hosts.append(HostSpec(name=name, slots=slots))
+    if not hosts:
+        raise OptionsError(f"sshlogin spec {spec!r} names no hosts")
+    return hosts
+
+
+def parse_sshloginfile(path: str, default_slots: int = 1) -> list[HostSpec]:
+    """Parse an ``--sshloginfile``: one sshlogin per line, ``#`` comments."""
+    hosts: list[HostSpec] = []
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise OptionsError(f"cannot read sshloginfile {path!r}: {exc}") from exc
+    with fh:
+        for line in fh:
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            hosts.extend(parse_sshlogin(line, default_slots=default_slots))
+    if not hosts:
+        raise OptionsError(f"sshloginfile {path!r} names no hosts")
+    return hosts
+
+
+def hosts_from_options(options) -> list[HostSpec]:
+    """The run's roster from ``Options`` (``sshlogin`` + ``sshloginfile``).
+
+    Per GNU Parallel, ``-j`` sets the *per-host* default slot count;
+    ``N/host`` entries override it.  Duplicate host names are collapsed,
+    last spec wins (matching ``--sshloginfile`` re-reads).
+    """
+    default_slots = options.jobs if options.jobs > 0 else 1
+    hosts: list[HostSpec] = []
+    for spec in options.sshlogin:
+        hosts.extend(parse_sshlogin(spec, default_slots=default_slots))
+    if options.sshloginfile:
+        hosts.extend(
+            parse_sshloginfile(options.sshloginfile, default_slots=default_slots)
+        )
+    if not hosts:
+        raise OptionsError("remote execution requires -S/--sshlogin or --sshloginfile")
+    seen: dict[str, HostSpec] = {}
+    for host in hosts:
+        seen[host.name] = host
+    return list(seen.values())
+
+
+@dataclass(frozen=True)
+class HostLease:
+    """A granted (host, per-host slot) pair; release it back to the pool."""
+
+    host: HostSpec
+    slot: int  # 1-based within the host (the per-host {%} value)
+
+
+class _HostState:
+    """Mutable per-host bookkeeping inside the pool's lock."""
+
+    __slots__ = ("spec", "free", "in_use", "failures", "banned", "dispatched")
+
+    def __init__(self, spec: HostSpec):
+        self.spec = spec
+        self.free = list(range(1, spec.slots + 1))
+        heapq.heapify(self.free)
+        self.in_use: set[int] = set()
+        self.failures = 0  # consecutive transport failures
+        self.banned = False
+        self.dispatched = 0  # successful jobs completed on this host
+
+    @property
+    def load(self) -> float:
+        return len(self.in_use) / self.spec.slots
+
+
+class HostPool:
+    """Thread-safe least-loaded placement over a host roster.
+
+    ``acquire`` grants the lowest free slot on the least-loaded non-banned
+    host (ties broken by fewest completed jobs, then roster order, so
+    placement is deterministic for a deterministic arrival order).
+    ``record_failure`` counts *consecutive*
+    transport failures per host; reaching ``ban_after`` bans the host and
+    wakes all blocked acquirers — their jobs re-place onto survivors
+    instead of being dropped.
+    """
+
+    def __init__(self, hosts: Sequence[HostSpec], ban_after: int = 3):
+        if not hosts:
+            raise OptionsError("host pool needs at least one host")
+        if ban_after < 1:
+            raise OptionsError(f"ban_after must be >= 1, got {ban_after}")
+        self.ban_after = ban_after
+        self._cond = threading.Condition()
+        self._states = [_HostState(h) for h in hosts]
+        self._by_name = {s.spec.name: s for s in self._states}
+        self._aborted = False
+
+    # -- capacity ----------------------------------------------------------
+    @property
+    def hosts(self) -> list[HostSpec]:
+        return [s.spec for s in self._states]
+
+    @property
+    def total_slots(self) -> int:
+        """Roster-wide slot capacity (banned hosts included)."""
+        return sum(s.spec.slots for s in self._states)
+
+    def live_slots(self) -> int:
+        """Slot capacity across non-banned hosts."""
+        with self._cond:
+            return sum(s.spec.slots for s in self._states if not s.banned)
+
+    # -- placement ---------------------------------------------------------
+    def acquire(self, timeout: Optional[float] = None) -> Optional[HostLease]:
+        """Lease a (host, slot); None when aborted, timed out, or all banned."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._aborted:
+                    return None
+                live = [s for s in self._states if not s.banned]
+                if not live:
+                    return None
+                candidates = [s for s in live if s.free]
+                if candidates:
+                    # Least loaded first; ties broken by fewest completed
+                    # jobs (so an idle roster rotates rather than piling
+                    # onto host one), then roster order (deterministic).
+                    best = min(candidates, key=lambda s: (s.load, s.dispatched))
+                    slot = heapq.heappop(best.free)
+                    best.in_use.add(slot)
+                    return HostLease(host=best.spec, slot=slot)
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        return None
+                else:
+                    self._cond.wait()
+
+    def release(self, lease: HostLease) -> None:
+        with self._cond:
+            state = self._by_name[lease.host.name]
+            if lease.slot not in state.in_use:
+                raise OptionsError(
+                    f"slot {lease.slot} on {lease.host.name!r} released twice"
+                )
+            state.in_use.discard(lease.slot)
+            heapq.heappush(state.free, lease.slot)
+            self._cond.notify_all()
+
+    # -- health ------------------------------------------------------------
+    def record_failure(self, host: HostSpec) -> bool:
+        """Count one transport failure; True when this one banned the host."""
+        with self._cond:
+            state = self._by_name[host.name]
+            state.failures += 1
+            if not state.banned and state.failures >= self.ban_after:
+                state.banned = True
+                self._cond.notify_all()
+                return True
+            return False
+
+    def record_success(self, host: HostSpec) -> None:
+        """A job completed through the transport: reset the failure streak."""
+        with self._cond:
+            state = self._by_name[host.name]
+            state.failures = 0
+            state.dispatched += 1
+
+    def ban(self, name: str) -> None:
+        """Administratively ban a host (tests, external health checks)."""
+        with self._cond:
+            self._by_name[name].banned = True
+            self._cond.notify_all()
+
+    def is_banned(self, name: str) -> bool:
+        with self._cond:
+            return self._by_name[name].banned
+
+    def banned_hosts(self) -> list[str]:
+        with self._cond:
+            return [s.spec.name for s in self._states if s.banned]
+
+    def abort(self) -> None:
+        """Wake and fail all blocked acquirers (cancellation/shutdown)."""
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+    def in_use(self, name: str) -> int:
+        """Slots currently leased on ``name`` (a gauge)."""
+        with self._cond:
+            return len(self._by_name[name].in_use)
+
+    def summary(self) -> dict[str, dict]:
+        """Per-host snapshot: slots, leased, completed jobs, health."""
+        with self._cond:
+            return {
+                s.spec.name: {
+                    "slots": s.spec.slots,
+                    "in_use": len(s.in_use),
+                    "dispatched": s.dispatched,
+                    "failures": s.failures,
+                    "banned": s.banned,
+                }
+                for s in self._states
+            }

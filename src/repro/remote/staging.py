@@ -1,0 +1,157 @@
+"""File staging for remote jobs (``--transferfile``/``--return``/etc).
+
+GNU Parallel semantics, executed over a :class:`~repro.remote.transport.Transport`:
+
+``--transferfile tmpl``
+    Render ``tmpl`` per job; copy the local file to the host, landing
+    *relative to the remote workdir* with any leading ``/`` (and ``./``)
+    stripped — the rsync ``--relative`` rule.
+``--return tmpl``
+    Render per job; after a *successful* job, fetch the remote file back
+    to the same local path.  A missing return file after success is a
+    :class:`~repro.errors.StagingError` (job-local failure); after a
+    failed job the fetch is attempted but a miss is forgiven — the job's
+    own exit code is the story.
+``--cleanup``
+    Remove every transferred and returned file from the host afterwards
+    (success or failure), pruning emptied directories.
+``--basefile path``
+    Like ``--transferfile`` but literal (no per-job render) and staged at
+    most once per host per run; never cleaned up mid-run.
+
+The render uses the job's own (args, seq, slot) so ``--transferfile {}``
+or ``--return out/{#}.txt`` track each job exactly as its command does.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.template import CommandTemplate
+from repro.errors import StagingError
+from repro.storage.transfer import remote_relpath
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.job import Job
+    from repro.remote.hosts import HostSpec
+    from repro.remote.transport import Transport
+
+__all__ = ["StagingPolicy"]
+
+
+def _templates(specs: list[str]) -> list[CommandTemplate]:
+    # implicit_append=False: a literal path like "in/data.txt" must stay
+    # literal, not become "in/data.txt {}".
+    return [CommandTemplate(s, implicit_append=False) for s in specs]
+
+
+@dataclass
+class StagingPolicy:
+    """One run's staging plan; stateless per job except the basefile cache."""
+
+    transfer: list[CommandTemplate] = field(default_factory=list)
+    returns: list[CommandTemplate] = field(default_factory=list)
+    basefiles: list[str] = field(default_factory=list)
+    cleanup: bool = False
+    #: ``--workdir`` policy forwarded to ``Transport.ensure_workdir``.
+    workdir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._based_hosts: set[str] = set()
+
+    @classmethod
+    def from_options(cls, options) -> "StagingPolicy":
+        return cls(
+            transfer=_templates(list(options.transfer_files)),
+            returns=_templates(list(options.return_files)),
+            basefiles=list(options.basefiles),
+            cleanup=options.cleanup,
+            workdir=options.workdir,
+        )
+
+    @property
+    def active(self) -> bool:
+        """True when any staging work exists (skip the whole path if not)."""
+        return bool(self.transfer or self.returns or self.basefiles)
+
+    # -- per-job rendering ---------------------------------------------------
+    def transfer_paths(self, job: "Job", slot: int) -> list[tuple[str, str]]:
+        """``[(local_src, remote_rel)]`` for this job's ``--transferfile``s."""
+        return [
+            (p, remote_relpath(p))
+            for t in self.transfer
+            for p in [t.render(job.args, seq=job.seq, slot=slot)]
+        ]
+
+    def return_paths(self, job: "Job", slot: int) -> list[tuple[str, str]]:
+        """``[(remote_rel, local_dest)]`` for this job's ``--return``s."""
+        return [
+            (remote_relpath(p), p)
+            for t in self.returns
+            for p in [t.render(job.args, seq=job.seq, slot=slot)]
+        ]
+
+    # -- phases driven by the backend -----------------------------------------
+    def stage_basefiles(
+        self, transport: "Transport", host: "HostSpec", workdir: str
+    ) -> None:
+        """Stage ``--basefile``s once per host (idempotent, thread-safe)."""
+        if not self.basefiles:
+            return
+        with self._lock:
+            if host.name in self._based_hosts:
+                return
+            self._based_hosts.add(host.name)
+        try:
+            for path in self.basefiles:
+                transport.put(host, path, remote_relpath(path), workdir)
+        except Exception:
+            # Let a later job on this host retry the basefile push.
+            with self._lock:
+                self._based_hosts.discard(host.name)
+            raise
+
+    def stage_in(
+        self, transport: "Transport", host: "HostSpec", job: "Job",
+        slot: int, workdir: str,
+    ) -> list[str]:
+        """Push this job's inputs; returns remote relpaths (for cleanup)."""
+        staged: list[str] = []
+        for src, rel in self.transfer_paths(job, slot):
+            transport.put(host, src, rel, workdir)
+            staged.append(rel)
+        return staged
+
+    def stage_out(
+        self, transport: "Transport", host: "HostSpec", job: "Job",
+        slot: int, workdir: str, job_ok: bool,
+    ) -> list[str]:
+        """Fetch this job's ``--return`` files; returns remote relpaths.
+
+        After a successful job every declared return file must exist; after
+        a failed one, whatever is there is salvaged and misses are ignored.
+        """
+        fetched: list[str] = []
+        for rel, dest in self.return_paths(job, slot):
+            try:
+                transport.get(host, rel, dest, workdir)
+            except StagingError:
+                if job_ok:
+                    raise
+                continue
+            fetched.append(rel)
+        return fetched
+
+    def cleanup_remote(
+        self, transport: "Transport", host: "HostSpec",
+        relpaths: list[str], workdir: str,
+    ) -> int:
+        """Remove staged files after the job (``--cleanup``); best-effort."""
+        if not self.cleanup or not relpaths:
+            return 0
+        # Dedup, preserving order (a path may be both transferred and returned).
+        seen: dict[str, None] = dict.fromkeys(relpaths)
+        return transport.remove(host, list(seen), workdir)

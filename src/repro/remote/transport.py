@@ -1,0 +1,409 @@
+"""Pluggable execution transports for the remote dispatch layer.
+
+A :class:`Transport` moves one job's command (and its staged files) to a
+host and back.  The contract mirrors the backend contract one level down:
+
+* a job *failing* (nonzero exit, timeout) is an :class:`ExecResult` —
+  never an exception;
+* the *host* failing (unreachable, connection dropped) is a
+  :class:`~repro.errors.TransportError` — the signal the backend uses to
+  re-place the job on another host and count toward banning;
+* a *job-local* staging problem (missing ``--transferfile`` source) is a
+  :class:`~repro.errors.StagingError` — the job fails, the host does not.
+
+Two implementations:
+
+:class:`LocalTransport`
+    Real subprocesses.  Named hosts become isolated directory roots under
+    a private temp dir — a faithful single-machine stand-in for N remote
+    filesystems (used by tests and single-machine runs); the ``:`` host
+    runs in the real working directory with no root, exactly like GNU
+    Parallel's transport-free localhost.
+
+:class:`SimTransport`
+    No processes at all: per-host virtual clocks advanced by a calibrated
+    :class:`~repro.sim.netmodel.NetModel`, with deterministic per-host
+    jitter streams.  Lets placement/health logic and multi-host scaling
+    studies run at memory speed.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import subprocess
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import StagingError, TransportError
+from repro.remote.hosts import HostSpec
+from repro.sim.netmodel import NetModel
+from repro.storage.transfer import copy_file, remove_files
+
+__all__ = ["ExecResult", "Transport", "LocalTransport", "SimTransport"]
+
+#: ``--workdir`` spelling for "a unique per-run directory, auto-removed".
+TMPDIR_WORKDIR = "..."
+
+
+@dataclass(frozen=True)
+class ExecResult:
+    """Outcome of one remote command execution (job-level, not host-level)."""
+
+    exit_code: int
+    stdout: str = ""
+    stderr: str = ""
+    timed_out: bool = False
+    duration: float = 0.0
+
+
+class Transport:
+    """Interface the :class:`~repro.remote.backend.RemoteBackend` drives."""
+
+    def ensure_workdir(self, host: HostSpec, workdir: Optional[str]) -> str:
+        """Resolve and create the job working directory on ``host``.
+
+        ``workdir`` is the ``--workdir`` policy: None = the host's default
+        (login/root) dir, ``...`` = a unique per-run directory the
+        transport removes at :meth:`close`, anything else = that path
+        (leading ``/`` kept relative to the host's root).
+        """
+        raise NotImplementedError
+
+    def execute(
+        self,
+        host: HostSpec,
+        command: str,
+        *,
+        workdir: str,
+        stdin: Optional[str] = None,
+        env: Optional[dict[str, str]] = None,
+        timeout: Optional[float] = None,
+        seq: int = 0,
+        attempt: int = 1,
+    ) -> ExecResult:
+        """Run ``command`` on ``host`` in ``workdir``; never raises for a
+        failing job, raises :class:`TransportError` for a failing host."""
+        raise NotImplementedError
+
+    def put(self, host: HostSpec, src: str, relpath: str, workdir: str) -> int:
+        """Stage local ``src`` to ``workdir/relpath`` on ``host`` (bytes)."""
+        raise NotImplementedError
+
+    def get(self, host: HostSpec, relpath: str, dest: str, workdir: str) -> int:
+        """Fetch ``workdir/relpath`` from ``host`` to local ``dest`` (bytes)."""
+        raise NotImplementedError
+
+    def remove(self, host: HostSpec, relpaths: list[str], workdir: str) -> int:
+        """Best-effort delete of staged files on ``host`` (``--cleanup``)."""
+        raise NotImplementedError
+
+    def cancel_all(self) -> None:
+        """Best-effort kill of everything in flight (``--halt now``)."""
+
+    def close(self) -> None:
+        """Release transport resources (per-run tempdirs, process tables)."""
+
+
+def _host_dirname(host: HostSpec) -> str:
+    """A filesystem-safe directory name for a host's fake root."""
+    return host.name.replace("/", "_").replace("@", "_at_")
+
+
+class LocalTransport(Transport):
+    """Subprocess transport with one directory root per named host.
+
+    The per-host roots make ``--transferfile``/``--return``/``--cleanup``
+    observable and byte-verifiable on one machine: a file staged to
+    ``node1`` is only visible to jobs executing "on" ``node1``.  The ``:``
+    host gets no root — its jobs run in the real working directory, so a
+    pure-localhost roster behaves exactly like the local backend.
+    """
+
+    def __init__(self, root: Optional[str] = None, shell: str = "/bin/sh"):
+        self.shell = shell
+        self._root = root
+        self._own_root = root is None
+        self._run_id = uuid.uuid4().hex[:8]
+        self._procs: dict[int, subprocess.Popen] = {}
+        self._lock = threading.Lock()
+        self._cancelled = threading.Event()
+        self._tmp_workdirs: list[str] = []
+
+    # -- roots and workdirs ------------------------------------------------
+    def _ensure_root(self) -> str:
+        with self._lock:
+            if self._root is None:
+                self._root = tempfile.mkdtemp(prefix="repro-remote-")
+                self._own_root = True
+            return self._root
+
+    def host_root(self, host: HostSpec) -> Optional[str]:
+        """The host's fake filesystem root (None for the ``:`` localhost)."""
+        if host.is_local:
+            return None
+        path = os.path.join(self._ensure_root(), _host_dirname(host))
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def ensure_workdir(self, host: HostSpec, workdir: Optional[str]) -> str:
+        root = self.host_root(host)
+        if workdir == TMPDIR_WORKDIR:
+            base = root if root is not None else tempfile.gettempdir()
+            path = os.path.join(base, f".parallel-tmp-{self._run_id}")
+            with self._lock:
+                if path not in self._tmp_workdirs:
+                    self._tmp_workdirs.append(path)
+        elif workdir is None:
+            path = root if root is not None else os.getcwd()
+        else:
+            rel = workdir.lstrip("/") if root is not None else workdir
+            path = os.path.join(root, rel) if root is not None else workdir
+        try:
+            os.makedirs(path, exist_ok=True)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot create workdir {path!r} on {host.name!r}: {exc}",
+                phase="connect",
+            ) from None
+        return path
+
+    # -- execution ---------------------------------------------------------
+    def execute(
+        self,
+        host: HostSpec,
+        command: str,
+        *,
+        workdir: str,
+        stdin: Optional[str] = None,
+        env: Optional[dict[str, str]] = None,
+        timeout: Optional[float] = None,
+        seq: int = 0,
+        attempt: int = 1,
+    ) -> ExecResult:
+        if self._cancelled.is_set():
+            return ExecResult(exit_code=-1, stderr="cancelled", timed_out=False)
+        run_env = None
+        if env:
+            run_env = dict(os.environ)
+            run_env.update(env)
+        start = time.time()
+        try:
+            proc = subprocess.Popen(
+                [self.shell, "-c", command],
+                stdin=subprocess.PIPE if stdin is not None else subprocess.DEVNULL,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                cwd=workdir,
+                env=run_env,
+                text=True,
+                start_new_session=(os.name == "posix"),
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"spawn failed on {host.name!r}: {exc}", phase="execute"
+            ) from None
+        with self._lock:
+            self._procs[proc.pid] = proc
+            cancelled = self._cancelled.is_set()
+        if cancelled:
+            self._kill_group(proc)
+        timed_out = False
+        try:
+            try:
+                stdout, stderr = proc.communicate(input=stdin, timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self._kill_group(proc)
+                stdout, stderr = proc.communicate()
+                timed_out = True
+        finally:
+            with self._lock:
+                self._procs.pop(proc.pid, None)
+        return ExecResult(
+            exit_code=proc.returncode,
+            stdout=stdout,
+            stderr=stderr,
+            timed_out=timed_out,
+            duration=time.time() - start,
+        )
+
+    # -- staging -----------------------------------------------------------
+    def put(self, host: HostSpec, src: str, relpath: str, workdir: str) -> int:
+        try:
+            return copy_file(src, os.path.join(workdir, relpath))
+        except OSError as exc:
+            raise TransportError(
+                f"transfer to {host.name!r} failed: {exc}", phase="transfer"
+            ) from None
+
+    def get(self, host: HostSpec, relpath: str, dest: str, workdir: str) -> int:
+        src = os.path.join(workdir, relpath)
+        if not os.path.isfile(src):
+            raise StagingError(
+                f"return file {relpath!r} not found on {host.name!r}"
+            )
+        try:
+            return copy_file(src, dest)
+        except OSError as exc:
+            raise TransportError(
+                f"return from {host.name!r} failed: {exc}", phase="return"
+            ) from None
+
+    def remove(self, host: HostSpec, relpaths: list[str], workdir: str) -> int:
+        # No directory pruning (root=None): the workdir is shared by every
+        # slot on the host, and pruning a momentarily-empty directory races
+        # with a concurrent job that just mkdir-ed it for its own output.
+        return remove_files([os.path.join(workdir, rel) for rel in relpaths])
+
+    # -- lifecycle ---------------------------------------------------------
+    def cancel_all(self) -> None:
+        self._cancelled.set()
+        with self._lock:
+            procs = list(self._procs.values())
+        for proc in procs:
+            self._kill_group(proc)
+
+    @staticmethod
+    def _kill_group(proc: subprocess.Popen) -> None:
+        try:
+            if os.name == "posix":
+                os.killpg(proc.pid, signal.SIGTERM)
+            else:  # pragma: no cover - non-posix fallback
+                proc.terminate()
+        except (ProcessLookupError, PermissionError):
+            pass
+
+    def close(self) -> None:
+        self.cancel_all()
+        with self._lock:
+            tmp_workdirs, self._tmp_workdirs = self._tmp_workdirs, []
+            root, own = self._root, self._own_root
+            if own:
+                self._root = None
+        for path in tmp_workdirs:
+            shutil.rmtree(path, ignore_errors=True)
+        if own and root is not None:
+            shutil.rmtree(root, ignore_errors=True)
+        self._cancelled = threading.Event()
+
+
+class SimTransport(Transport):
+    """Virtual-time transport: no processes, per-host clocks, seeded jitter.
+
+    ``handler(host, command) -> (exit_code, stdout)`` lets tests script
+    outcomes; the default succeeds with empty output.  ``put`` reads real
+    local files (size + content) into a per-host virtual filesystem so
+    staging logic is exercised end-to-end; ``provide`` seeds remote files
+    (a job's "outputs") for ``--return`` paths.
+    """
+
+    def __init__(
+        self,
+        model: NetModel = NetModel(),
+        runtime_s: float = 0.0,
+        seed: int = 0,
+        handler: Optional[Callable[[HostSpec, str], tuple[int, str]]] = None,
+    ):
+        from repro.sim.random import RngRegistry
+
+        self.model = model
+        self.runtime_s = runtime_s
+        self.handler = handler
+        self._rng = RngRegistry(seed)
+        self._lock = threading.Lock()
+        #: Per-host virtual seconds consumed (connects + transfers + runs).
+        self.clocks: dict[str, float] = {}
+        #: Per-host virtual filesystem: relpath -> content bytes.
+        self.files: dict[str, dict[str, bytes]] = {}
+        #: Every execute, in call order: (host name, command, seq).
+        self.exec_log: list[tuple[str, str, int]] = []
+
+    def _advance(self, host: HostSpec, seconds: float) -> None:
+        with self._lock:
+            self.clocks[host.name] = self.clocks.get(host.name, 0.0) + seconds
+
+    def _jitter_u(self, host: HostSpec) -> float:
+        if self.model.jitter == 0.0:
+            return 0.0
+        return float(self._rng.stream(f"net/{host.name}").uniform(-1.0, 1.0))
+
+    def elapsed(self, host: HostSpec) -> float:
+        """Virtual seconds this host has spent so far."""
+        with self._lock:
+            return self.clocks.get(host.name, 0.0)
+
+    def provide(self, host: HostSpec, relpath: str, content: bytes = b"") -> None:
+        """Seed a file on the host's virtual filesystem (a job output)."""
+        with self._lock:
+            self.files.setdefault(host.name, {})[relpath] = content
+
+    # -- Transport interface -----------------------------------------------
+    def ensure_workdir(self, host: HostSpec, workdir: Optional[str]) -> str:
+        return f"sim://{host.name}/{(workdir or '').lstrip('/')}"
+
+    def execute(
+        self,
+        host: HostSpec,
+        command: str,
+        *,
+        workdir: str,
+        stdin: Optional[str] = None,
+        env: Optional[dict[str, str]] = None,
+        timeout: Optional[float] = None,
+        seq: int = 0,
+        attempt: int = 1,
+    ) -> ExecResult:
+        duration = self.model.exec_time(self.runtime_s, self._jitter_u(host))
+        if timeout is not None and duration > timeout:
+            self._advance(host, timeout)
+            return ExecResult(
+                exit_code=-1, timed_out=True, duration=timeout,
+                stderr=f"simulated timeout after {timeout:.4g}s",
+            )
+        self._advance(host, duration)
+        with self._lock:
+            self.exec_log.append((host.name, command, seq))
+        exit_code, stdout = (
+            self.handler(host, command) if self.handler else (0, "")
+        )
+        return ExecResult(exit_code=exit_code, stdout=stdout, duration=duration)
+
+    def put(self, host: HostSpec, src: str, relpath: str, workdir: str) -> int:
+        if not os.path.isfile(src):
+            raise StagingError(f"transfer source missing: {src!r}")
+        with open(src, "rb") as fh:
+            content = fh.read()
+        self._advance(host, self.model.transfer_time(len(content), self._jitter_u(host)))
+        with self._lock:
+            self.files.setdefault(host.name, {})[relpath] = content
+        return len(content)
+
+    def get(self, host: HostSpec, relpath: str, dest: str, workdir: str) -> int:
+        with self._lock:
+            content = self.files.get(host.name, {}).get(relpath)
+        if content is None:
+            raise StagingError(
+                f"return file {relpath!r} not found on {host.name!r}"
+            )
+        self._advance(host, self.model.transfer_time(len(content), self._jitter_u(host)))
+        parent = os.path.dirname(dest)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(dest, "wb") as fh:
+            fh.write(content)
+        return len(content)
+
+    def remove(self, host: HostSpec, relpaths: list[str], workdir: str) -> int:
+        removed = 0
+        with self._lock:
+            table = self.files.get(host.name, {})
+            for rel in relpaths:
+                if table.pop(rel, None) is not None:
+                    removed += 1
+        self._advance(host, self.model.latency_s * len(relpaths))
+        return removed

@@ -18,6 +18,7 @@ from repro.sim.kernel import (
     any_of,
 )
 from repro.sim.monitor import Monitor, Sample
+from repro.sim.netmodel import NetModel
 from repro.sim.random import RngRegistry
 from repro.sim.resources import FairShareLink, RateStation, Request, Resource, Store
 
@@ -30,6 +31,7 @@ __all__ = [
     "any_of",
     "Monitor",
     "Sample",
+    "NetModel",
     "RngRegistry",
     "FairShareLink",
     "RateStation",

@@ -4,8 +4,12 @@ from repro.storage.datasets import lognormal_tree, uniform_files
 from repro.storage.filesystem import FileEntry, Filesystem, make_lustre, make_nvme
 from repro.storage.rsync import RsyncCostModel, RsyncStats, rsync_process
 from repro.storage.staging import StagingConfig, StagingReport, run_staging_pipeline
+from repro.storage.transfer import copy_file, remote_relpath, remove_files
 
 __all__ = [
+    "remote_relpath",
+    "copy_file",
+    "remove_files",
     "FileEntry",
     "Filesystem",
     "make_lustre",

@@ -1,0 +1,88 @@
+"""Real-filesystem transfer primitives for remote staging.
+
+The simulated half of :mod:`repro.storage` models rsync *costs*
+(:mod:`repro.storage.rsync`); this module is the executable counterpart
+the remote-dispatch layer stands on: rsync-able path normalization and
+copy/remove helpers with the error split the backend needs —
+:class:`~repro.errors.StagingError` for job-local problems (missing
+source) vs ``OSError`` pass-through for host-side ones.
+
+Path semantics follow GNU Parallel's ``--transferfile``/``--return``:
+a transferred file lands *relative to the remote workdir* with its
+leading ``/`` (and any ``./``) stripped, mirroring ``rsync --relative``;
+``..`` components are rejected so a crafted input line cannot stage
+outside the workdir.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+from repro.errors import StagingError
+
+__all__ = ["remote_relpath", "copy_file", "remove_files"]
+
+
+def remote_relpath(path: str) -> str:
+    """Normalize a transfer path to its workdir-relative remote location.
+
+    ``/data/a.txt`` → ``data/a.txt``; ``./in/x`` → ``in/x``; a path
+    escaping the workdir (``../x``) raises :class:`StagingError`.
+    """
+    p = path
+    while p.startswith("./"):
+        p = p[2:]
+    p = p.lstrip("/")
+    if not p:
+        raise StagingError(f"transfer path {path!r} names no file")
+    norm = os.path.normpath(p)
+    if norm == ".." or norm.startswith(".." + os.sep):
+        raise StagingError(f"transfer path {path!r} escapes the workdir")
+    return norm
+
+
+def copy_file(src: str, dest: str) -> int:
+    """Copy ``src`` to ``dest`` (parents created); returns bytes copied.
+
+    A missing source is a :class:`StagingError` (the job's fault, not the
+    host's); identical src/dest (a ``:`` localhost "transfer") is a no-op.
+    """
+    if not os.path.isfile(src):
+        raise StagingError(f"transfer source missing: {src!r}")
+    if os.path.abspath(src) == os.path.abspath(dest):
+        return os.path.getsize(src)
+    parent = os.path.dirname(dest)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    shutil.copy2(src, dest)
+    return os.path.getsize(dest)
+
+
+def remove_files(paths: list[str], root: str | None = None) -> int:
+    """Best-effort removal (``--cleanup``); returns how many were removed.
+
+    Missing files are fine — a job may legitimately have consumed its own
+    staged input.  Emptied parent directories under ``root`` are pruned so
+    repeated staged runs don't accrete empty trees.
+    """
+    removed = 0
+    for path in paths:
+        try:
+            os.remove(path)
+            removed += 1
+        except OSError:
+            continue
+        if root is None:
+            continue
+        parent = os.path.dirname(path)
+        root_abs = os.path.abspath(root)
+        while os.path.abspath(parent).startswith(root_abs) and os.path.abspath(
+            parent
+        ) != root_abs:
+            try:
+                os.rmdir(parent)
+            except OSError:
+                break
+            parent = os.path.dirname(parent)
+    return removed

@@ -1,0 +1,177 @@
+"""Remote-flag conformance (``-S`` / ``--sshloginfile`` parsing + rendering).
+
+``--dry-run`` never contacts a host — on both implementations it prints
+the rendered command lines and exits — so the remote flags can be
+conformance-tested without ssh: the roster must parse, the per-host slot
+arithmetic must cap ``-j`` correctly, and rendering must stay identical
+to a local invocation.  Hardcoded expectations always run; when a real
+``parallel`` binary is on PATH the same invocations are replayed through
+it and compared.
+"""
+
+import pytest
+
+from tests.conformance.conftest import (
+    requires_gnu_parallel,
+    run_gnu_parallel,
+    run_pyparallel,
+)
+
+# (case id, argv, expected dry-run lines) — single host + -j1 keeps the
+# emission order deterministic on both sides.
+DRY_RUN_CASES = [
+    ("sshlogin-renders-like-local",
+     ["-j1", "--dry-run", "-S", "1/n1", "echo", "{}", ":::", "a", "b"],
+     ["echo a", "echo b"]),
+    ("sshlogin-comma-roster",
+     ["-j1", "--dry-run", "-S", "1/n1,1/n2", "echo", "{}", ":::", "a"],
+     ["echo a"]),
+    ("sshlogin-repeated-flag",
+     ["-j1", "--dry-run", "-S", "1/n1", "-S", "1/n2",
+      "echo", "{}", ":::", "a"],
+     ["echo a"]),
+    ("sshlogin-colon-is-localhost",
+     ["-j1", "--dry-run", "-S", ":", "echo", "{}", ":::", "x"],
+     ["echo x"]),
+    ("sshlogin-with-ops",
+     ["-j1", "--dry-run", "-S", "1/n1", "echo", "{/.}", ":::", "d/f.txt"],
+     ["echo f"]),
+    ("sshlogin-seq-token",
+     ["-j1", "--dry-run", "-S", "1/n1", "echo", "{#}", "{}",
+      ":::", "a", "b"],
+     ["echo 1 a", "echo 2 b"]),
+    ("sshlogin-slot-token-single-host",
+     ["-j1", "--dry-run", "-S", "1/n1", "echo", "{%}", ":::", "a", "b"],
+     ["echo 1", "echo 1"]),
+]
+
+
+@pytest.mark.parametrize(
+    "argv,expected",
+    [c[1:] for c in DRY_RUN_CASES],
+    ids=[c[0] for c in DRY_RUN_CASES],
+)
+def test_dry_run_rendering_with_roster(argv, expected):
+    proc = run_pyparallel(argv)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.splitlines() == expected
+
+
+@requires_gnu_parallel
+@pytest.mark.parametrize(
+    "argv,expected",
+    [c[1:] for c in DRY_RUN_CASES],
+    ids=[c[0] for c in DRY_RUN_CASES],
+)
+def test_dry_run_rendering_matches_gnu(argv, expected):
+    ours = run_pyparallel(argv)
+    gnu = run_gnu_parallel(argv)
+    assert ours.returncode == gnu.returncode == 0
+    assert ours.stdout.splitlines() == gnu.stdout.splitlines() == expected
+
+
+class TestSshloginfile:
+    def write_roster(self, tmp_path, text):
+        path = tmp_path / "roster.txt"
+        path.write_text(text)
+        return str(path)
+
+    def test_file_roster_renders_like_local(self, tmp_path):
+        slf = self.write_roster(tmp_path, "1/n1\n# standby rack\n\n1/n2\n")
+        proc = run_pyparallel(
+            ["-j1", "--dry-run", "--sshloginfile", slf,
+             "echo", "{}", ":::", "a"],
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.splitlines() == ["echo a"]
+
+    def test_slf_alias(self, tmp_path):
+        slf = self.write_roster(tmp_path, ":\n")
+        proc = run_pyparallel(
+            ["-j1", "--dry-run", "--slf", slf, "echo", "{}", ":::", "a"],
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.splitlines() == ["echo a"]
+
+    def test_empty_roster_file_is_an_error(self, tmp_path):
+        slf = self.write_roster(tmp_path, "# only comments\n\n")
+        proc = run_pyparallel(
+            ["--dry-run", "--sshloginfile", slf, "echo", ":::", "a"],
+        )
+        assert proc.returncode != 0
+        assert proc.stdout == ""
+
+    @requires_gnu_parallel
+    def test_file_roster_matches_gnu(self, tmp_path):
+        slf = self.write_roster(tmp_path, "1/n1\n1/n2\n")
+        argv = ["-j1", "--dry-run", "--sshloginfile", slf,
+                "echo", "{}", ":::", "a", "b"]
+        ours = run_pyparallel(argv)
+        gnu = run_gnu_parallel(argv)
+        assert ours.returncode == gnu.returncode == 0
+        assert sorted(ours.stdout.splitlines()) == sorted(
+            gnu.stdout.splitlines()
+        )
+
+
+class TestRosterParsingErrors:
+    """Parse failures must be diagnosed up front, before any job starts.
+
+    These assert our CLI contract only (exit 255 + a message naming the
+    offending spec); GNU Parallel's handling of degenerate rosters is
+    version-dependent, so no differential half.
+    """
+
+    @pytest.mark.parametrize("spec", ["0/n1", "x/n1", "/n1", "2/"])
+    def test_malformed_sshlogin_rejected(self, spec):
+        proc = run_pyparallel(["--dry-run", "-S", spec, "echo", ":::", "a"])
+        assert proc.returncode == 255
+        assert proc.stdout == ""
+        assert "error" in proc.stderr
+
+    def test_missing_roster_file_rejected(self, tmp_path):
+        proc = run_pyparallel(
+            ["--dry-run", "--sshloginfile", str(tmp_path / "absent"),
+             "echo", ":::", "a"],
+        )
+        assert proc.returncode == 255
+        assert "sshloginfile" in proc.stderr
+
+    def test_staging_flags_require_roster(self):
+        proc = run_pyparallel(
+            ["--dry-run", "--transferfile", "{}", "echo", ":::", "a"],
+        )
+        assert proc.returncode == 255
+        assert "transfer" in proc.stderr.lower() or "-S" in proc.stderr
+
+
+class TestPerHostJobSemantics:
+    """Under ``-S``, ``-j`` caps jobs *per host*; totals are summed."""
+
+    def test_host_token_stays_literal_in_dry_run(self):
+        # Dry-run never places a job on a host, so {host} has no binding
+        # and survives verbatim.  It is not a GNU replacement string, so
+        # the input is still implicitly appended.
+        proc = run_pyparallel(
+            ["-j1", "--dry-run", "-S", "1/n1", "echo", "{host}",
+             ":::", "a"],
+        )
+        assert proc.returncode == 0
+        assert proc.stdout.splitlines() == ["echo {host} a"]
+
+    def test_real_run_executes_on_roster(self):
+        # No --dry-run: the run goes through RemoteBackend's
+        # LocalTransport twin and must still produce plain stdout.
+        proc = run_pyparallel(
+            ["-j2", "-k", "-S", "2/n1,2/n2", "echo", "{}",
+             ":::", "a", "b", "c", "d"],
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.splitlines() == ["a", "b", "c", "d"]
+
+    def test_real_run_host_token_binds(self):
+        proc = run_pyparallel(
+            ["-j1", "-S", "1/solo", "echo", "{host}", ":::", "a"],
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "solo a"

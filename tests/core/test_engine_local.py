@@ -263,13 +263,23 @@ def test_results_tree(tmp_path):
 def test_queue_source_streams_through_engine():
     q = QueueSource()
     got = []
-    p = Parallel(lambda x: got.append(x) or x, jobs=2)
+    seen = threading.Event()
 
+    def work(x):
+        got.append(x)
+        seen.set()
+        return x
+
+    p = Parallel(work, jobs=2)
     runner = threading.Thread(target=lambda: p.run(q))
     runner.start()
+    # Handshake per item: wait until the engine has consumed the previous
+    # put before offering the next, proving items stream through a live
+    # run rather than being batched up front.
     for i in range(5):
+        seen.clear()
         q.put(f"item{i}")
-        time.sleep(0.01)
+        assert seen.wait(10), f"engine never consumed item{i}"
     q.close()
     runner.join(timeout=10)
     assert not runner.is_alive()

@@ -1,0 +1,225 @@
+"""Roster parsing and HostPool placement/health semantics."""
+
+import threading
+
+import pytest
+
+from repro.core.options import Options
+from repro.errors import OptionsError
+from repro.remote.hosts import (
+    HostPool,
+    HostSpec,
+    hosts_from_options,
+    parse_sshlogin,
+    parse_sshloginfile,
+)
+
+
+class TestParseSshlogin:
+    def test_bare_host_inherits_default_slots(self):
+        (h,) = parse_sshlogin("node1", default_slots=16)
+        assert h == HostSpec("node1", 16)
+
+    def test_slash_syntax_overrides_slots(self):
+        (h,) = parse_sshlogin("8/node1", default_slots=16)
+        assert h.slots == 8
+
+    def test_comma_separated_list(self):
+        hosts = parse_sshlogin("8/node1,16/node2,:", default_slots=4)
+        assert [(h.name, h.slots) for h in hosts] == [
+            ("node1", 8), ("node2", 16), (":", 4),
+        ]
+
+    def test_colon_is_localhost(self):
+        (h,) = parse_sshlogin(":")
+        assert h.is_local
+
+    def test_named_host_is_not_local(self):
+        (h,) = parse_sshlogin("node1")
+        assert not h.is_local
+
+    def test_user_at_host(self):
+        (h,) = parse_sshlogin("2/alice@node9")
+        assert h.user == "alice"
+        assert h.name == "alice@node9"
+
+    def test_whitespace_tolerated(self):
+        hosts = parse_sshlogin(" 2/node1 , node2 ")
+        assert [h.name for h in hosts] == ["node1", "node2"]
+
+    @pytest.mark.parametrize("bad", ["x/node1", "3/", "", ","])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(OptionsError):
+            parse_sshlogin(bad)
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(OptionsError):
+            parse_sshlogin("0/node1")
+
+
+class TestSshloginfile:
+    def test_file_with_comments_and_blanks(self, tmp_path):
+        f = tmp_path / "hosts.txt"
+        f.write_text(
+            "# roster for the run\n"
+            "8/node1\n"
+            "\n"
+            "node2  # trailing comment\n"
+            ":\n"
+        )
+        hosts = parse_sshloginfile(str(f), default_slots=4)
+        assert [(h.name, h.slots) for h in hosts] == [
+            ("node1", 8), ("node2", 4), (":", 4),
+        ]
+
+    def test_empty_file_rejected(self, tmp_path):
+        f = tmp_path / "hosts.txt"
+        f.write_text("# nothing here\n")
+        with pytest.raises(OptionsError):
+            parse_sshloginfile(str(f))
+
+
+class TestHostsFromOptions:
+    def test_jobs_is_per_host_default(self):
+        opts = Options(sshlogin=["node1,node2"], jobs=8)
+        hosts = hosts_from_options(opts)
+        assert all(h.slots == 8 for h in hosts)
+
+    def test_duplicates_collapse_last_wins(self):
+        opts = Options(sshlogin=["4/node1", "2/node1"], jobs=1)
+        (h,) = hosts_from_options(opts)
+        assert h.slots == 2
+
+    def test_sshloginfile_merges(self, tmp_path):
+        f = tmp_path / "hosts.txt"
+        f.write_text("node2\n")
+        opts = Options(sshlogin=["node1"], sshloginfile=str(f), jobs=3)
+        assert [h.name for h in hosts_from_options(opts)] == ["node1", "node2"]
+
+    def test_no_hosts_rejected(self):
+        opts = Options(jobs=2)
+        with pytest.raises(OptionsError):
+            hosts_from_options(opts)
+
+
+class TestHostPool:
+    def make(self, specs="2/a,2/b", ban_after=3):
+        return HostPool(parse_sshlogin(specs), ban_after=ban_after)
+
+    def test_least_loaded_placement(self):
+        pool = self.make("2/a,2/b")
+        l1 = pool.acquire()
+        l2 = pool.acquire()
+        # Second lease must go to the other (now less-loaded) host.
+        assert {l1.host.name, l2.host.name} == {"a", "b"}
+
+    def test_lowest_slot_first_per_host(self):
+        pool = self.make("3/a")
+        leases = [pool.acquire() for _ in range(3)]
+        assert [l.slot for l in leases] == [1, 2, 3]
+        pool.release(leases[1])
+        assert pool.acquire().slot == 2  # lowest freed slot comes back first
+
+    def test_capacity_blocks_until_release(self):
+        pool = self.make("1/a")
+        lease = pool.acquire()
+        assert pool.acquire(timeout=0.05) is None
+        pool.release(lease)
+        assert pool.acquire(timeout=0.05) is not None
+
+    def test_release_wakes_blocked_acquirer(self):
+        pool = self.make("1/a")
+        lease = pool.acquire()
+        got = []
+        done = threading.Event()
+
+        def grab():
+            got.append(pool.acquire(timeout=5))
+            done.set()
+
+        t = threading.Thread(target=grab)
+        t.start()
+        pool.release(lease)
+        assert done.wait(5)
+        t.join()
+        assert got[0] is not None
+
+    def test_double_release_rejected(self):
+        pool = self.make("1/a")
+        lease = pool.acquire()
+        pool.release(lease)
+        with pytest.raises(OptionsError):
+            pool.release(lease)
+
+    def test_ban_after_consecutive_failures(self):
+        pool = self.make("1/a,1/b", ban_after=2)
+        a = pool.hosts[0]
+        assert not pool.record_failure(a)
+        assert pool.record_failure(a)  # second consecutive -> banned now
+        assert pool.is_banned("a")
+        assert pool.banned_hosts() == ["a"]
+        assert pool.live_slots() == 1
+
+    def test_success_resets_failure_streak(self):
+        pool = self.make("1/a", ban_after=2)
+        a = pool.hosts[0]
+        pool.record_failure(a)
+        pool.record_success(a)
+        assert not pool.record_failure(a)  # streak restarted
+        assert not pool.is_banned("a")
+
+    def test_banned_host_not_placed(self):
+        pool = self.make("1/a,1/b")
+        pool.ban("a")
+        for _ in range(2):
+            lease = pool.acquire(timeout=0.2)
+            assert lease is not None and lease.host.name == "b"
+            pool.release(lease)
+
+    def test_all_banned_returns_none(self):
+        pool = self.make("1/a")
+        pool.ban("a")
+        assert pool.acquire(timeout=0.2) is None
+
+    def test_ban_wakes_blocked_acquirers(self):
+        pool = self.make("1/a")
+        pool.acquire()
+        results = []
+        done = threading.Event()
+
+        def grab():
+            results.append(pool.acquire(timeout=5))
+            done.set()
+
+        t = threading.Thread(target=grab)
+        t.start()
+        pool.ban("a")
+        assert done.wait(5)
+        t.join()
+        assert results[0] is None  # no live host left for the waiter
+
+    def test_abort_unblocks(self):
+        pool = self.make("1/a")
+        pool.acquire()
+        results = []
+        done = threading.Event()
+
+        def grab():
+            results.append(pool.acquire())
+            done.set()
+
+        t = threading.Thread(target=grab)
+        t.start()
+        pool.abort()
+        assert done.wait(5)
+        t.join()
+        assert results[0] is None
+
+    def test_total_and_summary(self):
+        pool = self.make("2/a,3/b")
+        assert pool.total_slots == 5
+        lease = pool.acquire()
+        pool.record_success(lease.host)
+        summary = pool.summary()
+        assert summary[lease.host.name]["dispatched"] == 1
+        assert summary[lease.host.name]["in_use"] == 1

@@ -1,0 +1,159 @@
+"""StagingPolicy: per-job template rendering and transfer phases."""
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.options import Options
+from repro.errors import StagingError
+from repro.remote.hosts import HostSpec
+from repro.remote.staging import StagingPolicy
+from repro.remote.transport import SimTransport
+from repro.storage.transfer import remote_relpath
+
+H1 = HostSpec("h1", 2)
+H2 = HostSpec("h2", 2)
+
+
+def job(seq=1, arg="a"):
+    return Job(seq=seq, args=(arg,), attempt=1)
+
+
+class TestRemoteRelpath:
+    @pytest.mark.parametrize("given,expected", [
+        ("in/a.txt", "in/a.txt"),
+        ("./in/a.txt", "in/a.txt"),
+        ("/data/a.txt", "data/a.txt"),
+        ("//deep//path//f", "deep/path/f"),
+    ])
+    def test_rsync_relative_semantics(self, given, expected):
+        assert remote_relpath(given) == expected
+
+    @pytest.mark.parametrize("bad", ["../escape", "a/../../b", "", "./"])
+    def test_escapes_and_empties_rejected(self, bad):
+        with pytest.raises(StagingError):
+            remote_relpath(bad)
+
+
+class TestStagingPolicy:
+    def opts(self, **kw):
+        kw.setdefault("sshlogin", ["2/h1,2/h2"])
+        return Options(jobs=2, **kw)
+
+    def test_from_options_roundtrip(self):
+        pol = StagingPolicy.from_options(self.opts(
+            transfer_files=["in/{}.txt"], return_files=["out/{}.txt"],
+            cleanup=True, basefiles=["model.bin"], workdir="...",
+        ))
+        assert pol.active and pol.cleanup and pol.workdir == "..."
+
+    def test_inactive_when_nothing_to_stage(self):
+        assert not StagingPolicy.from_options(self.opts()).active
+
+    def test_paths_rendered_per_job(self):
+        pol = StagingPolicy.from_options(self.opts(
+            transfer_files=["/abs/in/{}.dat"], return_files=["out/{#}.txt"],
+        ))
+        assert pol.transfer_paths(job(seq=3, arg="x"), slot=1) == [
+            ("/abs/in/x.dat", "abs/in/x.dat")
+        ]
+        assert pol.return_paths(job(seq=3, arg="x"), slot=1) == [
+            ("out/3.txt", "out/3.txt")
+        ]
+
+    def test_literal_path_not_appended_with_input(self):
+        # implicit-append must not turn "data.txt" into "data.txt {}".
+        pol = StagingPolicy.from_options(self.opts(transfer_files=["data.txt"]))
+        assert pol.transfer_paths(job(arg="x"), slot=1) == [("data.txt", "data.txt")]
+
+    def test_stage_in_puts_and_reports_relpaths(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "in").mkdir()
+        (tmp_path / "in" / "a.txt").write_text("hello")
+        pol = StagingPolicy.from_options(self.opts(transfer_files=["in/{}.txt"]))
+        st = SimTransport()
+        staged = pol.stage_in(st, H1, job(arg="a"), 1, "w")
+        assert staged == ["in/a.txt"]
+        assert st.files["h1"]["in/a.txt"] == b"hello"
+
+    def test_stage_out_success_requires_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pol = StagingPolicy.from_options(self.opts(return_files=["out/{}.txt"]))
+        st = SimTransport()
+        with pytest.raises(StagingError):
+            pol.stage_out(st, H1, job(arg="a"), 1, "w", job_ok=True)
+
+    def test_stage_out_failure_forgives_missing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pol = StagingPolicy.from_options(self.opts(return_files=["out/{}.txt"]))
+        st = SimTransport()
+        assert pol.stage_out(st, H1, job(arg="a"), 1, "w", job_ok=False) == []
+
+    def test_stage_out_fetches_what_exists(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pol = StagingPolicy.from_options(self.opts(return_files=["out/{}.txt"]))
+        st = SimTransport()
+        st.provide(H1, "out/a.txt", b"done\n")
+        fetched = pol.stage_out(st, H1, job(arg="a"), 1, "w", job_ok=True)
+        assert fetched == ["out/a.txt"]
+        assert (tmp_path / "out" / "a.txt").read_bytes() == b"done\n"
+
+    def test_cleanup_removes_deduped(self):
+        pol = StagingPolicy(cleanup=True)
+        st = SimTransport()
+        st.provide(H1, "a", b"1")
+        st.provide(H1, "b", b"2")
+        assert pol.cleanup_remote(st, H1, ["a", "b", "a"], "w") == 2
+
+    def test_cleanup_noop_unless_enabled(self):
+        pol = StagingPolicy(cleanup=False)
+        st = SimTransport()
+        st.provide(H1, "a", b"1")
+        assert pol.cleanup_remote(st, H1, ["a"], "w") == 0
+        assert "a" in st.files["h1"]
+
+    def test_basefiles_staged_once_per_host(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "model.bin").write_bytes(b"weights")
+        pol = StagingPolicy.from_options(self.opts(basefiles=["model.bin"]))
+        st = SimTransport()
+        for _ in range(3):
+            pol.stage_basefiles(st, H1, "w")
+        pol.stage_basefiles(st, H2, "w")
+        # One put per host despite repeated calls: clock charged once each.
+        assert st.files["h1"]["model.bin"] == b"weights"
+        assert st.files["h2"]["model.bin"] == b"weights"
+        one_put = st.elapsed(H1)
+        assert st.elapsed(H2) == pytest.approx(one_put)
+
+    def test_basefile_failure_allows_retry(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        pol = StagingPolicy.from_options(self.opts(basefiles=["missing.bin"]))
+        st = SimTransport()
+        with pytest.raises(StagingError):
+            pol.stage_basefiles(st, H1, "w")
+        (tmp_path / "missing.bin").write_bytes(b"late")
+        pol.stage_basefiles(st, H1, "w")  # the retry succeeds
+        assert st.files["h1"]["missing.bin"] == b"late"
+
+
+class TestOptionsValidation:
+    def test_staging_flags_require_remote(self):
+        from repro.errors import OptionsError
+
+        with pytest.raises(OptionsError):
+            Options(transfer_files=["x"])
+        with pytest.raises(OptionsError):
+            Options(cleanup=True)
+        with pytest.raises(OptionsError):
+            Options(return_files=["y"], basefiles=["z"])
+
+    def test_remote_property(self):
+        assert Options(sshlogin=["n1"]).remote
+        assert Options(sshloginfile="hosts.txt").remote
+        assert not Options().remote
+
+    def test_ban_after_validated(self):
+        from repro.errors import OptionsError
+
+        with pytest.raises(OptionsError):
+            Options(ban_after=0)

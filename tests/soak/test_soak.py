@@ -1,0 +1,97 @@
+"""Nightly soak: rerun the raciest suites at high iteration counts.
+
+Concurrency bugs in the scheduler/worker-pool/remote layers are
+probabilistic — a single CI pass proves little.  These tests repeat the
+chaos and worker-pool scenarios ``SOAK_ITERS`` times (default 25; the
+nightly workflow raises it) and additionally shell out to the full chaos
+suites so every assertion in them gets re-rolled.
+
+Deselected by default (``-m 'not soak'`` in addopts); run with::
+
+    SOAK_ITERS=100 python -m pytest tests/soak -m soak -q
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import Parallel
+from repro.core.template import CommandTemplate
+from repro.faults import FaultPlan, FaultSpec, FaultyTransport
+from repro.remote import RemoteBackend, SimTransport, parse_sshlogin
+
+pytestmark = pytest.mark.soak
+
+SOAK_ITERS = int(os.environ.get("SOAK_ITERS", "25"))
+SRC_DIR = str(Path(__file__).parents[2] / "src")
+
+
+def _pytest(args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-x", *args],
+        capture_output=True, text=True, env=env,
+        cwd=str(Path(__file__).parents[2]),
+    )
+
+
+@pytest.mark.parametrize("round_", range(max(1, SOAK_ITERS // 25)))
+def test_chaos_suite_repeats_clean(round_):
+    proc = _pytest(["tests/chaos", "-p", "no:randomly"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.parametrize("round_", range(max(1, SOAK_ITERS // 25)))
+def test_worker_pool_suite_repeats_clean(round_):
+    proc = _pytest(["tests/core/test_worker_pool.py"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_remote_host_death_soak():
+    # The headline chaos scenario, re-rolled with a different victim
+    # budget and seed every iteration.
+    for i in range(SOAK_ITERS):
+        st = SimTransport()
+        ft = FaultyTransport(st, host_down_after={"n2": i % 7})
+        backend = RemoteBackend(
+            parse_sshlogin("2/n1,2/n2,2/n3"), ft,
+            template=CommandTemplate("echo {}"),
+        )
+        summary = Parallel(
+            "echo {}", backend=backend, sshlogin=["2/n1,2/n2,2/n3"],
+            ban_after=2,
+        ).run([str(j) for j in range(24)])
+        assert summary.ok, f"iteration {i}: {summary}"
+        assert summary.n_succeeded == 24
+
+
+def test_transient_fault_storm_soak():
+    for i in range(SOAK_ITERS):
+        plan = FaultPlan(seed=i, random_faults=[
+            (0.2, FaultSpec("connect_timeout")),
+            (0.05, FaultSpec("drop")),
+        ])
+        ft = FaultyTransport(SimTransport(), plan=plan)
+        backend = RemoteBackend(
+            parse_sshlogin("2/a,2/b,2/c,2/d"), ft,
+            template=CommandTemplate("echo {}"),
+        )
+        summary = Parallel(
+            "echo {}", backend=backend, sshlogin=["2/a,2/b,2/c,2/d"],
+        ).run([str(j) for j in range(30)])
+        assert summary.ok, f"iteration {i}"
+
+
+def test_local_engine_churn_soak():
+    # Rapid engine reuse: prepare/run/teardown cycles must not leak
+    # state between runs (pool renewal, cancellation events, joblogs).
+    engine = Parallel("echo {}", sshlogin=["2/x,2/y"], jobs=2)
+    for i in range(SOAK_ITERS):
+        summary = engine.run([str(j) for j in range(8)])
+        assert summary.ok, f"iteration {i}"
