@@ -8,14 +8,16 @@ working-directory and niceness support, and kill-on-halt.
 from __future__ import annotations
 
 import os
+import shutil
 import signal
 import subprocess
+import tempfile
 import threading
 import time
 
 from repro.core.backends.base import Backend
 from repro.core.job import Job, JobResult, JobState
-from repro.core.options import Options
+from repro.core.options import TMPDIR_WORKDIR, Options
 
 __all__ = ["LocalShellBackend"]
 
@@ -34,13 +36,17 @@ class LocalShellBackend(Backend):
         self._lock = threading.Lock()
         self._cancelled = threading.Event()
         #: Per-run merged environment cache (``prepare_run``): copying
-        #: ``os.environ`` per job is pure hot-path waste.
+        #: ``os.environ`` per job is pure hot-path waste.  The Options the
+        #: cache was built from is held by strong reference and compared
+        #: with ``is`` — an id() key can collide after a collection.
         self._run_env: dict[str, str] | None = None
-        self._env_key: int | None = None
+        self._run_opts: Options | None = None
+        #: Lazily-created ``--wd ...`` per-run tempdir, removed in close().
+        self._tmp_workdir: str | None = None
 
     def prepare_run(self, options: Options) -> None:
         self._run_env = self._merged_env(options)
-        self._env_key = id(options)
+        self._run_opts = options
 
     @staticmethod
     def _merged_env(options: Options) -> dict[str, str] | None:
@@ -53,10 +59,20 @@ class LocalShellBackend(Backend):
     def _env_for(self, options: Options) -> dict[str, str] | None:
         # Direct run_job callers (tests, wrappers) may skip prepare_run;
         # fall back to computing-and-caching on first use per options.
-        if self._env_key != id(options):
+        if self._run_opts is not options:
             self._run_env = self._merged_env(options)
-            self._env_key = id(options)
+            self._run_opts = options
         return self._run_env
+
+    def _cwd_for(self, options: Options) -> str | None:
+        """Resolve ``--wd`` for this job; ``...`` = one shared per-run
+        tempdir (created lazily, removed in :meth:`close`)."""
+        if options.workdir != TMPDIR_WORKDIR:
+            return options.workdir
+        with self._lock:
+            if self._tmp_workdir is None:
+                self._tmp_workdir = tempfile.mkdtemp(prefix="repro-wd-")
+            return self._tmp_workdir
 
     def run_job(
         self, job: Job, slot: int, options: Options, timeout: float | None = None
@@ -65,6 +81,7 @@ class LocalShellBackend(Backend):
             return self._result(job, slot, -1, "", "", time.time(), time.time(), JobState.KILLED)
 
         env = self._env_for(options)
+        cwd = self._cwd_for(options)
 
         start = time.time()
         try:
@@ -80,7 +97,7 @@ class LocalShellBackend(Backend):
                 stdin=subprocess.PIPE if job.stdin_data is not None else subprocess.DEVNULL,
                 stdout=subprocess.PIPE,
                 stderr=subprocess.PIPE,
-                cwd=options.workdir,
+                cwd=cwd,
                 env=env,
                 text=True,
                 start_new_session=(os.name == "posix"),
@@ -153,6 +170,12 @@ class LocalShellBackend(Backend):
                 proc.terminate()
         except (ProcessLookupError, PermissionError):
             pass
+
+    def close(self) -> None:
+        with self._lock:
+            tmp, self._tmp_workdir = self._tmp_workdir, None
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
 
     def _result(
         self,

@@ -21,10 +21,21 @@ from typing import Optional, Union
 
 from repro.errors import OptionsError
 
-__all__ = ["HaltSpec", "Options", "DEFAULT_JOBS", "parse_jobs", "parse_timeout"]
+__all__ = [
+    "HaltSpec",
+    "Options",
+    "DEFAULT_JOBS",
+    "TMPDIR_WORKDIR",
+    "parse_jobs",
+    "parse_timeout",
+]
 
 #: GNU Parallel's ``-j`` default is one job per CPU core.
 DEFAULT_JOBS = os.cpu_count() or 1
+
+#: ``--workdir`` spelling for "a unique per-run directory, auto-removed"
+#: — honoured by the local backend and every remote transport.
+TMPDIR_WORKDIR = "..."
 
 
 def parse_jobs(spec: Union[int, str], cores: Optional[int] = None) -> int:

@@ -62,7 +62,7 @@ class RemoteBackend(Backend):
         self.ban_after = ban_after
         self.pool = HostPool(self._hosts, ban_after=ban_after)
         self.staging = StagingPolicy()
-        self._staging_key: Optional[int] = None
+        self._staging_opts: Optional[Options] = None
         self._workdirs: dict[str, str] = {}
         self._wd_lock = threading.Lock()
         self._cancelled = threading.Event()
@@ -96,7 +96,7 @@ class RemoteBackend(Backend):
         self.ban_after = getattr(options, "ban_after", self.ban_after)
         self.pool = HostPool(self._hosts, ban_after=self.ban_after)
         self.staging = StagingPolicy.from_options(options)
-        self._staging_key = id(options)
+        self._staging_opts = options
         with self._wd_lock:
             self._workdirs = {}
         self._cancelled = threading.Event()
@@ -104,9 +104,11 @@ class RemoteBackend(Backend):
     def _staging_for(self, options: Options) -> StagingPolicy:
         # Direct run_job callers (tests, wrappers) may skip prepare_run;
         # build-and-cache the staging policy on first use per options.
-        if self._staging_key != id(options):
+        # The cached Options is held by strong reference and compared with
+        # ``is``: an id() key can collide once the original is collected.
+        if self._staging_opts is not options:
             self.staging = StagingPolicy.from_options(options)
-            self._staging_key = id(options)
+            self._staging_opts = options
         return self.staging
 
     def renew(self) -> "RemoteBackend":
@@ -196,8 +198,13 @@ class RemoteBackend(Backend):
                 job.args, seq=job.seq, slot=lease.slot,
                 quote=options.quote, host=host.name,
             )
+        # GNU Parallel skips --transferfile/--return/--basefile/--cleanup
+        # on the ':' localhost: there is no transport hop, so a "transfer"
+        # would be a same-path no-op and --cleanup would then delete the
+        # user's original input/output files.
+        stage = staging.active and not host.is_local
         staged: list[str] = []
-        if staging.active:
+        if stage:
             staging.stage_basefiles(self.transport, host, workdir)
             staged = staging.stage_in(self.transport, host, job, lease.slot, workdir)
         res = self.transport.execute(
@@ -214,7 +221,7 @@ class RemoteBackend(Backend):
         self.pool.record_success(host)
         job_ok = res.exit_code == 0 and not res.timed_out
         fetched: list[str] = []
-        if staging.active:
+        if stage:
             try:
                 fetched = staging.stage_out(
                     self.transport, host, job, lease.slot, workdir, job_ok=job_ok

@@ -21,6 +21,11 @@ GNU Parallel semantics, executed over a :class:`~repro.remote.transport.Transpor
 
 The render uses the job's own (args, seq, slot) so ``--transferfile {}``
 or ``--return out/{#}.txt`` track each job exactly as its command does.
+
+The ``:`` localhost is exempt from all of this: GNU Parallel does no
+transfer/return/cleanup for the transport-free local machine (a "copy"
+would be a same-path no-op, and cleanup would delete the user's own
+files), so the backend never drives these phases for ``host.is_local``.
 """
 
 from __future__ import annotations

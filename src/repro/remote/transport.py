@@ -40,15 +40,13 @@ import uuid
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.core.options import TMPDIR_WORKDIR
 from repro.errors import StagingError, TransportError
 from repro.remote.hosts import HostSpec
 from repro.sim.netmodel import NetModel
 from repro.storage.transfer import copy_file, remove_files
 
 __all__ = ["ExecResult", "Transport", "LocalTransport", "SimTransport"]
-
-#: ``--workdir`` spelling for "a unique per-run directory, auto-removed".
-TMPDIR_WORKDIR = "..."
 
 
 @dataclass(frozen=True)

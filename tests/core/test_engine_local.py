@@ -93,6 +93,17 @@ def test_workdir_option(tmp_path):
     assert summary.results[0].stdout.strip() == str(tmp_path)
 
 
+def test_workdir_dotdotdot_is_per_run_tempdir():
+    # --wd '...' = one unique per-run directory, removed after the run.
+    summary = Parallel("pwd", jobs=2, workdir="...").run(["a", "b"])
+    assert summary.ok
+    dirs = {r.stdout.strip() for r in summary.results}
+    assert len(dirs) == 1  # shared by the whole run
+    wd = dirs.pop()
+    assert wd != os.getcwd()
+    assert not os.path.exists(wd)  # cleaned up at backend close
+
+
 def test_env_option():
     summary = Parallel("echo $MYVAR # {}", jobs=1, env={"MYVAR": "hello"}).run(["x"])
     assert summary.results[0].stdout.strip() == "hello"

@@ -140,6 +140,55 @@ class TestHealth:
         assert tracer.spans[1].attempts[0].host == "h2"
 
 
+class TestLocalhostStagingSkip:
+    """GNU Parallel does no --transferfile/--return/--cleanup for ':':
+    there is no transport hop, so a "transfer" is a same-path no-op and
+    cleanup would delete the user's original files."""
+
+    def test_cleanup_never_deletes_user_input(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "data.txt").write_text("precious\n")
+        summary = Parallel(
+            "cat {}", sshlogin=[":"], jobs=2,
+            transfer_files=["{}"], cleanup=True,
+        ).run(["data.txt"])
+        assert summary.ok
+        assert summary.results[0].stdout == "precious\n"
+        assert (tmp_path / "data.txt").read_text() == "precious\n"
+
+    def test_cleanup_never_deletes_returned_output(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "in.txt").write_text("abc\n")
+        summary = Parallel(
+            "tr a-z A-Z < in.txt > out-{}.txt", sshlogin=[":"], jobs=1,
+            transfer_files=["in.txt"], return_files=["out-{}.txt"],
+            cleanup=True,
+        ).run(["1"])
+        assert summary.ok
+        assert (tmp_path / "in.txt").read_text() == "abc\n"
+        assert (tmp_path / "out-1.txt").read_text() == "ABC\n"
+
+    def test_mixed_roster_stages_named_hosts_only(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "in.txt").write_text("x\n")
+        st = SimTransport()
+        be = RemoteBackend(
+            parse_sshlogin("1/n1,1/:"), st,
+            template=CommandTemplate("cat in.txt"),
+        )
+        opts = Options(
+            jobs=1, sshlogin=["1/n1,1/:"], transfer_files=["in.txt"],
+        )
+        be.prepare_run(opts)
+        for seq in (1, 2):
+            job = Job(seq=seq, args=(str(seq),), command="cat in.txt", attempt=1)
+            assert be.run_job(job, seq, opts).ok
+        # Both hosts executed, but only the named host saw a transfer.
+        assert {h for h, _, _ in st.exec_log} == {"n1", ":"}
+        assert list(st.files) == ["n1"]
+        assert (tmp_path / "in.txt").exists()
+
+
 class TestLifecycle:
     def test_renew_gives_fresh_pool_same_transport(self):
         be = make_backend("1/h1", transport=SimTransport())
