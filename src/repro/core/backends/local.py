@@ -3,10 +3,45 @@
 This is the engine's production path — functionally the same as what GNU
 Parallel does (fork + exec via the shell), with output capture, timeouts,
 working-directory and niceness support, and kill-on-halt.
+
+Two spawn paths share the same semantics (``--spawn-path`` selects):
+
+``posix`` (the default on capable platforms)
+    ``os.posix_spawn`` with ``POSIX_SPAWN_SETSID`` and argv/env vectors
+    pre-built once per run (:class:`~repro.core.backends.spawn.SpawnLauncher`),
+    with every job's stdout/stderr multiplexed through one shared
+    ``selectors`` loop (:class:`~repro.core.backends.reaper.PipeReaper`)
+    instead of a blocking per-job ``communicate()``.  This removes the
+    userspace share of per-job dispatch cost; what remains is the
+    kernel's own fork/exec ceiling (see DESIGN.md, "Dispatch overhead
+    anatomy").
+
+``popen``
+    The ``subprocess.Popen(start_new_session=True)`` path — the
+    conservative reference implementation, and the automatic fallback
+    whenever a feature combination needs it:
+
+    ======================  ============================================
+    condition               why Popen
+    ======================  ============================================
+    non-POSIX platform or   ``posix_spawn``/``POSIX_SPAWN_SETSID``
+    old libc                unavailable (probed once)
+    ``--wd``                ``posix_spawn`` has no working-directory
+                            attribute
+    ``--pipe`` /            per-job stdin needs ``communicate()``'s
+    ``job.stdin_data``      write-side backpressure handling
+    reaper loop died        defensive: the shared loop failed mid-run
+    ======================  ============================================
+
+Both paths keep the kill-by-process-group contract (``--halt now``,
+``--timeout``), ``--nice`` via post-spawn ``setpriority(PRIO_PGRP)``,
+output capture/ordering, and ``--tag``; the posix path additionally
+streams ``--linebuffer`` output line-by-line as it arrives.
 """
 
 from __future__ import annotations
 
+import locale
 import os
 import shutil
 import signal
@@ -16,10 +51,19 @@ import threading
 import time
 
 from repro.core.backends.base import Backend
+from repro.core.backends.reaper import PipeReaper
+from repro.core.backends.spawn import SpawnLauncher, spawn_supported
 from repro.core.job import Job, JobResult, JobState
 from repro.core.options import TMPDIR_WORKDIR, Options
 
 __all__ = ["LocalShellBackend"]
+
+
+def _universal_newlines(text: str) -> str:
+    """The translation ``Popen(text=True)`` applies to captured output."""
+    if "\r" not in text:
+        return text
+    return text.replace("\r\n", "\n").replace("\r", "\n")
 
 
 class LocalShellBackend(Backend):
@@ -32,7 +76,10 @@ class LocalShellBackend(Backend):
     def __init__(self, shell: str = "/bin/sh"):
         self.shell = shell
         self.host = os.uname().nodename if hasattr(os, "uname") else "local"
-        self._procs: dict[int, subprocess.Popen] = {}
+        #: In-flight processes by pid; the value is the pid again (posix
+        #: spawn path) or the Popen object (popen path) — kill-by-group
+        #: only needs the key.
+        self._procs: dict[int, object] = {}
         self._lock = threading.Lock()
         self._cancelled = threading.Event()
         #: Per-run merged environment cache (``prepare_run``): copying
@@ -43,10 +90,36 @@ class LocalShellBackend(Backend):
         self._run_opts: Options | None = None
         #: Lazily-created ``--wd ...`` per-run tempdir, removed in close().
         self._tmp_workdir: str | None = None
+        #: posix_spawn fast path state (built per run by prepare_run).
+        self._launcher: SpawnLauncher | None = None
+        self._reaper: PipeReaper | None = None
+        self._use_spawn = False
+        self._encoding = locale.getpreferredencoding(False)
 
     def prepare_run(self, options: Options) -> None:
         self._run_env = self._merged_env(options)
         self._run_opts = options
+        self._setup_spawn_path(options)
+
+    def _setup_spawn_path(self, options: Options) -> None:
+        """Decide the spawn path for this run and build its machinery."""
+        self._use_spawn = (
+            getattr(options, "spawn_path", "auto") != "popen"
+            and spawn_supported()
+            and options.workdir is None  # posix_spawn has no cwd attribute
+            and not options.pipe_mode  # per-job stdin: communicate() path
+        )
+        if self._use_spawn:
+            if self._launcher is not None:
+                self._launcher.close()
+            self._launcher = SpawnLauncher(self.shell, env=self._run_env)
+            if self._reaper is None:
+                self._reaper = PipeReaper()
+
+    @property
+    def spawn_path(self) -> str:
+        """The path the current run resolved to (``"posix"``/``"popen"``)."""
+        return "posix" if self._use_spawn else "popen"
 
     @staticmethod
     def _merged_env(options: Options) -> dict[str, str] | None:
@@ -62,6 +135,7 @@ class LocalShellBackend(Backend):
         if self._run_opts is not options:
             self._run_env = self._merged_env(options)
             self._run_opts = options
+            self._setup_spawn_path(options)
         return self._run_env
 
     def _cwd_for(self, options: Options) -> str | None:
@@ -81,6 +155,100 @@ class LocalShellBackend(Backend):
             return self._result(job, slot, -1, "", "", time.time(), time.time(), JobState.KILLED)
 
         env = self._env_for(options)
+
+        if (
+            self._use_spawn
+            and job.stdin_data is None
+            and self._reaper is not None
+            and self._reaper.alive
+        ):
+            return self._run_job_spawn(job, slot, options, timeout)
+        return self._run_job_popen(job, slot, options, timeout, env)
+
+    # -- posix_spawn fast path ----------------------------------------------
+    def _run_job_spawn(
+        self, job: Job, slot: int, options: Options, timeout: float | None
+    ) -> JobResult:
+        launcher, reaper = self._launcher, self._reaper
+        assert launcher is not None and reaper is not None
+        start = time.time()
+        try:
+            pid, out_r, err_r = launcher.spawn(job.command)
+        except OSError as exc:
+            end = time.time()
+            return self._result(
+                job, slot, 127, "", f"spawn failed: {exc}", start, end, JobState.FAILED
+            )
+        spawned = time.time()
+        if self._tracer is not None:
+            self._tracer.span(
+                "spawn", start, spawned, seq=job.seq, slot=slot,
+                path="posix", pid=pid,
+            )
+        try:
+            handle = reaper.register(
+                pid, out_r, err_r,
+                stream=getattr(job, "stream", None),
+                encoding=self._encoding,
+            )
+        except RuntimeError:
+            # The reaper closed between the alive check and registration;
+            # collect this one job inline, then future jobs fall back.
+            os.close(out_r)
+            os.close(err_r)
+            _, status = os.waitpid(pid, 0)
+            end = time.time()
+            return self._result(
+                job, slot, os.waitstatus_to_exitcode(status), "",
+                "reaper shut down mid-run", start, end, JobState.FAILED,
+            )
+        self._apply_nice(options, pid)
+
+        with self._lock:
+            self._procs[pid] = pid
+            cancelled = self._cancelled.is_set()
+        if cancelled:
+            # cancel_all ran between the entry check and registration: its
+            # snapshot missed this process, so deliver the kill ourselves.
+            self._kill_group(pid)
+        state = JobState.SUCCEEDED
+        try:
+            if not handle.wait(timeout):
+                self._kill_group(pid)
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "proc_timeout_kill", seq=job.seq, slot=slot,
+                        pid=pid, timeout=timeout,
+                    )
+                handle.wait()
+                state = JobState.TIMED_OUT
+        finally:
+            with self._lock:
+                self._procs.pop(pid, None)
+        reap_start = time.time()
+        stdout = _universal_newlines(bytes(handle.stdout_buf).decode(self._encoding))
+        stderr = _universal_newlines(bytes(handle.stderr_buf).decode(self._encoding))
+        returncode = handle.returncode if handle.returncode is not None else -1
+        if state is not JobState.TIMED_OUT and returncode != 0:
+            state = JobState.FAILED
+        end = time.time()
+        if self._tracer is not None:
+            self._tracer.span(
+                "reap", reap_start, end, seq=job.seq, slot=slot, path="posix"
+            )
+        if self._cancelled.is_set() and state is JobState.FAILED:
+            state = JobState.KILLED
+        return self._result(job, slot, returncode, stdout, stderr, start, end, state)
+
+    # -- Popen reference path ------------------------------------------------
+    def _run_job_popen(
+        self,
+        job: Job,
+        slot: int,
+        options: Options,
+        timeout: float | None,
+        env: dict[str, str] | None,
+    ) -> JobResult:
         cwd = self._cwd_for(options)
 
         start = time.time()
@@ -107,20 +275,13 @@ class LocalShellBackend(Backend):
             return self._result(
                 job, slot, 127, "", f"spawn failed: {exc}", start, end, JobState.FAILED
             )
+        spawned = time.time()
         if self._tracer is not None:
-            self._tracer.instant(
-                "proc_spawn", seq=job.seq, slot=slot, pid=proc.pid
+            self._tracer.span(
+                "spawn", start, spawned, seq=job.seq, slot=slot,
+                path="popen", pid=proc.pid,
             )
-        if options.nice is not None and hasattr(os, "setpriority"):
-            # Applied from the parent right after spawn (no preexec_fn);
-            # the first few ms of the job may run un-niced, an accepted
-            # trade for keeping fork+exec on the fast path.  PRIO_PGRP
-            # (the child is its own group leader) covers helpers the
-            # shell already forked, which PRIO_PROCESS would race.
-            try:
-                os.setpriority(os.PRIO_PGRP, proc.pid, options.nice)
-            except OSError:
-                pass
+        self._apply_nice(options, proc.pid)
 
         with self._lock:
             self._procs[proc.pid] = proc
@@ -128,15 +289,16 @@ class LocalShellBackend(Backend):
         if cancelled:
             # cancel_all ran between the entry check and registration: its
             # snapshot missed this process, so deliver the kill ourselves.
-            self._kill_group(proc)
+            self._kill_group(proc.pid)
         try:
             try:
+                reap_start = time.time()
                 stdout, stderr = proc.communicate(
                     input=job.stdin_data, timeout=timeout
                 )
                 state = JobState.SUCCEEDED if proc.returncode == 0 else JobState.FAILED
             except subprocess.TimeoutExpired:
-                self._kill_group(proc)
+                self._kill_group(proc.pid)
                 if self._tracer is not None:
                     self._tracer.instant(
                         "proc_timeout_kill", seq=job.seq, slot=slot,
@@ -148,26 +310,45 @@ class LocalShellBackend(Backend):
             with self._lock:
                 self._procs.pop(proc.pid, None)
         end = time.time()
+        if self._tracer is not None:
+            # On this path collection is the blocking communicate(), so
+            # the span includes the job's own runtime (documented).
+            self._tracer.span(
+                "reap", reap_start, end, seq=job.seq, slot=slot, path="popen"
+            )
         if self._cancelled.is_set() and state is JobState.FAILED:
             state = JobState.KILLED
         return self._result(job, slot, proc.returncode, stdout, stderr, start, end, state)
 
+    # -- shared helpers ------------------------------------------------------
+    def _apply_nice(self, options: Options, pid: int) -> None:
+        if options.nice is not None and hasattr(os, "setpriority"):
+            # Applied from the parent right after spawn (no preexec_fn);
+            # the first few ms of the job may run un-niced, an accepted
+            # trade for keeping fork+exec on the fast path.  PRIO_PGRP
+            # (the child is its own group leader) covers helpers the
+            # shell already forked, which PRIO_PROCESS would race.
+            try:
+                os.setpriority(os.PRIO_PGRP, pid, options.nice)
+            except OSError:
+                pass
+
     def cancel_all(self) -> None:
         self._cancelled.set()
         with self._lock:
-            procs = list(self._procs.values())
+            pids = list(self._procs)
         if self._tracer is not None:
-            self._tracer.instant("cancel_all", n_procs=len(procs))
-        for proc in procs:
-            self._kill_group(proc)
+            self._tracer.instant("cancel_all", n_procs=len(pids))
+        for pid in pids:
+            self._kill_group(pid)
 
     @staticmethod
-    def _kill_group(proc: subprocess.Popen) -> None:
+    def _kill_group(pid: int) -> None:
         try:
             if os.name == "posix":
-                os.killpg(proc.pid, signal.SIGTERM)
+                os.killpg(pid, signal.SIGTERM)
             else:  # pragma: no cover - non-posix fallback
-                proc.terminate()
+                os.kill(pid, signal.SIGTERM)
         except (ProcessLookupError, PermissionError):
             pass
 
@@ -176,6 +357,13 @@ class LocalShellBackend(Backend):
             tmp, self._tmp_workdir = self._tmp_workdir, None
         if tmp is not None:
             shutil.rmtree(tmp, ignore_errors=True)
+        if self._reaper is not None:
+            self._reaper.close()
+            self._reaper = None
+        if self._launcher is not None:
+            self._launcher.close()
+            self._launcher = None
+        self._use_spawn = False
 
     def _result(
         self,

@@ -1,0 +1,276 @@
+"""Shared pipe reaper: one ``selectors`` loop multiplexing every job's I/O.
+
+The Popen hot path dedicates the calling worker thread to each job's
+``communicate()`` — a per-job selector setup, per-job read loop, per-job
+``waitpid``.  The reaper amortizes all of that into a single background
+thread: workers register a spawned pid plus its stdout/stderr read fds and
+block on a per-job event; the reaper drains every registered pipe through
+one ``selectors.DefaultSelector``, collects exit statuses with
+``waitpid(WNOHANG)``, and wakes the owning worker when both streams hit
+EOF and the process is reaped.
+
+Semantics match ``Popen.communicate()``: completion means *EOF on both
+pipes and the child reaped* — a job that backgrounds a grandchild holding
+the pipe open is still "running" until that write end closes, exactly as
+on the Popen path.
+
+``--linebuffer`` support: a handle registered with a ``stream`` callback
+gets its stdout delivered incrementally in complete-line chunks as they
+arrive (the raw bytes are still accumulated for the final
+:class:`~repro.core.job.JobResult`, so ``--joblog``/``--results`` capture
+is unchanged).
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import selectors
+import threading
+from typing import Callable, Optional
+
+__all__ = ["PipeReaper", "ReapHandle"]
+
+_CHUNK = 65536
+#: Poll period for zombie collection while processes have closed their
+#: pipes but not yet been waited on (rare: exit and EOF usually coincide).
+_ZOMBIE_POLL = 0.02
+
+
+class ReapHandle:
+    """One registered job's collection state; workers ``wait()`` on it."""
+
+    __slots__ = (
+        "pid", "stdout_buf", "stderr_buf", "returncode",
+        "_event", "_open_fds", "_stream", "_stream_tail", "encoding",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        stream: Optional[Callable[[str], None]] = None,
+        encoding: str = "utf-8",
+    ):
+        self.pid = pid
+        self.stdout_buf = bytearray()
+        self.stderr_buf = bytearray()
+        #: Exit status in ``Popen.returncode`` convention (negative =
+        #: killed by that signal); None until reaped.
+        self.returncode: Optional[int] = None
+        self.encoding = encoding
+        self._event = threading.Event()
+        self._open_fds = 2
+        self._stream = stream
+        self._stream_tail = bytearray() if stream is not None else None
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is fully collected; False on timeout."""
+        return self._event.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    # -- reaper-side hooks ---------------------------------------------------
+    def _feed(self, which: int, chunk: bytes) -> None:
+        if which == 1:
+            self.stdout_buf += chunk
+            if self._stream is not None:
+                self._stream_tail += chunk
+                cut = self._stream_tail.rfind(b"\n")
+                if cut >= 0:
+                    self._emit_stream(bytes(self._stream_tail[: cut + 1]))
+                    del self._stream_tail[: cut + 1]
+        else:
+            self.stderr_buf += chunk
+
+    def _emit_stream(self, data: bytes) -> None:
+        try:
+            # Complete lines only, so a UTF-8 sequence is never split;
+            # errors are replaced rather than raised — strict decoding
+            # (and its Popen-parity failure mode) happens at result
+            # construction, not in the shared reaper thread.
+            self._stream(data.decode(self.encoding, errors="replace"))
+        except Exception:
+            self._stream = None  # a broken sink must not kill the loop
+
+    def _finish(self, returncode: int) -> None:
+        if self._stream is not None and self._stream_tail:
+            self._emit_stream(bytes(self._stream_tail))
+            self._stream_tail.clear()
+        self.returncode = returncode
+        self._event.set()
+
+
+class PipeReaper:
+    """The shared multiplexer thread.  One instance serves one backend run.
+
+    The thread starts lazily on first registration and exits on
+    :meth:`close`.  If the loop ever dies on an unexpected error, every
+    outstanding handle is released with exit code 127 and ``alive`` turns
+    False — callers treat that as "fall back to the Popen path".
+    """
+
+    def __init__(self) -> None:
+        self._sel = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = os.pipe()
+        os.set_blocking(self._wake_r, False)
+        self._sel.register(self._wake_r, selectors.EVENT_READ, None)
+        self._pending: "collections.deque[tuple[ReapHandle, int, int]]" = (
+            collections.deque()
+        )
+        self._zombies: list[ReapHandle] = []
+        self._handles: set[ReapHandle] = set()
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self.alive = True
+
+    def register(
+        self,
+        pid: int,
+        stdout_fd: int,
+        stderr_fd: int,
+        stream: Optional[Callable[[str], None]] = None,
+        encoding: str = "utf-8",
+    ) -> ReapHandle:
+        """Hand a spawned job's pipes to the loop; returns its handle."""
+        handle = ReapHandle(pid, stream=stream, encoding=encoding)
+        with self._lock:
+            if self._closed or not self.alive:
+                raise RuntimeError("reaper is closed")
+            self._pending.append((handle, stdout_fd, stderr_fd))
+            self._handles.add(handle)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, daemon=True, name="repro-reaper"
+                )
+                self._thread.start()
+        self._wake()
+        return handle
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def close(self) -> None:
+        """Stop the loop, releasing any outstanding handles (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+        self._wake()
+        if thread is not None:
+            thread.join(timeout=2.0)
+        if thread is None:
+            # The loop never started: nothing owns the selector yet.
+            self._teardown()
+
+    # -- internals -----------------------------------------------------------
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:
+            pass
+
+    def _run(self) -> None:
+        try:
+            self._loop()
+        except BaseException:
+            self.alive = False
+        finally:
+            self._teardown()
+
+    def _loop(self) -> None:
+        while True:
+            if self._closed:
+                return
+            timeout = _ZOMBIE_POLL if self._zombies else None
+            for key, _ in self._sel.select(timeout):
+                if key.data is None:  # wake pipe
+                    try:
+                        while os.read(self._wake_r, 4096):
+                            pass
+                    except OSError:
+                        pass
+                    self._admit_pending()
+                    continue
+                handle, which = key.data
+                try:
+                    chunk = os.read(key.fd, _CHUNK)
+                except BlockingIOError:
+                    continue
+                except OSError:
+                    chunk = b""
+                if chunk:
+                    handle._feed(which, chunk)
+                    continue
+                self._sel.unregister(key.fd)
+                os.close(key.fd)
+                handle._open_fds -= 1
+                if handle._open_fds == 0:
+                    self._zombies.append(handle)
+            self._collect_zombies()
+
+    def _admit_pending(self) -> None:
+        while True:
+            with self._lock:
+                if not self._pending:
+                    return
+                handle, out_fd, err_fd = self._pending.popleft()
+            os.set_blocking(out_fd, False)
+            os.set_blocking(err_fd, False)
+            self._sel.register(out_fd, selectors.EVENT_READ, (handle, 1))
+            self._sel.register(err_fd, selectors.EVENT_READ, (handle, 2))
+
+    def _collect_zombies(self) -> None:
+        if not self._zombies:
+            return
+        still: list[ReapHandle] = []
+        for handle in self._zombies:
+            try:
+                pid, status = os.waitpid(handle.pid, os.WNOHANG)
+            except ChildProcessError:
+                pid, status = handle.pid, 0  # reaped elsewhere; assume ok
+            if pid == 0:
+                still.append(handle)
+                continue
+            with self._lock:
+                self._handles.discard(handle)
+            handle._finish(os.waitstatus_to_exitcode(status))
+        self._zombies = still
+
+    def _teardown(self) -> None:
+        """Close every fd and release every waiter (loop exit path)."""
+        for key in list(self._sel.get_map().values()):
+            if key.data is None:
+                continue
+            try:
+                self._sel.unregister(key.fd)
+                os.close(key.fd)
+            except (OSError, KeyError):
+                pass
+        with self._lock:
+            pending, self._pending = list(self._pending), collections.deque()
+            outstanding, self._handles = list(self._handles), set()
+        for handle, out_fd, err_fd in pending:
+            for fd in (out_fd, err_fd):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        for handle in outstanding:
+            if not handle.done:
+                handle._finish(127)
+        try:
+            self._sel.unregister(self._wake_r)
+        except (KeyError, ValueError):
+            pass
+        self._sel.close()
+        for fd in (self._wake_r, self._wake_w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass

@@ -112,6 +112,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    help="directory for per-job stdout/stderr trees")
     p.add_argument("-u", "--ungroup", action="store_true",
                    help="stream output unbuffered")
+    p.add_argument("--linebuffer", "--lb", action="store_true",
+                   dest="linebuffer",
+                   help="stream each job's output line-by-line as it is "
+                        "produced (lines from different jobs may interleave)")
+    # Engine extension: which process-spawn implementation the local
+    # backend uses (posix_spawn fast path vs. subprocess.Popen).
+    p.add_argument("--spawn-path", default="auto", dest="spawn_path",
+                   choices=("auto", "posix", "popen"),
+                   help="local process-spawn path: auto (default; posix_spawn "
+                        "where supported), posix, or popen")
     p.add_argument("--link", action="store_true",
                    help="link (zip) input sources instead of crossing them")
     p.add_argument("--wd", "--workdir", dest="workdir", default=None,
@@ -232,6 +242,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             link=ns.link,
             workdir=ns.workdir,
             nice=ns.nice,
+            spawn_path=ns.spawn_path,
+            linebuffer=ns.linebuffer,
             colsep=ns.colsep,
             max_load=ns.max_load,
             memfree=ns.memfree,

@@ -35,6 +35,7 @@ from repro.errors import InputSourceError
 
 __all__ = [
     "ArgGroup",
+    "ceil_div",
     "from_items",
     "from_file",
     "combine",
@@ -45,6 +46,17 @@ __all__ = [
 ]
 
 ArgGroup = tuple[str, ...]
+
+
+def ceil_div(n: int, d: int) -> int:
+    """``ceil(n / d)`` in exact integer arithmetic.
+
+    The one shared spelling for every "how many groups of ``d`` cover
+    ``n``" computation — ``-n/--max-args`` job totals, ``-j N%`` slot
+    counts — so the short-final-group rounding cannot drift between call
+    sites.
+    """
+    return -(-n // d)
 
 
 def _coerce(value: object) -> str:

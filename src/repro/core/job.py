@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 __all__ = ["JobState", "Job", "JobResult", "RunSummary"]
 
@@ -36,6 +36,12 @@ class Job:
     #: Earliest wall-clock time this job may be (re)dispatched; set by the
     #: ``--retry-delay`` backoff when a failed attempt is re-queued.
     eligible_at: float = 0.0
+    #: ``--linebuffer``: incremental stdout emitter installed per dispatch
+    #: by the scheduler; capable backends call it with complete-line
+    #: chunks as the job runs (None = buffer until completion).
+    stream: "Callable[[str], None] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,8 @@ bookkeeping flags (joblog/resume/results) any production use needs:
 ``--tag``/``--tagstring``, ``--shuf``, ``--joblog``, ``--resume``,
 ``--resume-failed``, ``--results``, ``--ungroup``, ``--link``,
 ``--colsep``, ``--load`` (dispatch throttling on system load),
-``--nice`` (applied on POSIX), ``--wd``.
+``--nice`` (applied on POSIX), ``--wd``, ``--linebuffer``, plus the
+engine-specific ``--spawn-path`` selecting the local process-spawn path.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from repro.core.inputs import ceil_div
 from repro.errors import OptionsError
 
 __all__ = [
@@ -61,7 +63,7 @@ def parse_jobs(spec: Union[int, str], cores: Optional[int] = None) -> int:
             pct = int(text[:-1])
             if pct <= 0:
                 raise OptionsError(f"--jobs percentage must be > 0: {spec!r}")
-            return max(1, -(-cores * pct // 100))  # ceil division
+            return max(1, ceil_div(cores * pct, 100))
         if not text.isdigit():
             raise ValueError(text)
         value = int(text)
@@ -212,6 +214,17 @@ class Options:
     link: bool = False
     #: Working directory for jobs (``--wd``).
     workdir: Optional[str] = None
+    #: Process-spawn path for the local backend (``--spawn-path``):
+    #: ``"auto"`` (posix_spawn fast path when supported, Popen otherwise),
+    #: ``"posix"`` (prefer posix_spawn; hard-unsupported combinations such
+    #: as ``--wd`` still fall back), ``"popen"`` (always Popen).
+    spawn_path: str = "auto"
+    #: Stream each job's stdout line-by-line as it is produced instead of
+    #: buffering until the job finishes (``--linebuffer``).  Lines from
+    #: different jobs may interleave, but never within a line.  With
+    #: ``--keep-order`` or on the Popen spawn path output stays
+    #: whole-job-buffered (a documented approximation).
+    linebuffer: bool = False
     #: POSIX niceness applied to spawned processes (``--nice``).
     nice: Optional[int] = None
     #: Extra environment variables exported to every job (``--env`` analog).
@@ -330,6 +343,10 @@ class Options:
             )
         if self.ban_after < 1:
             raise OptionsError(f"ban_after must be >= 1, got {self.ban_after}")
+        if self.spawn_path not in ("auto", "posix", "popen"):
+            raise OptionsError(
+                f"--spawn-path must be auto, posix or popen, got {self.spawn_path!r}"
+            )
         if not self.remote:
             staging_flags = [
                 name

@@ -9,10 +9,11 @@ both the real and simulated schedulers share it.
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 from typing import Callable, Optional
 
-from repro.core.job import JobResult
+from repro.core.job import Job, JobResult, JobState
 from repro.core.options import Options
 from repro.core.template import CommandTemplate
 
@@ -27,6 +28,23 @@ def _tag_template(tagstring: str) -> CommandTemplate:
     return CommandTemplate(tagstring, implicit_append=False)
 
 
+def _render_tag(
+    args: tuple[str, ...], seq: int, slot: int, options: Options
+) -> Optional[str]:
+    """The ``--tag``/``--tagstring`` line prefix for one job (None = untagged)."""
+    if not options.tag:
+        return None
+    if options.tagstring:
+        return _tag_template(options.tagstring).render(args, seq=seq, slot=slot)
+    return "\t".join(args)
+
+
+def _tag_lines(text: str, tag: str) -> str:
+    return "".join(
+        f"{tag}\t{line}" for line in text.splitlines(keepends=True)
+    )
+
+
 def format_output(result: JobResult, options: Options) -> str:
     """Render one job's stdout per the tagging options.
 
@@ -34,18 +52,12 @@ def format_output(result: JobResult, options: Options) -> str:
     ``--tagstring`` uses a replacement-string template instead.
     """
     text = result.stdout
-    if not options.tag:
+    tag = _render_tag(result.args, result.seq, result.slot, options)
+    if tag is None:
         return text
-    if options.tagstring:
-        tag = _tag_template(options.tagstring).render(
-            result.args, seq=result.seq, slot=result.slot
-        )
-    else:
-        tag = "\t".join(result.args)
     if not text:
         return ""
-    lines = text.splitlines(keepends=True)
-    return "".join(f"{tag}\t{line}" for line in lines)
+    return _tag_lines(text, tag)
 
 
 class OutputSequencer:
@@ -69,6 +81,45 @@ class OutputSequencer:
         self._next_seq = 1
         self._held: dict[int, JobResult] = {}
         self._skipped: set[int] = set()
+        #: Sequence numbers whose stdout already went out incrementally
+        #: (``--linebuffer`` streaming); their push suppresses the buffered
+        #: re-emission.  Guarded by ``_emit_lock`` — stream callbacks run
+        #: on a backend reaper thread, pushes on the scheduler thread.
+        self._streamed: set[int] = set()
+        self._emit_lock = threading.Lock()
+
+    def stream_for(self, job: Job, slot: int = 0) -> Optional[Callable[[str], None]]:
+        """An incremental stdout emitter for one dispatched job, or None.
+
+        Streaming engages only when it cannot violate ordering guarantees:
+        ``--linebuffer`` without ``--keep-order`` (with ``-k`` output stays
+        whole-job-buffered, GNU Parallel's ``--group`` approximation).  The
+        returned callback receives complete-line text chunks as the job
+        produces them — safe to call from a backend's reaper thread; tags
+        are applied per line, and the job's buffered stdout is suppressed
+        when its result is eventually pushed.
+        """
+        if not self._options.linebuffer or self._keep:
+            return None
+        tag = _render_tag(job.args, job.seq, slot, self._options)
+        #: A stand-in result for mid-job emission: emit callbacks receive
+        #: it instead of the (not-yet-existing) final JobResult.
+        partial = JobResult(
+            seq=job.seq, args=job.args, command=job.command,
+            exit_code=0, slot=slot, state=JobState.RUNNING,
+        )
+        seq = job.seq
+
+        def stream(text: str) -> None:
+            if not text:
+                return
+            if tag is not None:
+                text = _tag_lines(text, tag)
+            with self._emit_lock:
+                self._streamed.add(seq)
+                self._emit(partial, text)
+
+        return stream
 
     def skip(self, seq: int) -> None:
         """Declare a sequence number that will never produce output."""
@@ -79,7 +130,12 @@ class OutputSequencer:
     def push(self, result: JobResult) -> None:
         """Offer one finished job's result for emission."""
         if not self._keep:
-            self._emit(result, format_output(result, self._options))
+            streamed = result.seq in self._streamed
+            if streamed:
+                self._streamed.discard(result.seq)
+            text = "" if streamed else format_output(result, self._options)
+            with self._emit_lock:
+                self._emit(result, text)
             return
         self._held[result.seq] = result
         self._flush()

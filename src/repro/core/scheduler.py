@@ -41,7 +41,7 @@ import time
 from typing import Callable, Iterable, Iterator, Optional
 
 from repro.core.backends.base import Backend
-from repro.core.inputs import ArgGroup, normalize, shuffled
+from repro.core.inputs import ArgGroup, ceil_div, normalize, shuffled
 from repro.core.job import Job, JobResult, JobState, RunSummary
 from repro.core.joblog import JoblogWriter, completed_seqs
 from repro.core.options import Options
@@ -244,7 +244,10 @@ def run_scheduler(
 
         groups = group_args(groups, options.max_args)
         if known_total is not None:
-            known_total = -(-known_total // options.max_args)  # ceil
+            # N inputs packed -n K per job → ceil(N / K) jobs; a plain
+            # floor here under-counted the short final group, skewing
+            # --eta/--bar totals (and HaltTracker percentages).
+            known_total = ceil_div(known_total, options.max_args)
 
     jobs_cap = options.effective_jobs(known_total) if options.jobs == 0 else options.jobs
     slots = SlotPool(jobs_cap)
@@ -258,15 +261,19 @@ def run_scheduler(
     if tracer is None and (options.trace or options.metrics):
         tracer = RunTracer.from_options(options)
 
-    # Per-run backend setup: merged environments, process pools — every
-    # per-job-invariant cost a backend can hoist off the hot path.
-    prepare_run = getattr(backend, "prepare_run", None)
-    if prepare_run is not None:
-        prepare_run(options)
+    # The tracer binds before prepare_run so per-run setup work the
+    # backend does there (e.g. opening persistent remote channels) is
+    # itself traced — channel_open spans land in the Chrome trace.
     if tracer is not None:
         bind_tracer = getattr(backend, "bind_tracer", None)
         if bind_tracer is not None:
             bind_tracer(tracer)
+    # Per-run backend setup: merged environments, process pools, remote
+    # control channels — every per-job-invariant cost a backend can hoist
+    # off the hot path.
+    prepare_run = getattr(backend, "prepare_run", None)
+    if prepare_run is not None:
+        prepare_run(options)
 
     joblog: Optional[JoblogWriter] = None
     skip: set[int] = set()
@@ -536,6 +543,8 @@ def run_scheduler(
                 job.stdin_data = job.args[0]
                 job.args = (f"<block {job.seq}>",)
             job.command = describe(job.args, job.seq, slot)
+            if options.linebuffer:
+                job.stream = sequencer.stream_for(job, slot)
             job.state = JobState.RUNNING
             last_dispatch = time.time()
             summary.n_dispatched += 1

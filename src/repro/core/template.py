@@ -110,6 +110,51 @@ def render_token(
     return _apply_op(args[index], token.op)
 
 
+def _compile_token(token: _Token):
+    """One token → one render closure ``(args, seq, slot, host) -> str``.
+
+    All per-token decisions (positional index, path operation, seq/slot
+    kind) are taken here, once per template, so per-render work is a
+    plain call.  Out-of-range positionals surface as IndexError — the
+    caller falls back to the checked path for the precise TemplateError.
+    """
+    op = token.op
+    if op == "#":
+        return lambda args, seq, slot, host: str(seq)
+    if op == "%":
+        return lambda args, seq, slot, host: str(slot)
+    if op == "host":
+        return lambda args, seq, slot, host: host if host is not None else "{host}"
+    pos = token.pos
+    if pos is not None:
+        index = pos - 1
+        if index < 0:
+
+            def bad(args, seq, slot, host, pos=pos):
+                raise TemplateError(
+                    f"replacement {{{pos}}} out of range for "
+                    f"{len(args)} input source(s)"
+                )
+
+            return bad
+        if op == "":
+            return lambda args, seq, slot, host, i=index: args[i]
+        return lambda args, seq, slot, host, i=index, op=op: _apply_op(args[i], op)
+    if op == "":
+
+        def whole(args, seq, slot, host):
+            return args[0] if len(args) == 1 else " ".join(args)
+
+        return whole
+
+    def whole_op(args, seq, slot, host, op=op):
+        if len(args) == 1:
+            return _apply_op(args[0], op)
+        return " ".join(_apply_op(a, op) for a in args)
+
+    return whole_op
+
+
 class CommandTemplate:
     """A parsed command template, renderable per job.
 
@@ -148,11 +193,14 @@ class CommandTemplate:
     def _compile(self) -> None:
         """Precompile the render plan (rendering is the per-job hot path).
 
-        String mode compiles to a ``%``-format string plus the ordered
-        token tuple, so each render is one C-level interpolation instead
-        of a Python-level piece walk.  A template with no tokens at all
-        renders to a cached constant.  Argv mode precomputes which words
-        are static so only token-bearing words are re-rendered per job.
+        String mode compiles to a ``%``-format string plus one closure per
+        token, so an unquoted render is one list comprehension over
+        argument-free-as-possible callables and one C-level interpolation
+        — no per-render token dispatch (the branch chain the per-token
+        ``op`` tests used to cost, measurable at bench_template scale).
+        A template with no tokens at all renders to a cached constant.
+        Argv mode precomputes which words are static so only token-bearing
+        words are re-rendered per job.
         """
         self._tokens: tuple[_Token, ...] = tuple(
             p for p in self._pieces if isinstance(p, _Token)
@@ -165,12 +213,14 @@ class CommandTemplate:
                 for word in self._argv_pieces
             ]
             self._fmt = ""
+            self._fns: tuple = ()
             self._static: str | None = None
         else:
             self._fmt = "".join(
                 "%s" if isinstance(p, _Token) else p.replace("%", "%%")
                 for p in self._pieces
             )
+            self._fns = tuple(_compile_token(t) for t in self._tokens)
             self._static = None if self._tokens else "".join(self._pieces)  # type: ignore[arg-type]
 
     @staticmethod
@@ -257,6 +307,17 @@ class CommandTemplate:
             return shlex.join(self.render_argv(args, seq, slot, host=host))
         if self._static is not None:
             return self._static
+        if not quote:
+            # The hot path: one closure call per token, one C-level
+            # interpolation.  An out-of-range positional raises IndexError
+            # here; fall through to the checked loop below, which re-walks
+            # the tokens and raises the precise TemplateError.
+            try:
+                return self._fmt % tuple(
+                    [f(args, seq, slot, host) for f in self._fns]
+                )
+            except IndexError:
+                pass
         single = len(args) == 1
         values: list[str] = []
         for token in self._tokens:

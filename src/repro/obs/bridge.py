@@ -69,12 +69,15 @@ def load_trace(path: str) -> dict:
 
 
 def intervals_from_trace(path: str) -> "tuple[list[float], list[float]]":
-    """(starts, ends) in seconds of every complete ("X") event in a trace."""
+    """(starts, ends) in seconds of every job-attempt ("X", cat ``job``)
+    event in a trace.  Backend overhead spans (spawn/reap/channel_open)
+    are complete events too, but carry cat ``backend`` — they are
+    instrumentation, not attempts, and must not skew the profile."""
     doc = load_trace(path)
     starts: list[float] = []
     ends: list[float] = []
     for event in doc.get("traceEvents", []):
-        if event.get("ph") == "X":
+        if event.get("ph") == "X" and event.get("cat", "job") == "job":
             ts = float(event["ts"]) / 1e6
             starts.append(ts)
             ends.append(ts + float(event["dur"]) / 1e6)

@@ -23,8 +23,10 @@ class EventKind:
                   → RETRY_QUEUED (back to SLOT_ACQUIRED) | FINISHED
 
     plus ``INSTANT`` point events from backends (process spawned, process
-    group killed, fault injected), ``METRICS`` gauge samples from the
-    sampler, and ``RUN_META`` / ``RUN_END`` bracketing the run.
+    group killed, fault injected), ``SPAN`` duration events from backends
+    (spawn/reap/channel_open intervals, rendered as complete "X" slices
+    in Chrome traces), ``METRICS`` gauge samples from the sampler, and
+    ``RUN_META`` / ``RUN_END`` bracketing the run.
     """
 
     SUBMITTED = "submitted"
@@ -34,6 +36,7 @@ class EventKind:
     RETRY_QUEUED = "retry_queued"
     FINISHED = "finished"
     INSTANT = "instant"
+    SPAN = "span"
     METRICS = "metrics"
     RUN_META = "run_meta"
     RUN_END = "run_end"

@@ -132,7 +132,7 @@ class ChromeTraceSink:
     #: never constructs) everything else on the per-job hot path.
     kinds = frozenset({
         EventKind.FINISHED, EventKind.RETRY_QUEUED, EventKind.METRICS,
-        EventKind.INSTANT, EventKind.RUN_META,
+        EventKind.INSTANT, EventKind.SPAN, EventKind.RUN_META,
     })
 
     def __init__(self, path: str, pid: int = 0, node: str = ""):
@@ -184,6 +184,19 @@ class ChromeTraceSink:
                     for k, v in (event.data or {}).items()
                     if isinstance(v, (int, float)) and k != "ts"
                 },
+            }
+        if kind == EventKind.SPAN:
+            data = dict(event.data or {})
+            dur = data.pop("dur", 0.0)
+            return {
+                "ph": "X",
+                "name": event.name,
+                "cat": "backend",
+                "pid": self.pid,
+                "tid": event.slot,
+                "ts": _us(event.ts),
+                "dur": max(0.0, _us(dur) if dur else 0.0),
+                "args": {"seq": event.seq, **data},
             }
         if kind == EventKind.INSTANT:
             return {

@@ -268,6 +268,32 @@ class RunTracer:
             )
         )
 
+    def span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        seq: int = 0,
+        slot: int = 0,
+        **data: object,
+    ) -> None:
+        """Record a completed duration, e.g. ``spawn``/``reap``/``channel_open``.
+
+        Unlike lifecycle events (folded into job spans), these are
+        backend-internal intervals: they pass straight through to sinks
+        and render as complete "X" slices in Chrome traces, making the
+        dispatch overhead breakdown visible per job.
+        """
+        if not self.bus.wants(EventKind.SPAN):
+            return
+        self._publish(
+            Event(
+                start, EventKind.SPAN,
+                seq=seq, slot=slot, node=self.node, name=name,
+                data={"dur": max(0.0, end - start), **data},
+            )
+        )
+
     # -- metrics -------------------------------------------------------------
     def sample(self, now: Optional[float] = None) -> MetricsSample:
         """Snapshot the bound gauges and update the throughput EWMA."""

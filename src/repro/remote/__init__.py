@@ -28,9 +28,16 @@ from repro.remote.hosts import (
     parse_sshloginfile,
 )
 from repro.remote.staging import StagingPolicy
-from repro.remote.transport import ExecResult, LocalTransport, SimTransport, Transport
+from repro.remote.transport import (
+    Channel,
+    ExecResult,
+    LocalTransport,
+    SimTransport,
+    Transport,
+)
 
 __all__ = [
+    "Channel",
     "RemoteBackend",
     "HostSpec",
     "HostLease",

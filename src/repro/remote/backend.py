@@ -39,7 +39,7 @@ from repro.core.template import CommandTemplate
 from repro.errors import StagingError, TransportError
 from repro.remote.hosts import HostLease, HostPool, HostSpec, hosts_from_options
 from repro.remote.staging import StagingPolicy
-from repro.remote.transport import Transport
+from repro.remote.transport import Channel, Transport
 
 __all__ = ["RemoteBackend"]
 
@@ -66,6 +66,11 @@ class RemoteBackend(Backend):
         self._workdirs: dict[str, str] = {}
         self._wd_lock = threading.Lock()
         self._cancelled = threading.Event()
+        #: One persistent control channel per host, opened at run start
+        #: (prepare_run) so per-job cost is message passing, not session
+        #: re-establishment.
+        self._channels: dict[str, Channel] = {}
+        self._chan_lock = threading.Lock()
 
     @classmethod
     def from_options(
@@ -100,6 +105,36 @@ class RemoteBackend(Backend):
         with self._wd_lock:
             self._workdirs = {}
         self._cancelled = threading.Event()
+        # Open every host's control channel up front: the connect cost
+        # lands here, once per host per run, instead of on the per-job
+        # path — the ssh ControlMaster pattern GNU Parallel leans on.
+        self._close_channels()
+        for host in self._hosts:
+            self._open_channel(host)
+
+    def _open_channel(self, host: HostSpec) -> Channel:
+        t0 = time.time()
+        channel = self.transport.open_channel(host)
+        if self._tracer is not None:
+            self._tracer.span("channel_open", t0, time.time(), host=host.name)
+        with self._chan_lock:
+            self._channels[host.name] = channel
+        return channel
+
+    def _channel_for(self, host: HostSpec) -> Channel:
+        # Direct run_job callers (tests, wrappers) may skip prepare_run;
+        # open the host's channel lazily on first use.
+        with self._chan_lock:
+            channel = self._channels.get(host.name)
+        if channel is not None:
+            return channel
+        return self._open_channel(host)
+
+    def _close_channels(self) -> None:
+        with self._chan_lock:
+            channels, self._channels = list(self._channels.values()), {}
+        for channel in channels:
+            channel.close()
 
     def _staging_for(self, options: Options) -> StagingPolicy:
         # Direct run_job callers (tests, wrappers) may skip prepare_run;
@@ -127,6 +162,7 @@ class RemoteBackend(Backend):
 
     def close(self) -> None:
         self.pool.abort()
+        self._close_channels()
         self.transport.close()
 
     # -- per-job path --------------------------------------------------------
@@ -190,6 +226,9 @@ class RemoteBackend(Backend):
         host = lease.host
         staging = self._staging_for(options)
         workdir = self._workdir_for(host)
+        # The host's persistent channel mirrors the transport signatures,
+        # so staging and execution below drive it unchanged.
+        channel = self._channel_for(host)
         command = job.command
         if self.template is not None:
             # The scheduler rendered with its global slot; the per-host
@@ -205,9 +244,9 @@ class RemoteBackend(Backend):
         stage = staging.active and not host.is_local
         staged: list[str] = []
         if stage:
-            staging.stage_basefiles(self.transport, host, workdir)
-            staged = staging.stage_in(self.transport, host, job, lease.slot, workdir)
-        res = self.transport.execute(
+            staging.stage_basefiles(channel, host, workdir)
+            staged = staging.stage_in(channel, host, job, lease.slot, workdir)
+        res = channel.execute(
             host, command,
             workdir=workdir,
             stdin=job.stdin_data,
@@ -224,11 +263,11 @@ class RemoteBackend(Backend):
         if stage:
             try:
                 fetched = staging.stage_out(
-                    self.transport, host, job, lease.slot, workdir, job_ok=job_ok
+                    channel, host, job, lease.slot, workdir, job_ok=job_ok
                 )
             finally:
                 staging.cleanup_remote(
-                    self.transport, host, staged + fetched, workdir
+                    channel, host, staged + fetched, workdir
                 )
         if res.timed_out:
             state = JobState.TIMED_OUT

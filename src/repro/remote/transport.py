@@ -25,10 +25,24 @@ Two implementations:
     :class:`~repro.sim.netmodel.NetModel`, with deterministic per-host
     jitter streams.  Lets placement/health logic and multi-host scaling
     studies run at memory speed.
+
+Persistent channels
+-------------------
+
+:meth:`Transport.open_channel` returns a :class:`Channel` — one
+long-lived control session per host, opened once per run by the remote
+backend.  A channel keeps every Transport method signature (including
+the ``host`` parameter), so staging code drives a channel and a bare
+transport interchangeably; what changes is the cost model: per-host
+session state (merged environment, spawn machinery, simulated connect
+latency) is paid at :meth:`~Transport.open_channel` instead of per job.
+The base :class:`Channel` simply delegates to its transport — wrapper
+transports (fault injection) inherit that and keep intercepting.
 """
 
 from __future__ import annotations
 
+import locale
 import os
 import shutil
 import signal
@@ -40,13 +54,21 @@ import uuid
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.core.backends.reaper import PipeReaper
+from repro.core.backends.spawn import SpawnLauncher, spawn_supported, wrap_chdir
 from repro.core.options import TMPDIR_WORKDIR
 from repro.errors import StagingError, TransportError
 from repro.remote.hosts import HostSpec
 from repro.sim.netmodel import NetModel
 from repro.storage.transfer import copy_file, remove_files
 
-__all__ = ["ExecResult", "Transport", "LocalTransport", "SimTransport"]
+__all__ = [
+    "Channel",
+    "ExecResult",
+    "Transport",
+    "LocalTransport",
+    "SimTransport",
+]
 
 
 @dataclass(frozen=True)
@@ -107,6 +129,61 @@ class Transport:
     def close(self) -> None:
         """Release transport resources (per-run tempdirs, process tables)."""
 
+    def open_channel(self, host: HostSpec) -> "Channel":
+        """Open one persistent control channel to ``host``.
+
+        Called once per host at run start by the remote backend; every
+        per-job operation then goes through the channel.  The default is
+        a transparent delegator — transports with amortizable per-host
+        session cost override this.
+        """
+        return Channel(self, host)
+
+
+class Channel:
+    """A persistent per-host control session on a :class:`Transport`.
+
+    Method signatures mirror the transport's (``host`` included) so
+    staging policies drive either without caring which they hold; the
+    bound ``host`` is authoritative — the parameter is accepted for
+    signature compatibility and ignored.  This base class delegates
+    verbatim (correct for wrapper transports such as fault injectors,
+    whose interception must stay on the path); subclasses amortize.
+    """
+
+    def __init__(self, transport: Transport, host: HostSpec):
+        self.transport = transport
+        self.host = host
+
+    def execute(
+        self,
+        host: HostSpec,
+        command: str,
+        *,
+        workdir: str,
+        stdin: Optional[str] = None,
+        env: Optional[dict[str, str]] = None,
+        timeout: Optional[float] = None,
+        seq: int = 0,
+        attempt: int = 1,
+    ) -> ExecResult:
+        return self.transport.execute(
+            self.host, command, workdir=workdir, stdin=stdin, env=env,
+            timeout=timeout, seq=seq, attempt=attempt,
+        )
+
+    def put(self, host: HostSpec, src: str, relpath: str, workdir: str) -> int:
+        return self.transport.put(self.host, src, relpath, workdir)
+
+    def get(self, host: HostSpec, relpath: str, dest: str, workdir: str) -> int:
+        return self.transport.get(self.host, relpath, dest, workdir)
+
+    def remove(self, host: HostSpec, relpaths: list[str], workdir: str) -> int:
+        return self.transport.remove(self.host, relpaths, workdir)
+
+    def close(self) -> None:
+        """Release channel-held session state (the transport stays open)."""
+
 
 def _host_dirname(host: HostSpec) -> str:
     """A filesystem-safe directory name for a host's fake root."""
@@ -128,10 +205,35 @@ class LocalTransport(Transport):
         self._root = root
         self._own_root = root is None
         self._run_id = uuid.uuid4().hex[:8]
-        self._procs: dict[int, subprocess.Popen] = {}
+        #: In-flight process pids (Popen path and channel spawn path both
+        #: register here so ``cancel_all`` covers everything).
+        self._procs: dict[int, object] = {}
         self._lock = threading.Lock()
         self._cancelled = threading.Event()
         self._tmp_workdirs: list[str] = []
+        #: Shared pipe reaper serving every channel's spawn path; created
+        #: lazily, replaced if a previous run closed it.
+        self._reaper: Optional[PipeReaper] = None
+
+    def open_channel(self, host: HostSpec) -> "Channel":
+        """A persistent session: env merged once, posix_spawn + shared reaper."""
+        return _LocalChannel(self, host)
+
+    def _reaper_for(self) -> PipeReaper:
+        with self._lock:
+            if self._reaper is None or self._reaper.closed or not self._reaper.alive:
+                self._reaper = PipeReaper()
+            return self._reaper
+
+    def _track(self, pid: int) -> bool:
+        """Register an in-flight pid; returns True when a cancel raced in."""
+        with self._lock:
+            self._procs[pid] = pid
+            return self._cancelled.is_set()
+
+    def _untrack(self, pid: int) -> None:
+        with self._lock:
+            self._procs.pop(pid, None)
 
     # -- roots and workdirs ------------------------------------------------
     def _ensure_root(self) -> str:
@@ -206,22 +308,18 @@ class LocalTransport(Transport):
             raise TransportError(
                 f"spawn failed on {host.name!r}: {exc}", phase="execute"
             ) from None
-        with self._lock:
-            self._procs[proc.pid] = proc
-            cancelled = self._cancelled.is_set()
-        if cancelled:
-            self._kill_group(proc)
+        if self._track(proc.pid):
+            self._kill_group(proc.pid)
         timed_out = False
         try:
             try:
                 stdout, stderr = proc.communicate(input=stdin, timeout=timeout)
             except subprocess.TimeoutExpired:
-                self._kill_group(proc)
+                self._kill_group(proc.pid)
                 stdout, stderr = proc.communicate()
                 timed_out = True
         finally:
-            with self._lock:
-                self._procs.pop(proc.pid, None)
+            self._untrack(proc.pid)
         return ExecResult(
             exit_code=proc.returncode,
             stdout=stdout,
@@ -262,17 +360,17 @@ class LocalTransport(Transport):
     def cancel_all(self) -> None:
         self._cancelled.set()
         with self._lock:
-            procs = list(self._procs.values())
-        for proc in procs:
-            self._kill_group(proc)
+            pids = list(self._procs)
+        for pid in pids:
+            self._kill_group(pid)
 
     @staticmethod
-    def _kill_group(proc: subprocess.Popen) -> None:
+    def _kill_group(pid: int) -> None:
         try:
             if os.name == "posix":
-                os.killpg(proc.pid, signal.SIGTERM)
+                os.killpg(pid, signal.SIGTERM)
             else:  # pragma: no cover - non-posix fallback
-                proc.terminate()
+                os.kill(pid, signal.SIGTERM)
         except (ProcessLookupError, PermissionError):
             pass
 
@@ -283,11 +381,124 @@ class LocalTransport(Transport):
             root, own = self._root, self._own_root
             if own:
                 self._root = None
+            reaper, self._reaper = self._reaper, None
+        if reaper is not None:
+            reaper.close()
         for path in tmp_workdirs:
             shutil.rmtree(path, ignore_errors=True)
         if own and root is not None:
             shutil.rmtree(root, ignore_errors=True)
         self._cancelled = threading.Event()
+
+
+class _LocalChannel(Channel):
+    """A persistent local "ssh session": the per-job costs a real control
+    master amortizes — environment assembly, connection/session setup —
+    are paid once here, and per-job execution takes the posix_spawn +
+    shared-reaper fast path (``cd`` is done by the spawned shell, since
+    ``posix_spawn`` has no working-directory attribute).
+
+    Falls back to the transport's Popen path per call when the job needs
+    stdin (``--pipe``), the platform lacks posix_spawn support, or the
+    shared reaper has failed.
+    """
+
+    def __init__(self, transport: "LocalTransport", host: HostSpec):
+        super().__init__(transport, host)
+        self._launcher: Optional[SpawnLauncher] = None
+        #: The ``env`` mapping the launcher's merged vector was built from
+        #: (compared with ``is`` — it is per-run constant ``options.env``).
+        self._env_src: Optional[dict[str, str]] = None
+        self._encoding = locale.getpreferredencoding(False)
+
+    def _launcher_for(self, env: Optional[dict[str, str]]) -> SpawnLauncher:
+        if self._launcher is None or env is not self._env_src:
+            if self._launcher is not None:
+                self._launcher.close()
+            merged = None
+            if env:
+                merged = dict(os.environ)
+                merged.update(env)
+            self._launcher = SpawnLauncher(self.transport.shell, env=merged)
+            self._env_src = env
+        return self._launcher
+
+    def execute(
+        self,
+        host: HostSpec,
+        command: str,
+        *,
+        workdir: str,
+        stdin: Optional[str] = None,
+        env: Optional[dict[str, str]] = None,
+        timeout: Optional[float] = None,
+        seq: int = 0,
+        attempt: int = 1,
+    ) -> ExecResult:
+        transport = self.transport
+        if stdin is not None or not spawn_supported():
+            return super().execute(
+                host, command, workdir=workdir, stdin=stdin, env=env,
+                timeout=timeout, seq=seq, attempt=attempt,
+            )
+        if transport._cancelled.is_set():
+            return ExecResult(exit_code=-1, stderr="cancelled", timed_out=False)
+        reaper = transport._reaper_for()
+        launcher = self._launcher_for(env)
+        start = time.time()
+        try:
+            pid, out_r, err_r = launcher.spawn(wrap_chdir(workdir, command))
+        except OSError as exc:
+            raise TransportError(
+                f"spawn failed on {self.host.name!r}: {exc}", phase="execute"
+            ) from None
+        try:
+            handle = reaper.register(pid, out_r, err_r, encoding=self._encoding)
+        except RuntimeError:
+            # The reaper closed under us; the process already started, so
+            # collect it inline rather than re-running its side effects.
+            os.close(out_r)
+            os.close(err_r)
+            _, status = os.waitpid(pid, 0)
+            return ExecResult(
+                exit_code=os.waitstatus_to_exitcode(status),
+                stderr="reaper shut down mid-run",
+                duration=time.time() - start,
+            )
+        if transport._track(pid):
+            transport._kill_group(pid)
+        timed_out = False
+        try:
+            if not handle.wait(timeout):
+                transport._kill_group(pid)
+                handle.wait()
+                timed_out = True
+        finally:
+            transport._untrack(pid)
+        stdout = _decode_universal(bytes(handle.stdout_buf), self._encoding)
+        stderr = _decode_universal(bytes(handle.stderr_buf), self._encoding)
+        return ExecResult(
+            exit_code=handle.returncode if handle.returncode is not None else -1,
+            stdout=stdout,
+            stderr=stderr,
+            timed_out=timed_out,
+            duration=time.time() - start,
+        )
+
+    def close(self) -> None:
+        if self._launcher is not None:
+            self._launcher.close()
+            self._launcher = None
+            self._env_src = None
+
+
+def _decode_universal(data: bytes, encoding: str) -> str:
+    """Decode captured output with ``Popen(text=True)`` parity (strict
+    errors, universal newlines)."""
+    text = data.decode(encoding)
+    if "\r" in text:
+        text = text.replace("\r\n", "\n").replace("\r", "\n")
+    return text
 
 
 class SimTransport(Transport):
@@ -405,3 +616,49 @@ class SimTransport(Transport):
                     removed += 1
         self._advance(host, self.model.latency_s * len(relpaths))
         return removed
+
+    def open_channel(self, host: HostSpec) -> "Channel":
+        """A persistent session: connect latency charged once, here."""
+        return _SimChannel(self, host)
+
+
+class _SimChannel(Channel):
+    """Persistent simulated session: the :class:`NetModel` connect latency
+    is charged to the host's clock once at open; each execute then costs
+    only the job's runtime (jittered) — the cost model a long-lived ssh
+    control connection produces, and the contrast the multi-host scaling
+    experiments measure against the per-job-connect transport path.
+    """
+
+    def __init__(self, transport: "SimTransport", host: HostSpec):
+        super().__init__(transport, host)
+        transport._advance(host, transport.model.latency_s)
+
+    def execute(
+        self,
+        host: HostSpec,
+        command: str,
+        *,
+        workdir: str,
+        stdin: Optional[str] = None,
+        env: Optional[dict[str, str]] = None,
+        timeout: Optional[float] = None,
+        seq: int = 0,
+        attempt: int = 1,
+    ) -> ExecResult:
+        transport = self.transport
+        u = transport._jitter_u(self.host)
+        duration = transport.runtime_s * (1.0 + transport.model.jitter * u)
+        if timeout is not None and duration > timeout:
+            transport._advance(self.host, timeout)
+            return ExecResult(
+                exit_code=-1, timed_out=True, duration=timeout,
+                stderr=f"simulated timeout after {timeout:.4g}s",
+            )
+        transport._advance(self.host, duration)
+        with transport._lock:
+            transport.exec_log.append((self.host.name, command, seq))
+        exit_code, stdout = (
+            transport.handler(self.host, command) if transport.handler else (0, "")
+        )
+        return ExecResult(exit_code=exit_code, stdout=stdout, duration=duration)

@@ -48,9 +48,22 @@ def run_gnu_parallel(args, stdin=None, timeout=60):
     )
 
 
-@pytest.fixture
-def pyparallel():
-    return run_pyparallel
+#: Every conformance case runs once per spawn path: the posix_spawn fast
+#: path ("auto" resolves to it where supported) and the Popen reference
+#: path must be behaviourally indistinguishable at the CLI boundary.
+SPAWN_PATHS = ("auto", "popen")
+
+
+@pytest.fixture(params=SPAWN_PATHS)
+def pyparallel(request):
+    spawn_path = request.param
+
+    def run(args, stdin=None, timeout=60):
+        return run_pyparallel(
+            ["--spawn-path", spawn_path, *args], stdin=stdin, timeout=timeout
+        )
+
+    return run
 
 
 @pytest.fixture

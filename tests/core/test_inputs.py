@@ -138,3 +138,23 @@ def test_queue_source_close_idempotent():
     q.close()
     assert q.closed
     assert list(q) == []
+
+
+# --------------------------------------------------------------- ceil_div
+def test_ceil_div_exact_and_remainder():
+    from repro.core.inputs import ceil_div
+
+    assert ceil_div(6, 3) == 2
+    assert ceil_div(7, 3) == 3  # short final group still counts as a job
+    assert ceil_div(1, 5) == 1
+    assert ceil_div(0, 4) == 0
+
+
+def test_ceil_div_matches_float_ceil():
+    import math
+
+    from repro.core.inputs import ceil_div
+
+    for n in range(0, 50):
+        for d in range(1, 9):
+            assert ceil_div(n, d) == math.ceil(n / d)

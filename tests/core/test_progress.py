@@ -87,3 +87,16 @@ def test_engine_progress_with_bar_smoke():
                        progress=ProgressBar(out, min_interval=0)).run(range(8))
     assert summary.ok
     assert "8/8" in out.getvalue()
+
+
+def test_progress_total_with_max_args_short_final_group():
+    # 7 inputs packed -n 3 → jobs of 3+3+1: the total must be ceil(7/3)=3,
+    # not floor (3 jobs finishing against a total of 2 pushes --eta/--bar
+    # past 100%).
+    snapshots = []
+    p = Parallel("true # {}", jobs=2, max_args=3, progress=snapshots.append)
+    summary = p.run(range(7))
+    assert summary.ok
+    assert len(snapshots) == 3
+    assert all(s.total == 3 for s in snapshots)
+    assert snapshots[-1].fraction == 1.0

@@ -70,12 +70,33 @@ def test_trace_validates_against_chrome_schema(traced_run):
 def test_trace_has_one_complete_event_per_attempt(traced_run):
     tracer, summary, paths = traced_run
     doc = load_trace(paths["trace"])
-    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    # cat "job" = attempt slices; cat "backend" = spawn/reap overhead spans.
+    xs = [
+        e for e in doc["traceEvents"]
+        if e["ph"] == "X" and e.get("cat") == "job"
+    ]
     assert len(xs) == summary.n_dispatched
     retried = [e for e in xs if e["args"].get("retried")]
     assert len(retried) == summary.n_dispatched - len(summary.results)
     # tid is the slot: never outside the cap.
     assert all(1 <= e["tid"] <= 4 for e in xs)
+
+
+def test_trace_has_backend_overhead_spans(traced_run):
+    """Every real-subprocess attempt carries spawn and reap spans."""
+    _, summary, paths = traced_run
+    doc = load_trace(paths["trace"])
+    spans = [
+        e for e in doc["traceEvents"]
+        if e["ph"] == "X" and e.get("cat") == "backend"
+    ]
+    by_name: dict[str, int] = {}
+    for e in spans:
+        by_name[e["name"]] = by_name.get(e["name"], 0) + 1
+        assert e["dur"] >= 0
+        assert e["args"]["path"] in ("posix", "popen")
+    assert by_name.get("spawn") == summary.n_dispatched
+    assert by_name.get("reap") == summary.n_dispatched
 
 
 def test_trace_intervals_match_joblog_intervals(traced_run):
