@@ -34,11 +34,27 @@ def check(bench_file: str, label: str, thresholds_file: str,
     with open(thresholds_file, "r", encoding="utf-8") as fh:
         thresholds = json.load(fh)
 
+    cpus = int(doc[label].get("cpus") or 0)
     failures = []
     for name, spec in thresholds.items():
         if name.startswith("_"):
             continue
-        metric, floor = spec["metric"], float(spec["threshold"])
+        min_cpus = int(spec.get("min_cpus", 0))
+        if min_cpus and cpus and cpus < min_cpus:
+            # Concurrency-dependent floor (e.g. sharded dispatch needs a
+            # second core to beat one dispatcher): skip on small runners.
+            print(f"{name:<18s} skipped (needs >= {min_cpus} vCPUs, "
+                  f"runner has {cpus})")
+            continue
+        metric = spec["metric"]
+        relative = spec.get("relative_to")
+        if relative is not None:
+            # Floor expressed as a multiple of another threshold, so the
+            # pair ratchets together (e.g. sharded >= 1.5x single-path).
+            base = thresholds[relative["name"]]
+            floor = float(base["threshold"]) * float(relative["factor"])
+        else:
+            floor = float(spec["threshold"])
         entry = results.get(name)
         if entry is None:
             failures.append(f"{name}: missing from benchmark results")
@@ -46,7 +62,7 @@ def check(bench_file: str, label: str, thresholds_file: str,
         measured = float(entry[metric])
         limit = tolerance * floor
         verdict = "ok" if measured >= limit else "REGRESSION"
-        print(f"{name:<12s} {metric:<14s} measured {measured:12.1f}  "
+        print(f"{name:<18s} {metric:<14s} measured {measured:12.1f}  "
               f"floor {limit:12.1f} ({tolerance:.0%} of {floor:.0f})  {verdict}")
         if measured < limit:
             failures.append(

@@ -37,6 +37,16 @@ Both paths keep the kill-by-process-group contract (``--halt now``,
 ``--timeout``), ``--nice`` via post-spawn ``setpriority(PRIO_PGRP)``,
 output capture/ordering, and ``--tag``; the posix path additionally
 streams ``--linebuffer`` output line-by-line as it arrives.
+
+``--dispatchers N`` (N > 1) lifts both in-process paths onto the sharded
+:class:`~repro.core.backends.pool.DispatcherPool`: N worker processes
+each run a private launcher+reaper and the backend's ``run_job`` becomes
+a thin dispatch-and-wait over the shard pipe.  Result decoding, state
+mapping and everything above (sequencer, joblog, retries, halt) stay in
+this process, so sharded output is byte-identical to ``--dispatchers 1``.
+Unsupported combinations (``--wd``, ``--pipe``, ``--linebuffer``,
+non-POSIX) silently resolve to a single in-process dispatcher, and a pool
+whose every shard has died falls back to the in-process Popen path.
 """
 
 from __future__ import annotations
@@ -51,6 +61,7 @@ import threading
 import time
 
 from repro.core.backends.base import Backend
+from repro.core.backends.pool import DispatcherPool, pool_supported
 from repro.core.backends.reaper import PipeReaper
 from repro.core.backends.spawn import SpawnLauncher, spawn_supported
 from repro.core.job import Job, JobResult, JobState
@@ -94,6 +105,12 @@ class LocalShellBackend(Backend):
         self._launcher: SpawnLauncher | None = None
         self._reaper: PipeReaper | None = None
         self._use_spawn = False
+        #: Sharded dispatch state (``--dispatchers N``, N > 1): worker
+        #: processes each running a private launcher+reaper (see
+        #: ``repro.core.backends.pool``).
+        self._pool: DispatcherPool | None = None
+        self._dispatchers = 1
+        self._pool_posix = False
         self._encoding = locale.getpreferredencoding(False)
 
     def prepare_run(self, options: Options) -> None:
@@ -103,6 +120,40 @@ class LocalShellBackend(Backend):
 
     def _setup_spawn_path(self, options: Options) -> None:
         """Decide the spawn path for this run and build its machinery."""
+        n_disp = 1
+        if hasattr(options, "effective_dispatchers"):
+            n_disp = options.effective_dispatchers()
+        sharded = (
+            n_disp > 1
+            and pool_supported()
+            and options.workdir is None  # workers have no --wd plumbing
+            and not options.pipe_mode  # per-job stdin stays in-process
+            and not options.linebuffer  # line streaming stays in-process
+        )
+        if self._pool is not None:
+            # A previous run's pool: dispatcher count or options changed,
+            # or this run is unsharded — rebuild from scratch either way
+            # (worker env/shard count are baked in at start()).
+            self._pool.close()
+            self._pool = None
+        if sharded:
+            self._dispatchers = n_disp
+            self._pool_posix = (
+                getattr(options, "spawn_path", "auto") != "popen"
+                and spawn_supported()
+            )
+            self._use_spawn = False  # jobs go to workers, not in-process
+            self._pool = DispatcherPool(
+                n_disp,
+                shell=self.shell,
+                env=self._run_env,
+                use_posix=self._pool_posix,
+                nice=options.nice,
+                on_event=self._pool_event,
+            )
+            self._pool.start()
+            return
+        self._dispatchers = 1
         self._use_spawn = (
             getattr(options, "spawn_path", "auto") != "popen"
             and spawn_supported()
@@ -116,10 +167,22 @@ class LocalShellBackend(Backend):
             if self._reaper is None:
                 self._reaper = PipeReaper()
 
+    def _pool_event(self, name: str, shard: int, requeued: int) -> None:
+        """Pool fault hook → trace instant (``dispatcher_death`` etc.)."""
+        if self._tracer is not None:
+            self._tracer.instant(name, shard=shard, requeued=requeued)
+
     @property
     def spawn_path(self) -> str:
         """The path the current run resolved to (``"posix"``/``"popen"``)."""
+        if self._pool is not None:
+            return "posix" if self._pool_posix else "popen"
         return "posix" if self._use_spawn else "popen"
+
+    @property
+    def dispatchers(self) -> int:
+        """Dispatcher shard count the current run resolved to."""
+        return self._dispatchers if self._pool is not None else 1
 
     @staticmethod
     def _merged_env(options: Options) -> dict[str, str] | None:
@@ -157,6 +220,15 @@ class LocalShellBackend(Backend):
         env = self._env_for(options)
 
         if (
+            self._pool is not None
+            and self._pool.alive
+            and job.stdin_data is None
+        ):
+            # Sharded dispatch.  A pool whose every shard has died drops
+            # through to the in-process Popen path — the last rung of the
+            # fallback ladder keeps the run completing on this thread.
+            return self._run_job_sharded(job, slot, options, timeout)
+        if (
             self._use_spawn
             and job.stdin_data is None
             and self._reaper is not None
@@ -164,6 +236,55 @@ class LocalShellBackend(Backend):
         ):
             return self._run_job_spawn(job, slot, options, timeout)
         return self._run_job_popen(job, slot, options, timeout, env)
+
+    # -- sharded dispatch path ------------------------------------------------
+    def _run_job_sharded(
+        self, job: Job, slot: int, options: Options, timeout: float | None
+    ) -> JobResult:
+        pool = self._pool
+        assert pool is not None
+        start = time.time()
+        reply = pool.run(job.command, timeout=timeout, cancelled=self._cancelled)
+        end = time.time()
+        if reply.kind == "lost":
+            # Every shard died with this job in flight: the loss is an
+            # infrastructure fault, not a job outcome.  Re-run in-process
+            # on the Popen rung — the same at-least-once re-execution
+            # contract the cross-shard re-queue already gives.
+            return self._run_job_popen(
+                job, slot, options, timeout, self._run_env
+            )
+        if reply.kind != "done":
+            # "err": the worker's spawn itself failed (exit 127, same
+            # contract as the in-process spawn-failure arm).
+            message = reply.stderr.decode(self._encoding, errors="replace")
+            return self._result(
+                job, slot, 127, "", message, start, end, JobState.FAILED
+            )
+        if self._tracer is not None:
+            # One span per job on the worker's timeline: lane k+1 groups
+            # each shard's jobs under its own pid row in the Chrome trace
+            # (lane 0 is the scheduler process itself).
+            self._tracer.span(
+                "spawn", reply.start, reply.start + reply.spawn_dur,
+                seq=job.seq, slot=slot, path=self.spawn_path, pid=reply.pid,
+                shard=reply.shard, lane=reply.shard + 1,
+                lane_name=f"dispatcher {reply.shard}",
+            )
+        stdout = _universal_newlines(reply.stdout.decode(self._encoding))
+        stderr = _universal_newlines(reply.stderr.decode(self._encoding))
+        if reply.timed_out:
+            state = JobState.TIMED_OUT
+        elif reply.returncode == 0:
+            state = JobState.SUCCEEDED
+        else:
+            state = JobState.FAILED
+        if self._cancelled.is_set() and state is JobState.FAILED:
+            state = JobState.KILLED
+        return self._result(
+            job, slot, reply.returncode, stdout, stderr,
+            reply.start or start, reply.end or end, state,
+        )
 
     # -- posix_spawn fast path ----------------------------------------------
     def _run_job_spawn(
@@ -341,6 +462,11 @@ class LocalShellBackend(Backend):
             self._tracer.instant("cancel_all", n_procs=len(pids))
         for pid in pids:
             self._kill_group(pid)
+        if self._pool is not None:
+            # Cancellation fan-out: each shard SIGTERMs every job group it
+            # owns (jobs mid-dispatch are covered by run_job's post-send
+            # cancelled check).
+            self._pool.kill_all()
 
     @staticmethod
     def _kill_group(pid: int) -> None:
@@ -363,6 +489,9 @@ class LocalShellBackend(Backend):
         if self._launcher is not None:
             self._launcher.close()
             self._launcher = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
         self._use_spawn = False
 
     def _result(

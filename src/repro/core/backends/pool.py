@@ -1,0 +1,548 @@
+"""DispatcherPool: N spawner worker processes fed from one sharded queue.
+
+The paper's Fig. 3 shows the launch-rate ceiling is a *single-dispatcher*
+phenomenon: one GNU Parallel instance forks at ~470 jobs/s while N
+concurrent instances reach ~6,400/s node-wide before the kernel's own
+fork bandwidth saturates.  Our posix_spawn path already sits at ~85% of
+the per-process ceiling (BENCH_pr5: 831 vs 993 jobs/s on 1 vCPU), so the
+next order of magnitude has to come from *parallel dispatchers* — this
+module is that decomposition.
+
+Architecture (``--dispatchers N``)::
+
+    scheduler (one) ── OutputSequencer / JoblogWriter / retries / halt
+        │
+        LocalShellBackend.run_job            (merge stays centralized)
+        │
+        DispatcherPool ── least-loaded shard pick, failover re-queue
+        ├── shard 0: worker process  [SpawnLauncher + PipeReaper(pidfd)]
+        ├── shard 1: worker process  [SpawnLauncher + PipeReaper(pidfd)]
+        └── shard k: ...
+
+    Each worker owns a private posix_spawn launcher and pidfd-driven
+    PipeReaper, so fork/exec + pipe collection run in N kernel task
+    contexts concurrently.  Results travel back over the shard's duplex
+    pipe and are delivered to the scheduler worker thread that submitted
+    the job — everything above ``run_job`` (``--keep-order`` sequencing,
+    ``--joblog`` rows, ``--tag`` prefixes, retries, ``--halt``) is the
+    *same code* as the single-dispatcher path, which is what makes the
+    cross-shard parity matrix byte-for-byte by construction.
+
+Fault model: a shard that dies mid-run (its pipe hits EOF, or a send
+fails) is marked dead and every job in flight on it is transparently
+re-dispatched to a surviving shard.  With no survivors, pending jobs
+complete as ``lost`` and the backend falls back to its in-process Popen
+path — same ladder shape as the reaper-death fallback.
+
+The pool deliberately does NOT own retries, ordering, or halt policy;
+those live in the scheduler.  It is a throughput device, not a scheduler.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["DispatcherPool", "PoolReply", "pool_supported"]
+
+#: Reply kinds a ``run()`` call can resolve to.
+DONE = "done"    #: job ran; exit status + captured bytes attached
+ERR = "err"      #: worker could not spawn it (message in ``stderr``)
+LOST = "lost"    #: shard died and no survivor could take the job
+
+
+def pool_supported() -> bool:
+    """True where sharded dispatch can run (POSIX fork/pipe semantics)."""
+    return os.name == "posix"
+
+
+@dataclass
+class PoolReply:
+    """Outcome of one pooled job, in worker-native (bytes) form.
+
+    Decoding to text happens in the backend with the *same* codec and
+    newline translation as the in-process paths — parity requires the
+    decode step to be shared, so the pool never decodes.
+    """
+
+    kind: str                 # DONE / ERR / LOST
+    returncode: int = -1
+    stdout: bytes = b""
+    stderr: bytes = b""
+    start: float = 0.0
+    end: float = 0.0
+    spawn_dur: float = 0.0    # worker-side spawn latency, seconds
+    pid: int = -1             # the job's own pid (worker-side)
+    shard: int = -1           # shard that ran (or lost) it
+    timed_out: bool = False
+
+
+class _Pending:
+    """Parent-side record of one in-flight job."""
+
+    __slots__ = ("token", "command", "shard", "event", "reply")
+
+    def __init__(self, token: int, command: str, shard: int):
+        self.token = token
+        self.command = command
+        self.shard = shard
+        self.event = threading.Event()
+        self.reply: Optional[PoolReply] = None
+
+
+@dataclass
+class _Shard:
+    """Parent-side view of one dispatcher worker process."""
+
+    index: int
+    process: multiprocessing.process.BaseProcess
+    conn: "multiprocessing.connection.Connection"
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    alive: bool = True
+    #: Jobs currently dispatched to this shard (parent-side estimate,
+    #: used for least-loaded shard selection).
+    load: int = 0
+    receiver: Optional[threading.Thread] = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def send(self, msg: tuple) -> bool:
+        """Post one op to the worker; False (and mark dead) on failure."""
+        with self.send_lock:
+            if not self.alive:
+                return False
+            try:
+                self.conn.send(msg)
+                return True
+            except (OSError, ValueError, BrokenPipeError):
+                self.alive = False
+                return False
+
+
+# --------------------------------------------------------------------------
+# Worker process
+# --------------------------------------------------------------------------
+def _worker_main(
+    conn,
+    shard_index: int,
+    shell: str,
+    env: "dict[str, str] | None",
+    use_posix: bool,
+    nice: "int | None",
+) -> None:
+    """One dispatcher worker: spawn loop + private reaper, results by pipe.
+
+    Runs until the parent sends ``("close",)`` or its end of the pipe
+    disappears (parent death) — then kills every job it still owns and
+    exits via ``os._exit`` so inherited buffers never double-flush.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent owns ^C policy
+    # Imports deferred to the child so a "spawn" start method also works.
+    from repro.core.backends.reaper import PipeReaper
+    from repro.core.backends.spawn import SpawnLauncher, spawn_supported
+
+    send_lock = threading.Lock()
+
+    def post(msg: tuple) -> None:
+        with send_lock:
+            try:
+                conn.send(msg)
+            except (OSError, ValueError, BrokenPipeError):
+                pass  # parent is gone; the EOF path below will exit us
+
+    launcher = reaper = None
+    if use_posix and spawn_supported():
+        launcher = SpawnLauncher(shell, env=env)
+        reaper = PipeReaper()
+
+    procs: dict[int, int] = {}      # token -> job pgid
+    procs_lock = threading.Lock()
+
+    def apply_nice(pid: int) -> None:
+        if nice is not None and hasattr(os, "setpriority"):
+            try:
+                os.setpriority(os.PRIO_PGRP, pid, nice)
+            except OSError:
+                pass
+
+    def kill_group(pid: int) -> None:
+        try:
+            os.killpg(pid, signal.SIGTERM)
+        except (ProcessLookupError, PermissionError):
+            pass
+
+    def finish(token: int, rc: int, out: bytes, err: bytes,
+               start: float, end: float, spawn_dur: float, pid: int) -> None:
+        with procs_lock:
+            procs.pop(token, None)
+        post(("done", token, rc, out, err, start, end, spawn_dur, pid))
+
+    def run_posix(token: int, command: str) -> None:
+        nonlocal launcher, reaper
+        start = time.time()
+        try:
+            pid, out_r, err_r = launcher.spawn(command)
+        except OSError as exc:
+            post(("err", token, f"spawn failed: {exc}".encode()))
+            return
+        spawn_dur = time.time() - start
+        apply_nice(pid)
+        with procs_lock:
+            procs[token] = pid
+
+        def on_done(handle, _token=token, _start=start,
+                    _spawn_dur=spawn_dur, _pid=pid) -> None:
+            finish(_token, handle.returncode, bytes(handle.stdout_buf),
+                   bytes(handle.stderr_buf), _start, time.time(),
+                   _spawn_dur, _pid)
+
+        try:
+            reaper.register(pid, out_r, err_r, on_done=on_done)
+        except RuntimeError:
+            # Reaper died mid-run: collect inline, then degrade to popen.
+            os.close(out_r)
+            os.close(err_r)
+            _, status = os.waitpid(pid, 0)
+            finish(token, os.waitstatus_to_exitcode(status), b"",
+                   b"worker reaper shut down mid-run", start, time.time(),
+                   spawn_dur, pid)
+            reaper = None
+
+    def run_popen(token: int, command: str) -> None:
+        # Fallback leg: one collector thread per job, Popen in bytes mode.
+        import subprocess
+
+        def collect() -> None:
+            start = time.time()
+            try:
+                proc = subprocess.Popen(
+                    [shell, "-c", command],
+                    stdin=subprocess.DEVNULL,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    env=env,
+                    start_new_session=True,
+                )
+            except OSError as exc:
+                post(("err", token, f"spawn failed: {exc}".encode()))
+                return
+            spawn_dur = time.time() - start
+            apply_nice(proc.pid)
+            with procs_lock:
+                procs[token] = proc.pid
+            out, err = proc.communicate()
+            finish(token, proc.returncode, out, err, start, time.time(),
+                   spawn_dur, proc.pid)
+
+        threading.Thread(target=collect, daemon=True).start()
+
+    def kill_all() -> None:
+        with procs_lock:
+            pids = list(procs.values())
+        for pid in pids:
+            kill_group(pid)
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break  # parent gone
+            op = msg[0]
+            if op == "spawn":
+                _, token, command = msg
+                if reaper is not None and reaper.alive:
+                    run_posix(token, command)
+                else:
+                    run_popen(token, command)
+            elif op == "kill":
+                with procs_lock:
+                    pid = procs.get(msg[1])
+                if pid is not None:
+                    kill_group(pid)
+            elif op == "kill_all":
+                kill_all()
+            elif op == "close":
+                break
+    finally:
+        kill_all()
+        if reaper is not None:
+            reaper.close()
+        if launcher is not None:
+            launcher.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+        os._exit(0)  # no inherited-buffer flush, no atexit double-runs
+
+
+# --------------------------------------------------------------------------
+# Parent-side pool
+# --------------------------------------------------------------------------
+class DispatcherPool:
+    """Parent handle: shard selection, result routing, failover re-queue.
+
+    One instance serves one run.  Thread-safe: scheduler worker threads
+    call :meth:`run` concurrently; each blocks on its own event until the
+    shard's receiver thread delivers the reply.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        shell: str = "/bin/sh",
+        env: "dict[str, str] | None" = None,
+        use_posix: bool = True,
+        nice: "int | None" = None,
+        on_event: "Callable[[str, int, int], None] | None" = None,
+    ):
+        if n < 1:
+            raise ValueError(f"dispatcher count must be >= 1, got {n}")
+        self.n = n
+        self.shell = shell
+        self.env = env
+        self.use_posix = use_posix
+        self.nice = nice
+        #: Optional ``(event_name, shard_index, n_requeued)`` hook; the
+        #: backend wires it to the tracer (``dispatcher_death`` instants).
+        self.on_event = on_event
+        self._shards: list[_Shard] = []
+        self._pending: dict[int, _Pending] = {}
+        self._lock = threading.Lock()
+        self._tokens = itertools.count(1)
+        self._started = False
+        self._closed = False
+        #: Jobs re-dispatched after a shard death (monotone counter).
+        self.requeued = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = multiprocessing.get_context()
+        for k in range(self.n):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, k, self.shell, self.env,
+                      self.use_posix, self.nice),
+                name=f"repro-dispatcher-{k}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()  # parent keeps only its end
+            shard = _Shard(index=k, process=proc, conn=parent_conn)
+            shard.receiver = threading.Thread(
+                target=self._recv_loop, args=(shard,), daemon=True,
+                name=f"repro-pool-recv-{k}",
+            )
+            self._shards.append(shard)
+            shard.receiver.start()
+
+    @property
+    def alive(self) -> bool:
+        """True while at least one shard can still take work."""
+        return any(s.alive for s in self._shards)
+
+    @property
+    def shard_pids(self) -> "list[int | None]":
+        """Worker pids by shard index (None once unknown); for tests."""
+        return [s.pid for s in self._shards]
+
+    def shard_loads(self) -> list[int]:
+        """Parent-side in-flight estimate per shard; for tests/benchmarks."""
+        with self._lock:
+            return [s.load for s in self._shards]
+
+    def close(self) -> None:
+        """Stop every worker and release any still-blocked callers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            shards = list(self._shards)
+            leftovers = list(self._pending.values())
+            self._pending.clear()
+        for shard in shards:
+            shard.send(("close",))
+        deadline = time.time() + 2.0
+        for shard in shards:
+            shard.process.join(timeout=max(0.0, deadline - time.time()))
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=1.0)
+            shard.alive = False
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+        for pending in leftovers:
+            self._complete(pending, PoolReply(kind=LOST, shard=pending.shard))
+
+    # -- job path ------------------------------------------------------------
+    def run(
+        self,
+        command: str,
+        timeout: "float | None" = None,
+        cancelled: "threading.Event | None" = None,
+    ) -> PoolReply:
+        """Run one command on some shard; blocks until collected.
+
+        Timeout semantics mirror the in-process paths: on expiry the job's
+        group gets SIGTERM and we keep waiting (unbounded) for collection,
+        returning the reply with ``timed_out=True``.  ``cancelled`` closes
+        the cancel_all race: if it is set after dispatch, the kill that a
+        concurrent ``kill_all()`` may have missed is delivered here.
+        """
+        pending = self._dispatch(command)
+        if pending is None:
+            return PoolReply(kind=LOST)
+        if cancelled is not None and cancelled.is_set():
+            # kill_all's shard snapshot may have raced this dispatch.
+            self._kill(pending)
+        timed_out = False
+        if not pending.event.wait(timeout):
+            self._kill(pending)
+            timed_out = True
+            pending.event.wait()
+        reply = pending.reply
+        assert reply is not None
+        reply.timed_out = timed_out
+        return reply
+
+    def kill_all(self) -> None:
+        """Fan SIGTERM out to every job on every live shard."""
+        for shard in self._shards:
+            if shard.alive:
+                shard.send(("kill_all",))
+
+    # -- internals -----------------------------------------------------------
+    def _pick_shard(self) -> "_Shard | None":
+        """Least-loaded live shard (caller holds the lock)."""
+        best = None
+        for shard in self._shards:
+            if not shard.alive:
+                continue
+            if best is None or shard.load < best.load:
+                best = shard
+        return best
+
+    def _dispatch(self, command: str) -> "_Pending | None":
+        token = next(self._tokens)
+        while True:
+            with self._lock:
+                if self._closed:
+                    return None
+                shard = self._pick_shard()
+                if shard is None:
+                    return None
+                pending = _Pending(token, command, shard.index)
+                self._pending[token] = pending
+                shard.load += 1
+            if shard.send(("spawn", token, command)):
+                return pending
+            # Send failed: the shard died under us.  Unwind and retry on
+            # the next survivor (the receiver's EOF path handles jobs that
+            # were already accepted).
+            with self._lock:
+                self._pending.pop(token, None)
+                shard.load -= 1
+            self._shard_down(shard)
+
+    def _redispatch(self, pending: _Pending) -> None:
+        """Failover: move one orphaned job to a surviving shard."""
+        with self._lock:
+            if self._closed:
+                shard = None
+            else:
+                shard = self._pick_shard()
+                if shard is not None:
+                    pending.shard = shard.index
+                    self._pending[pending.token] = pending
+                    shard.load += 1
+        if shard is None:
+            self._complete(pending, PoolReply(kind=LOST, shard=pending.shard))
+            return
+        if not shard.send(("spawn", pending.token, pending.command)):
+            with self._lock:
+                self._pending.pop(pending.token, None)
+                shard.load -= 1
+            self._shard_down(shard)
+            self._redispatch(pending)
+
+    def _kill(self, pending: _Pending) -> None:
+        with self._lock:
+            shard = self._shards[pending.shard]
+        shard.send(("kill", pending.token))
+
+    def _recv_loop(self, shard: _Shard) -> None:
+        """Per-shard receiver: deliver replies until the pipe dies."""
+        while True:
+            try:
+                msg = shard.conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] == "done":
+                _, token, rc, out, err, start, end, spawn_dur, pid = msg
+                self._deliver(token, PoolReply(
+                    kind=DONE, returncode=rc, stdout=out, stderr=err,
+                    start=start, end=end, spawn_dur=spawn_dur, pid=pid,
+                    shard=shard.index,
+                ))
+            elif msg[0] == "err":
+                _, token, message = msg
+                self._deliver(token, PoolReply(
+                    kind=ERR, returncode=127, stderr=bytes(message),
+                    shard=shard.index,
+                ))
+        self._shard_down(shard)
+
+    def _deliver(self, token: int, reply: PoolReply) -> None:
+        with self._lock:
+            pending = self._pending.pop(token, None)
+            if pending is not None:
+                self._shards[pending.shard].load -= 1
+        if pending is None:
+            return  # duplicate after failover re-dispatch; drop
+        self._complete(pending, reply)
+
+    @staticmethod
+    def _complete(pending: _Pending, reply: PoolReply) -> None:
+        pending.reply = reply
+        pending.event.set()
+
+    def _shard_down(self, shard: _Shard) -> None:
+        """A shard died: mark it, re-queue its in-flight jobs elsewhere."""
+        with self._lock:
+            if self._closed:
+                return
+            first_notice = shard.alive
+            shard.alive = False
+            victims = [p for p in self._pending.values()
+                       if p.shard == shard.index]
+            for p in victims:
+                self._pending.pop(p.token, None)
+            shard.load = 0
+        if not (victims or first_notice):
+            return  # duplicate notification (send failure + recv EOF)
+        self.requeued += len(victims)
+        if self.on_event is not None:
+            try:
+                self.on_event("dispatcher_death", shard.index, len(victims))
+            except Exception:
+                pass
+        for p in victims:
+            self._redispatch(p)

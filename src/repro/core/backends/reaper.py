@@ -5,14 +5,33 @@ The Popen hot path dedicates the calling worker thread to each job's
 ``waitpid``.  The reaper amortizes all of that into a single background
 thread: workers register a spawned pid plus its stdout/stderr read fds and
 block on a per-job event; the reaper drains every registered pipe through
-one ``selectors.DefaultSelector``, collects exit statuses with
-``waitpid(WNOHANG)``, and wakes the owning worker when both streams hit
-EOF and the process is reaped.
+one ``selectors.DefaultSelector``, collects exit statuses, and wakes the
+owning worker when both streams hit EOF and the process is reaped.
+
+Exit-status collection has two legs (the "reap ladder"):
+
+``pidfd`` (Linux >= 5.3, the default where available)
+    Each registered pid also gets an ``os.pidfd_open`` descriptor added to
+    the same selector.  A pidfd becomes readable exactly once, when the
+    process terminates, so the loop gets *one epoll wakeup per exit* and
+    collects the status with a single guaranteed-ready
+    ``waitpid(WNOHANG)`` — no polling cycle at all.
+
+``waitpid`` polling (the fallback)
+    On platforms without ``os.pidfd_open`` (or kernels/seccomp profiles
+    where the first call fails), processes whose pipes have hit EOF are
+    polled with ``waitpid(WNOHANG)`` every ``_ZOMBIE_POLL`` seconds until
+    reaped — the pre-pidfd behaviour, kept bit-identical.
+
+The ladder is probed per reaper instance at first registration and looked
+up through ``os`` at call time, so tests can exercise the fallback by
+monkeypatching ``os.pidfd_open``.
 
 Semantics match ``Popen.communicate()``: completion means *EOF on both
 pipes and the child reaped* — a job that backgrounds a grandchild holding
 the pipe open is still "running" until that write end closes, exactly as
-on the Popen path.
+on the Popen path.  The pidfd leg preserves this: a collected exit status
+is held until both pipes close.
 
 ``--linebuffer`` support: a handle registered with a ``stream`` callback
 gets its stdout delivered incrementally in complete-line chunks as they
@@ -29,12 +48,31 @@ import selectors
 import threading
 from typing import Callable, Optional
 
-__all__ = ["PipeReaper", "ReapHandle"]
+__all__ = ["PipeReaper", "ReapHandle", "pidfd_supported"]
 
 _CHUNK = 65536
 #: Poll period for zombie collection while processes have closed their
-#: pipes but not yet been waited on (rare: exit and EOF usually coincide).
+#: pipes but not yet been waited on — only reached on the waitpid
+#: fallback leg (with pidfds, exits arrive as selector events).
 _ZOMBIE_POLL = 0.02
+
+
+def pidfd_supported() -> bool:
+    """True when this process can obtain pidfds for its children.
+
+    Checked with a real ``pidfd_open`` on our own pid: the symbol exists
+    on any Linux Python >= 3.9 build, but the syscall itself needs kernel
+    >= 5.3 and may be denied by seccomp — only a live probe tells.
+    """
+    opener = getattr(os, "pidfd_open", None)
+    if opener is None:
+        return False
+    try:
+        fd = opener(os.getpid())
+    except OSError:
+        return False
+    os.close(fd)
+    return True
 
 
 class ReapHandle:
@@ -43,6 +81,7 @@ class ReapHandle:
     __slots__ = (
         "pid", "stdout_buf", "stderr_buf", "returncode",
         "_event", "_open_fds", "_stream", "_stream_tail", "encoding",
+        "_pidfd", "_status", "_on_done",
     )
 
     def __init__(
@@ -50,6 +89,7 @@ class ReapHandle:
         pid: int,
         stream: Optional[Callable[[str], None]] = None,
         encoding: str = "utf-8",
+        on_done: Optional[Callable[["ReapHandle"], None]] = None,
     ):
         self.pid = pid
         self.stdout_buf = bytearray()
@@ -62,6 +102,13 @@ class ReapHandle:
         self._open_fds = 2
         self._stream = stream
         self._stream_tail = bytearray() if stream is not None else None
+        #: The job's pidfd while registered with the selector; -1 on the
+        #: waitpid fallback leg (or after the pidfd has fired).
+        self._pidfd = -1
+        #: Exit status collected ahead of pipe EOF (pidfd leg); completion
+        #: still waits for both pipes to close.
+        self._status: Optional[int] = None
+        self._on_done = on_done
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job is fully collected; False on timeout."""
@@ -100,6 +147,11 @@ class ReapHandle:
             self._stream_tail.clear()
         self.returncode = returncode
         self._event.set()
+        if self._on_done is not None:
+            try:
+                self._on_done(self)
+            except Exception:
+                pass  # a broken callback must not kill the loop
 
 
 class PipeReaper:
@@ -109,9 +161,12 @@ class PipeReaper:
     :meth:`close`.  If the loop ever dies on an unexpected error, every
     outstanding handle is released with exit code 127 and ``alive`` turns
     False — callers treat that as "fall back to the Popen path".
+
+    ``use_pidfd`` selects the exit-collection leg: None (default) probes
+    on first registration, False forces the waitpid-polling fallback.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, use_pidfd: Optional[bool] = None) -> None:
         self._sel = selectors.DefaultSelector()
         self._wake_r, self._wake_w = os.pipe()
         os.set_blocking(self._wake_r, False)
@@ -125,6 +180,15 @@ class PipeReaper:
         self._thread: Optional[threading.Thread] = None
         self._closed = False
         self.alive = True
+        #: pidfd leg state: None = not probed yet, True = in use, False =
+        #: unavailable (missing symbol, ENOSYS, seccomp, ...) — then every
+        #: handle takes the waitpid-polling leg.
+        self._use_pidfd = use_pidfd
+
+    @property
+    def pidfd_enabled(self) -> bool:
+        """True once the reaper has successfully opened a pidfd."""
+        return self._use_pidfd is True
 
     def register(
         self,
@@ -133,9 +197,15 @@ class PipeReaper:
         stderr_fd: int,
         stream: Optional[Callable[[str], None]] = None,
         encoding: str = "utf-8",
+        on_done: Optional[Callable[[ReapHandle], None]] = None,
     ) -> ReapHandle:
-        """Hand a spawned job's pipes to the loop; returns its handle."""
-        handle = ReapHandle(pid, stream=stream, encoding=encoding)
+        """Hand a spawned job's pipes to the loop; returns its handle.
+
+        ``on_done`` (optional) is invoked from the reaper thread right
+        after the handle completes — dispatcher workers use it to post
+        results without parking a thread per job on ``wait()``.
+        """
+        handle = ReapHandle(pid, stream=stream, encoding=encoding, on_done=on_done)
         with self._lock:
             if self._closed or not self.alive:
                 raise RuntimeError("reaper is closed")
@@ -198,6 +268,16 @@ class PipeReaper:
                     self._admit_pending()
                     continue
                 handle, which = key.data
+                if which == 0:  # pidfd readable: the process terminated
+                    self._sel.unregister(key.fd)
+                    os.close(key.fd)
+                    handle._pidfd = -1
+                    if not self._collect_status(handle):
+                        # Can't happen per pidfd semantics; stay safe.
+                        self._zombies.append(handle)
+                    elif handle._open_fds == 0:
+                        self._finalize(handle)
+                    continue
                 try:
                     chunk = os.read(key.fd, _CHUNK)
                 except BlockingIOError:
@@ -211,7 +291,11 @@ class PipeReaper:
                 os.close(key.fd)
                 handle._open_fds -= 1
                 if handle._open_fds == 0:
-                    self._zombies.append(handle)
+                    if handle._status is not None:
+                        self._finalize(handle)  # pidfd already collected
+                    elif handle._pidfd < 0:
+                        self._zombies.append(handle)  # waitpid fallback leg
+                    # else: pidfd registered; its event delivers the status
             self._collect_zombies()
 
     def _admit_pending(self) -> None:
@@ -224,22 +308,61 @@ class PipeReaper:
             os.set_blocking(err_fd, False)
             self._sel.register(out_fd, selectors.EVENT_READ, (handle, 1))
             self._sel.register(err_fd, selectors.EVENT_READ, (handle, 2))
+            pidfd = self._open_pidfd(handle.pid)
+            if pidfd is not None:
+                handle._pidfd = pidfd
+                self._sel.register(pidfd, selectors.EVENT_READ, (handle, 0))
+
+    def _open_pidfd(self, pid: int) -> Optional[int]:
+        """One pidfd for ``pid``, or None on the waitpid fallback leg.
+
+        Looked up through ``os`` at call time (not import time) so a
+        monkeypatched ``pidfd_open`` exercises the fallback.  The first
+        failure disables the leg for the whole reaper: ENOSYS (kernel
+        < 5.3) and seccomp denials are process-wide conditions, and the
+        zombie-poll path covers everything anyway.
+        """
+        if self._use_pidfd is False:
+            return None
+        opener = getattr(os, "pidfd_open", None)
+        if opener is None:
+            self._use_pidfd = False
+            return None
+        try:
+            fd = opener(pid)
+        except OSError:
+            self._use_pidfd = False
+            return None
+        self._use_pidfd = True
+        return fd
+
+    def _collect_status(self, handle: ReapHandle) -> bool:
+        """waitpid(WNOHANG) for one handle; True when the status landed."""
+        try:
+            pid, status = os.waitpid(handle.pid, os.WNOHANG)
+        except ChildProcessError:
+            pid, status = handle.pid, 0  # reaped elsewhere; assume ok
+        if pid == 0:
+            return False
+        handle._status = os.waitstatus_to_exitcode(status)
+        return True
+
+    def _finalize(self, handle: ReapHandle) -> None:
+        """Release a fully-collected handle (status + both pipe EOFs)."""
+        with self._lock:
+            self._handles.discard(handle)
+        status = handle._status if handle._status is not None else 0
+        handle._finish(status)
 
     def _collect_zombies(self) -> None:
         if not self._zombies:
             return
         still: list[ReapHandle] = []
         for handle in self._zombies:
-            try:
-                pid, status = os.waitpid(handle.pid, os.WNOHANG)
-            except ChildProcessError:
-                pid, status = handle.pid, 0  # reaped elsewhere; assume ok
-            if pid == 0:
+            if not self._collect_status(handle):
                 still.append(handle)
                 continue
-            with self._lock:
-                self._handles.discard(handle)
-            handle._finish(os.waitstatus_to_exitcode(status))
+            self._finalize(handle)
         self._zombies = still
 
     def _teardown(self) -> None:

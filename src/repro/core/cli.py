@@ -122,6 +122,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    choices=("auto", "posix", "popen"),
                    help="local process-spawn path: auto (default; posix_spawn "
                         "where supported), posix, or popen")
+    # Engine extension: shard the local dispatch loop over N spawner
+    # worker processes (lifts the single-dispatcher launch-rate ceiling).
+    p.add_argument("--dispatchers", default="auto", dest="dispatchers",
+                   metavar="auto|N",
+                   help="dispatcher shards for the local backend: auto "
+                        "(default; one in-process dispatcher) or N worker "
+                        "processes fed from one sharded queue; output is "
+                        "byte-identical either way")
     p.add_argument("--link", action="store_true",
                    help="link (zip) input sources instead of crossing them")
     p.add_argument("--wd", "--workdir", dest="workdir", default=None,
@@ -243,6 +251,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workdir=ns.workdir,
             nice=ns.nice,
             spawn_path=ns.spawn_path,
+            dispatchers=ns.dispatchers,
             linebuffer=ns.linebuffer,
             colsep=ns.colsep,
             max_load=ns.max_load,

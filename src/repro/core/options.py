@@ -10,7 +10,9 @@ bookkeeping flags (joblog/resume/results) any production use needs:
 ``--resume-failed``, ``--results``, ``--ungroup``, ``--link``,
 ``--colsep``, ``--load`` (dispatch throttling on system load),
 ``--nice`` (applied on POSIX), ``--wd``, ``--linebuffer``, plus the
-engine-specific ``--spawn-path`` selecting the local process-spawn path.
+engine-specific ``--spawn-path`` selecting the local process-spawn path
+and ``--dispatchers`` sharding the local dispatch loop over N spawner
+worker processes.
 """
 
 from __future__ import annotations
@@ -219,6 +221,14 @@ class Options:
     #: ``"posix"`` (prefer posix_spawn; hard-unsupported combinations such
     #: as ``--wd`` still fall back), ``"popen"`` (always Popen).
     spawn_path: str = "auto"
+    #: Dispatcher shard count for the local backend (``--dispatchers``):
+    #: ``"auto"`` (single in-process dispatcher — sharding is opt-in) or
+    #: N >= 1 spawner worker processes fed from one sharded queue.  N > 1
+    #: lifts the single-dispatcher launch-rate ceiling (paper Fig. 3) by
+    #: running N posix_spawn+reaper loops in separate kernel task
+    #: contexts; ordering/joblog/halt merge stays centralized, so output
+    #: is byte-identical to ``--dispatchers 1``.
+    dispatchers: Union[int, str] = "auto"
     #: Stream each job's stdout line-by-line as it is produced instead of
     #: buffering until the job finishes (``--linebuffer``).  Lines from
     #: different jobs may interleave, but never within a line.  With
@@ -347,6 +357,19 @@ class Options:
             raise OptionsError(
                 f"--spawn-path must be auto, posix or popen, got {self.spawn_path!r}"
             )
+        if isinstance(self.dispatchers, str):
+            text = self.dispatchers.strip()
+            if text != "auto":
+                if not text.isdigit():
+                    raise OptionsError(
+                        f"--dispatchers must be auto or a positive integer, "
+                        f"got {self.dispatchers!r}"
+                    )
+                self.dispatchers = int(text)
+        if isinstance(self.dispatchers, int) and self.dispatchers < 1:
+            raise OptionsError(
+                f"--dispatchers must be >= 1, got {self.dispatchers}"
+            )
         if not self.remote:
             staging_flags = [
                 name
@@ -376,6 +399,18 @@ class Options:
     def remote(self) -> bool:
         """True when a host roster was given: dispatch goes multi-host."""
         return bool(self.sshlogin or self.sshloginfile)
+
+    def effective_dispatchers(self) -> int:
+        """Resolve ``--dispatchers`` to a shard count.
+
+        ``"auto"`` resolves to 1: the in-process posix_spawn path already
+        runs at ~85% of the per-dispatcher kernel ceiling, so sharding
+        only pays when the workload is launch-rate-bound — an explicit
+        choice, not a default tax on every short run.
+        """
+        if self.dispatchers == "auto":
+            return 1
+        return int(self.dispatchers)
 
     def effective_jobs(self, n_inputs: Optional[int] = None) -> int:
         """Resolve ``jobs=0`` ("run everything at once") against input count."""

@@ -401,7 +401,10 @@ def run_scheduler(
             retry_depth=lambda: len(retry_q),
             in_flight=lambda: len(in_flight),
         )
-        tracer.run_started(jobs_cap=jobs_cap, total=known_total)
+        tracer.run_started(
+            jobs_cap=jobs_cap, total=known_total,
+            dispatchers=getattr(backend, "dispatchers", 1),
+        )
 
     # --load / --memfree probes.
     load_probe = options.load_probe or (

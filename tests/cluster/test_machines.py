@@ -68,3 +68,18 @@ def test_node_spec_validation():
 def test_machine_spec_validation():
     with pytest.raises(ValueError):
         MachineSpec(name="bad", node=FRONTIER_NODE, total_nodes=0)
+
+
+def test_fork_rate_from_curve_takes_the_peak():
+    from repro.cluster.machines import fork_rate_from_curve
+
+    # A Fig.-3-shaped curve: rises with dispatcher count, then flattens
+    # at the node's kernel fork ceiling.
+    assert fork_rate_from_curve({1: 470.0, 4: 1800.0, 16: 6400.0,
+                                 32: 6350.0}) == 6400.0
+    # 1-vCPU shape: contention from K=1 — peak degenerates to K=1's rate.
+    assert fork_rate_from_curve({"1": 990.0, "2": 760.0, "4": 540.0}) == 990.0
+    with pytest.raises(ValueError):
+        fork_rate_from_curve({})
+    with pytest.raises(ValueError):
+        fork_rate_from_curve({1: 0.0})

@@ -92,3 +92,17 @@ def test_resume_failed_implies_resume():
 def test_tagstring_implies_tag():
     opts = Options(tagstring="T{#}")
     assert opts.tag
+
+
+def test_dispatchers_accepts_auto_and_counts():
+    assert Options().dispatchers == "auto"
+    assert Options(dispatchers=2).effective_dispatchers() == 2
+    assert Options(dispatchers=" 8 ").effective_dispatchers() == 8
+    # auto = one in-process dispatcher; sharding is opt-in.
+    assert Options(dispatchers="auto").effective_dispatchers() == 1
+
+
+def test_dispatchers_rejects_bad_forms():
+    for bad in (0, -3, "none", "1.5", "-2"):
+        with pytest.raises(OptionsError):
+            Options(dispatchers=bad)
