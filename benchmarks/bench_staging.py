@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Staging-cache throughput runner: the data plane's before/after pair.
+
+Measures jobs/s through ``RemoteBackend`` + ``LocalTransport`` when every
+job ``--transferfile``s the *same* multi-MiB input to a small roster:
+
+* ``staging_uncached``: ``--staging-cache off`` — each job re-pushes the
+  shared input, the pre-cache behavior;
+* ``staging_cached``: the content-addressed cache on — the input is
+  staged once per host and every later job hits;
+* ``staging_cached_ahead``: cache plus ``--stage-ahead`` prefetch, the
+  fully-overlapped configuration;
+* ``staging_speedup``: ``cached / uncached`` jobs/s — the
+  machine-independent headline the threshold gate checks, so the floor
+  holds on a fast tmpfs runner and a slow shared one alike.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_staging.py --label after \
+        --out BENCH_pr7.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import Parallel  # noqa: E402
+
+#: Shared input size: large enough that the per-job push dominates the
+#: uncached run, small enough to stay friendly to tiny CI runners.
+PAYLOAD = 16 << 20
+
+#: One slot per host: the uncached baseline re-pushes the shared input
+#: per job, so same-host concurrency would race a pusher's O_TRUNC
+#: against another job's read — the exact hazard the cache removes.  The
+#: baseline must be correct to be comparable.
+ROSTER = "1/bh1,1/bh2,1/bh3,1/bh4"
+
+
+def _run_once(n: int, *, staging_cache: bool, stage_ahead: int = 0) -> dict:
+    """One engine run in a fresh tree; returns (rate, staging stats)."""
+    cwd = os.getcwd()
+    with tempfile.TemporaryDirectory() as td:
+        os.chdir(td)
+        try:
+            os.mkdir("in")
+            with open(os.path.join("in", "shared.dat"), "wb") as fh:
+                fh.write(os.urandom(PAYLOAD))
+            t0 = time.perf_counter()
+            summary = Parallel(
+                "test -s in/shared.dat # {}",
+                sshlogin=[ROSTER],
+                transfer_files=["in/shared.dat"],
+                staging_cache=staging_cache,
+                stage_ahead=stage_ahead,
+            ).run(range(n))
+            dt = time.perf_counter() - t0
+        finally:
+            os.chdir(cwd)
+    assert summary.n_succeeded == n, summary.n_failed
+    return {"rate": n / dt, "staging": dict(summary.staging)}
+
+
+def bench_variant(n: int, repeats: int, *, staging_cache: bool,
+                  stage_ahead: int = 0) -> dict:
+    runs = [
+        _run_once(n, staging_cache=staging_cache, stage_ahead=stage_ahead)
+        for _ in range(repeats)
+    ]
+    rates = [r["rate"] for r in runs]
+    out = {
+        "n": n, "repeats": repeats, "payload_bytes": PAYLOAD,
+        "staging_cache": staging_cache, "stage_ahead": stage_ahead,
+        "jobs_per_s": statistics.median(rates),
+        "jobs_per_s_best": max(rates),
+    }
+    staging = runs[0]["staging"]
+    for key in ("files_staged", "cache_hits", "bytes_moved",
+                "bytes_staged_avoided", "prefetched_jobs"):
+        if key in staging:
+            out[key] = staging[key]
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--label", default="run",
+                    help="entry name in the output JSON (e.g. before/after)")
+    ap.add_argument("--out", default=None,
+                    help="JSON file to merge results into (default: stdout)")
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller problem sizes (CI smoke run)")
+    ns = ap.parse_args(argv)
+
+    n, repeats = (24, 2) if ns.quick else (60, 3)
+    uncached = bench_variant(n, repeats, staging_cache=False)
+    cached = bench_variant(n, repeats, staging_cache=True)
+    ahead = bench_variant(n, repeats, staging_cache=True, stage_ahead=4)
+    results = {
+        "staging_uncached": uncached,
+        "staging_cached": cached,
+        "staging_cached_ahead": ahead,
+        "staging_speedup": {
+            "speedup": cached["jobs_per_s"] / uncached["jobs_per_s"],
+            "metric_note": "cached/uncached jobs_per_s, machine-independent",
+        },
+    }
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "results": results,
+    }
+    for name, r in results.items():
+        rate = r.get("jobs_per_s") or r.get("speedup") or 0.0
+        print(f"{ns.label:>8s}  {name:<22s} {rate:12.2f}")
+    if ns.out:
+        doc = {}
+        if os.path.exists(ns.out):
+            with open(ns.out, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        doc[ns.label] = entry
+        with open(ns.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"[merged into {ns.out}]")
+    else:
+        json.dump(entry, sys.stdout, indent=1)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

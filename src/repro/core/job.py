@@ -88,6 +88,9 @@ class RunSummary:
     halted: bool = False
     halt_reason: Optional[str] = None
     wall_time: float = 0.0
+    #: Data-plane counters for staged (remote) runs — files_staged,
+    #: cache_hits, bytes_moved, bytes_staged_avoided; empty for local runs.
+    staging: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -105,7 +108,7 @@ class RunSummary:
 
     def to_dict(self) -> dict:
         """A JSON-serializable snapshot (drops Python ``value`` payloads)."""
-        return {
+        out = {
             "n_dispatched": self.n_dispatched,
             "n_succeeded": self.n_succeeded,
             "n_failed": self.n_failed,
@@ -131,6 +134,9 @@ class RunSummary:
                 for r in self.sorted_results()
             ],
         }
+        if self.staging:
+            out["staging"] = dict(self.staging)
+        return out
 
     def write_json(self, path: str) -> None:
         """Persist :meth:`to_dict` for offline analysis of a run's profile.

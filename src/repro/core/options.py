@@ -306,6 +306,14 @@ class Options:
     #: Ban a host after this many *consecutive* transport failures; its
     #: in-flight jobs re-place onto surviving hosts (engine extension).
     ban_after: int = 3
+    #: Content-addressed staging dedup (``--staging-cache``): a file
+    #: already staged to a host this run is never re-pushed, and
+    #: ``--cleanup`` defers to the last referencing job.  On by default —
+    #: it only changes *costs*, never job-visible semantics.
+    staging_cache: bool = True
+    #: Prefetch stage-in for up to N queued jobs ahead of slot
+    #: availability (``--stage-ahead``); 0 = fully synchronous staging.
+    stage_ahead: int = 0
 
     # Parsed halt policy (computed in __post_init__).
     halt_spec: HaltSpec = field(init=False, repr=False)
@@ -353,6 +361,10 @@ class Options:
             )
         if self.ban_after < 1:
             raise OptionsError(f"ban_after must be >= 1, got {self.ban_after}")
+        if self.stage_ahead < 0:
+            raise OptionsError(
+                f"--stage-ahead must be >= 0, got {self.stage_ahead}"
+            )
         if self.spawn_path not in ("auto", "posix", "popen"):
             raise OptionsError(
                 f"--spawn-path must be auto, posix or popen, got {self.spawn_path!r}"

@@ -38,6 +38,7 @@ import random
 import re
 import threading
 import time
+from collections import deque
 from typing import Callable, Iterable, Iterator, Optional
 
 from repro.core.backends.base import Backend
@@ -418,15 +419,8 @@ def run_scheduler(
         mem_probe = default_mem_probe
     throttled = options.max_load is not None or options.memfree is not None
 
-    def next_job() -> Optional[Job]:
-        """Next dispatchable job: eligible retries first, then fresh input.
-
-        None means no fresh input remains — retries still backing off may
-        be waiting in ``retry_q``.
-        """
-        job = retry_q.pop_ready(time.time())
-        if job is not None:
-            return job
+    def pull_fresh() -> Optional[Job]:
+        """Pull the next fresh job off the input stream (None = exhausted)."""
         for args in groups:
             seq = next(seq_counter)
             if seq in skip:
@@ -437,6 +431,46 @@ def run_scheduler(
                 tracer.job_submitted(seq)
             return Job(seq=seq, args=args)
         return None
+
+    # --stage-ahead: keep up to N not-yet-dispatchable jobs pulled from
+    # the input and handed to the backend's staging lane, so their
+    # stage-in overlaps earlier jobs' compute.  Dispatch order is
+    # unchanged — the lookahead is a FIFO the dispatch loop drains first.
+    # Dry runs move no data and --pipe rewrites args at dispatch time, so
+    # both stay strictly lazy.
+    prefetch_hook = getattr(backend, "prefetch_job", None)
+    stage_ahead_n = getattr(options, "stage_ahead", 0)
+    lookahead: deque[Job] = deque()
+    prefetching = (
+        prefetch_hook is not None
+        and stage_ahead_n > 0
+        and not options.dry_run
+        and not options.pipe_mode
+    )
+
+    def refill_lookahead() -> None:
+        if not prefetching:
+            return
+        while len(lookahead) < stage_ahead_n:
+            job = pull_fresh()
+            if job is None:
+                return
+            lookahead.append(job)
+            prefetch_hook(job, options)
+
+    def next_job() -> Optional[Job]:
+        """Next dispatchable job: eligible retries first, then fresh input.
+
+        None means no fresh input remains — retries still backing off may
+        be waiting in ``retry_q``.
+        """
+        job = retry_q.pop_ready(time.time())
+        if job is not None:
+            return job
+        refill_lookahead()
+        if lookahead:
+            return lookahead.popleft()
+        return pull_fresh()
 
     def reap(timeout: Optional[float] = None) -> bool:
         """Consume one completion from the workers; False on timeout.
@@ -632,6 +666,13 @@ def run_scheduler(
         default_mem_probe.close()
     if joblog is not None:
         joblog.close()
+    # Data-plane counters (staging cache hits, bytes avoided) land on the
+    # summary so both the run report and the tracer's RUN_END carry them.
+    stats_hook = getattr(backend, "staging_stats", None)
+    if stats_hook is not None:
+        staging_stats = stats_hook()
+        if staging_stats:
+            summary.staging = staging_stats
     if tracer is not None:
         tracer.run_finished(summary)
     backend.close()

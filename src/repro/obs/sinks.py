@@ -133,6 +133,7 @@ class ChromeTraceSink:
     kinds = frozenset({
         EventKind.FINISHED, EventKind.RETRY_QUEUED, EventKind.METRICS,
         EventKind.INSTANT, EventKind.SPAN, EventKind.RUN_META,
+        EventKind.RUN_END,
     })
 
     def __init__(self, path: str, pid: int = 0, node: str = ""):
@@ -214,7 +215,9 @@ class ChromeTraceSink:
             return {
                 "ph": "X",
                 "name": event.name,
-                "cat": "backend",
+                # Emitters tag their own category (staging spans filter as
+                # their own lane in the viewer); backend is the default.
+                "cat": str(data.pop("cat", "backend")),
                 "pid": self._lane_for(data),
                 "tid": event.slot,
                 "ts": _us(event.ts),
@@ -226,7 +229,7 @@ class ChromeTraceSink:
             return {
                 "ph": "i",
                 "name": event.name,
-                "cat": "backend",
+                "cat": str(data.pop("cat", "backend")),
                 "pid": self._lane_for(data),
                 "tid": event.slot,
                 "ts": _us(event.ts),
@@ -234,6 +237,12 @@ class ChromeTraceSink:
                 "args": {"seq": event.seq, **data},
             }
         if kind == EventKind.RUN_META:
+            with self._lock:
+                self._meta.update(event.data or {})
+            return None
+        if kind == EventKind.RUN_END:
+            # Run totals (incl. the staging block) ride in otherData so a
+            # trace-only consumer sees them without the metrics sink.
             with self._lock:
                 self._meta.update(event.data or {})
             return None

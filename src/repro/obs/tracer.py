@@ -136,6 +136,12 @@ class RunTracer:
                 halted=summary.halted,
                 wall_time=summary.wall_time,
             )
+            # Data-plane block: trace-only consumers see staging totals
+            # (files staged, cache hits, bytes avoided) without needing
+            # the metrics sink.
+            staging = getattr(summary, "staging", None)
+            if staging:
+                data["staging"] = dict(staging)
         self._publish(Event(self._clock(), EventKind.RUN_END, data=data))
         for sink in self._sinks:
             sink.close()

@@ -10,6 +10,9 @@ Layers, bottom-up:
     Pluggable command/file movement: real subprocesses with per-host
     directory roots (:class:`LocalTransport`) or calibrated virtual time
     (:class:`SimTransport`).
+:mod:`repro.remote.cache`
+    Per-run content-addressed :class:`StagingCache` (dedup'd staging,
+    refcounted ``--cleanup``).
 :mod:`repro.remote.staging`
     ``--transferfile``/``--return``/``--cleanup``/``--basefile`` file
     movement policy rendered per job.
@@ -19,6 +22,7 @@ Layers, bottom-up:
 """
 
 from repro.remote.backend import RemoteBackend
+from repro.remote.cache import StagingCache
 from repro.remote.hosts import (
     HostLease,
     HostPool,
@@ -45,6 +49,7 @@ __all__ = [
     "parse_sshlogin",
     "parse_sshloginfile",
     "hosts_from_options",
+    "StagingCache",
     "StagingPolicy",
     "Transport",
     "LocalTransport",

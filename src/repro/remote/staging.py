@@ -22,6 +22,17 @@ GNU Parallel semantics, executed over a :class:`~repro.remote.transport.Transpor
 The render uses the job's own (args, seq, slot) so ``--transferfile {}``
 or ``--return out/{#}.txt`` track each job exactly as its command does.
 
+With a :class:`~repro.remote.cache.StagingCache` attached (the default,
+``--staging-cache on``), transfers are content-addressed: a file already
+staged to a host is never pushed again this run, ``--basefile`` and
+``--transferfile`` dedup against each other, and ``--cleanup`` is
+refcounted — the remote copy is removed when the *last* referencing job
+finishes, not after each one.  Without the cache, ``--basefile``'s
+once-per-host guarantee is kept by per-host completion gates: a job that
+arrives while another job's basefile push is still in flight *waits for
+the push* instead of running against a half-staged file (the old
+mark-before-push set raced exactly that way).
+
 The ``:`` localhost is exempt from all of this: GNU Parallel does no
 transfer/return/cleanup for the transport-free local machine (a "copy"
 would be a same-path no-op, and cleanup would delete the user's own
@@ -36,6 +47,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.template import CommandTemplate
 from repro.errors import StagingError
+from repro.remote.cache import StagingCache
 from repro.storage.transfer import remote_relpath
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,9 +64,19 @@ def _templates(specs: list[str]) -> list[CommandTemplate]:
     return [CommandTemplate(s, implicit_append=False) for s in specs]
 
 
+class _BaseGate:
+    """Completion gate for one host's ``--basefile`` push."""
+
+    __slots__ = ("event", "ok")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.ok = False
+
+
 @dataclass
 class StagingPolicy:
-    """One run's staging plan; stateless per job except the basefile cache."""
+    """One run's staging plan; stateless per job except the shared caches."""
 
     transfer: list[CommandTemplate] = field(default_factory=list)
     returns: list[CommandTemplate] = field(default_factory=list)
@@ -62,10 +84,13 @@ class StagingPolicy:
     cleanup: bool = False
     #: ``--workdir`` policy forwarded to ``Transport.ensure_workdir``.
     workdir: Optional[str] = None
+    #: Content-addressed dedup cache (``--staging-cache on``); None =
+    #: every job pays its own transfers (the pre-cache behaviour).
+    cache: Optional[StagingCache] = None
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
-        self._based_hosts: set[str] = set()
+        self._base_gates: dict[str, _BaseGate] = {}
 
     @classmethod
     def from_options(cls, options) -> "StagingPolicy":
@@ -75,12 +100,25 @@ class StagingPolicy:
             basefiles=list(options.basefiles),
             cleanup=options.cleanup,
             workdir=options.workdir,
+            cache=StagingCache() if getattr(options, "staging_cache", True) else None,
         )
 
     @property
     def active(self) -> bool:
         """True when any staging work exists (skip the whole path if not)."""
         return bool(self.transfer or self.returns or self.basefiles)
+
+    @property
+    def prefetchable(self) -> bool:
+        """True when stage-in can be computed ahead of slot assignment.
+
+        A ``--transferfile`` template referencing ``{%}`` renders
+        differently per slot, which is unknown until the job leases a
+        host — prefetching it would stage the wrong file.
+        """
+        return bool(self.transfer or self.basefiles) and not any(
+            t.uses_slot for t in self.transfer
+        )
 
     # -- per-job rendering ---------------------------------------------------
     def transfer_paths(self, job: "Job", slot: int) -> list[tuple[str, str]]:
@@ -103,30 +141,75 @@ class StagingPolicy:
     def stage_basefiles(
         self, transport: "Transport", host: "HostSpec", workdir: str
     ) -> None:
-        """Stage ``--basefile``s once per host (idempotent, thread-safe)."""
+        """Stage ``--basefile``s once per host (idempotent, thread-safe).
+
+        The per-host :class:`_BaseGate` closes the old mark-before-push
+        race: a concurrent job on the same host blocks until the push has
+        *finished* instead of skipping staging while the file is still in
+        flight.  A failed push discards the gate so a later job retries.
+        """
         if not self.basefiles:
             return
-        with self._lock:
-            if host.name in self._based_hosts:
-                return
-            self._based_hosts.add(host.name)
-        try:
-            for path in self.basefiles:
-                transport.put(host, path, remote_relpath(path), workdir)
-        except Exception:
-            # Let a later job on this host retry the basefile push.
+        while True:
             with self._lock:
-                self._based_hosts.discard(host.name)
-            raise
+                gate = self._base_gates.get(host.name)
+                if gate is None:
+                    gate = _BaseGate()
+                    self._base_gates[host.name] = gate
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                gate.event.wait()
+                if gate.ok:
+                    return
+                # The pusher failed; forget its gate and race to retry.
+                with self._lock:
+                    if self._base_gates.get(host.name) is gate:
+                        del self._base_gates[host.name]
+                continue
+            try:
+                for path in self.basefiles:
+                    rel = remote_relpath(path)
+                    if self.cache is not None:
+                        # permanent=True: basefiles are never cleaned
+                        # mid-run, whatever --cleanup says.
+                        self.cache.ensure(
+                            transport, host, path, rel, workdir, permanent=True
+                        )
+                    else:
+                        transport.put(host, path, rel, workdir)
+            except Exception:
+                with self._lock:
+                    if self._base_gates.get(host.name) is gate:
+                        del self._base_gates[host.name]
+                gate.event.set()
+                raise
+            gate.ok = True
+            gate.event.set()
+            return
 
     def stage_in(
         self, transport: "Transport", host: "HostSpec", job: "Job",
-        slot: int, workdir: str,
+        slot: int, workdir: str, tracer=None,
     ) -> list[str]:
-        """Push this job's inputs; returns remote relpaths (for cleanup)."""
+        """Push this job's inputs; returns remote relpaths (for cleanup).
+
+        With the cache attached each push is content-addressed: an input
+        already staged to this host is a hit (one reference retained, no
+        bytes moved) and emits a ``cache_hit`` instant on the tracer.
+        """
         staged: list[str] = []
         for src, rel in self.transfer_paths(job, slot):
-            transport.put(host, src, rel, workdir)
+            if self.cache is not None:
+                moved, hit = self.cache.ensure(transport, host, src, rel, workdir)
+                if hit and tracer is not None:
+                    tracer.instant(
+                        "cache_hit", seq=job.seq, slot=slot,
+                        host=host.name, file=rel, cat="staging",
+                    )
+            else:
+                transport.put(host, src, rel, workdir)
             staged.append(rel)
         return staged
 
@@ -152,11 +235,60 @@ class StagingPolicy:
 
     def cleanup_remote(
         self, transport: "Transport", host: "HostSpec",
-        relpaths: list[str], workdir: str,
+        relpaths: list[str], workdir: str, fetched: tuple = (),
     ) -> int:
-        """Remove staged files after the job (``--cleanup``); best-effort."""
-        if not self.cleanup or not relpaths:
+        """Remove staged files after the job (``--cleanup``); best-effort.
+
+        ``relpaths`` are the job's staged inputs, ``fetched`` its returned
+        outputs.  Without a cache both are removed immediately (one
+        batched ``remove``).  With the cache, inputs are *released*: only
+        those whose last reference this was are physically removed — a
+        shared input outlives each individual job and is cleaned once,
+        after its final consumer.
+        """
+        if not self.cleanup:
             return 0
         # Dedup, preserving order (a path may be both transferred and returned).
-        seen: dict[str, None] = dict.fromkeys(relpaths)
-        return transport.remove(host, list(seen), workdir)
+        rels = list(dict.fromkeys(relpaths))
+        extra = [r for r in dict.fromkeys(fetched) if r not in set(rels)]
+        if self.cache is None:
+            doomed = rels + extra
+            return transport.remove(host, doomed, workdir) if doomed else 0
+        releasable = self.cache.release(host, rels)
+        # Returned files are per-job outputs, never cache-managed: always
+        # removed.  Staged inputs with no cache entry (host invalidated
+        # mid-run) are left alone — the host's state is unknown.
+        doomed = releasable + extra
+        if not doomed:
+            return 0
+        try:
+            return transport.remove(host, doomed, workdir)
+        finally:
+            self.cache.removal_done(host, releasable)
+
+    def release_prefetched(
+        self, transport: "Transport", host: "HostSpec",
+        relpaths: list[str], workdir: str,
+    ) -> int:
+        """Drop a prefetch's extra references (after its job completed).
+
+        Mirrors :meth:`cleanup_remote` for the reference the staging lane
+        took when it staged ahead: without ``--cleanup`` the refcount drop
+        is bookkeeping only; with it, a last-reference file is removed.
+        """
+        if self.cache is None or not relpaths or not self.cleanup:
+            # Without --cleanup references are never acted on, so the
+            # release is skipped entirely: entries stay cached (and
+            # dedupable) for the rest of the run.
+            return 0
+        releasable = self.cache.release(host, relpaths)
+        if not releasable:
+            return 0
+        try:
+            return transport.remove(host, releasable, workdir)
+        finally:
+            self.cache.removal_done(host, releasable)
+
+    def staging_stats(self) -> dict:
+        """Cache counter snapshot (empty when uncached)."""
+        return self.cache.stats() if self.cache is not None else {}

@@ -60,7 +60,7 @@ from repro.core.options import TMPDIR_WORKDIR
 from repro.errors import StagingError, TransportError
 from repro.remote.hosts import HostSpec
 from repro.sim.netmodel import NetModel
-from repro.storage.transfer import copy_file, remove_files
+from repro.storage.transfer import copy_file, plan_streams, remove_files
 
 __all__ = [
     "Channel",
@@ -587,7 +587,12 @@ class SimTransport(Transport):
             raise StagingError(f"transfer source missing: {src!r}")
         with open(src, "rb") as fh:
             content = fh.read()
-        self._advance(host, self.model.transfer_time(len(content), self._jitter_u(host)))
+        # Charge the same multi-stream shape the executable transport
+        # uses, so calibrated benches see identical data-motion policy.
+        self._advance(host, self.model.transfer_time(
+            len(content), self._jitter_u(host),
+            streams=plan_streams(len(content)),
+        ))
         with self._lock:
             self.files.setdefault(host.name, {})[relpath] = content
         return len(content)
@@ -614,7 +619,8 @@ class SimTransport(Transport):
             for rel in relpaths:
                 if table.pop(rel, None) is not None:
                     removed += 1
-        self._advance(host, self.model.latency_s * len(relpaths))
+        # Removes are batched (one request per call, however many paths).
+        self._advance(host, self.model.remove_time(len(relpaths)))
         return removed
 
     def open_channel(self, host: HostSpec) -> "Channel":

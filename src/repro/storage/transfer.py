@@ -12,16 +12,32 @@ a transferred file lands *relative to the remote workdir* with its
 leading ``/`` (and any ``./``) stripped, mirroring ``rsync --relative``;
 ``..`` components are rejected so a crafted input line cannot stage
 outside the workdir.
+
+Large files copy through multiple concurrent streams (``pread``/
+``pwrite`` at disjoint offsets, the rsync ``--whole-file`` + parallel-
+chunk idiom DTN tooling uses): one Python thread per chunk, all writing
+into a pre-sized destination.  :func:`plan_streams` is the shared policy
+for how many streams a payload deserves, so the simulated transport can
+charge the same shape.
 """
 
 from __future__ import annotations
 
 import os
 import shutil
+import threading
 
 from repro.errors import StagingError
 
-__all__ = ["remote_relpath", "copy_file", "remove_files"]
+__all__ = ["remote_relpath", "copy_file", "remove_files", "plan_streams"]
+
+#: One stream per this many bytes (4 MiB), capped at :data:`MAX_STREAMS`.
+#: Below one chunk the thread handoff costs more than the overlap wins.
+STREAM_CHUNK = 4 << 20
+MAX_STREAMS = 4
+
+#: Read/write block inside one stream.
+_IO_BLOCK = 1 << 20
 
 
 def remote_relpath(path: str) -> str:
@@ -42,44 +58,105 @@ def remote_relpath(path: str) -> str:
     return norm
 
 
-def copy_file(src: str, dest: str) -> int:
+def plan_streams(nbytes: int) -> int:
+    """How many concurrent streams a payload of ``nbytes`` warrants."""
+    if nbytes <= 0:
+        return 1
+    return max(1, min(MAX_STREAMS, nbytes // STREAM_CHUNK))
+
+
+def copy_file(src: str, dest: str, streams: int | None = None) -> int:
     """Copy ``src`` to ``dest`` (parents created); returns bytes copied.
 
     A missing source is a :class:`StagingError` (the job's fault, not the
     host's); identical src/dest (a ``:`` localhost "transfer") is a no-op.
+    ``streams`` overrides :func:`plan_streams`; 1 is a plain ``copy2``.
+
+    The byte count is the *source* size at copy time: the destination may
+    already be growing (a job appending to its staged input) by the time
+    a post-copy ``getsize`` would run.
     """
     if not os.path.isfile(src):
         raise StagingError(f"transfer source missing: {src!r}")
+    size = os.path.getsize(src)
     if os.path.abspath(src) == os.path.abspath(dest):
-        return os.path.getsize(src)
+        return size
     parent = os.path.dirname(dest)
     if parent:
         os.makedirs(parent, exist_ok=True)
-    shutil.copy2(src, dest)
-    return os.path.getsize(dest)
+    n = plan_streams(size) if streams is None else max(1, streams)
+    if n <= 1:
+        shutil.copy2(src, dest)
+        return size
+    _copy_streamed(src, dest, size, n)
+    shutil.copystat(src, dest)  # copy2 parity (permissions, mtime)
+    return size
+
+
+def _copy_streamed(src: str, dest: str, size: int, streams: int) -> None:
+    """Concurrent disjoint-offset copy into a pre-sized destination."""
+    fd_in = os.open(src, os.O_RDONLY)
+    try:
+        fd_out = os.open(dest, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o666)
+        try:
+            os.truncate(fd_out, size)
+            span = -(-size // streams)
+            failures: list[OSError] = []
+
+            def pump(offset: int, end: int) -> None:
+                try:
+                    while offset < end:
+                        block = os.pread(
+                            fd_in, min(_IO_BLOCK, end - offset), offset
+                        )
+                        if not block:
+                            break  # src shrank under us; partial copy stands
+                        os.pwrite(fd_out, block, offset)
+                        offset += len(block)
+                except OSError as exc:
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(
+                    target=pump,
+                    args=(i * span, min(size, (i + 1) * span)),
+                    daemon=True,
+                )
+                for i in range(streams)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            if failures:
+                raise failures[0]
+        finally:
+            os.close(fd_out)
+    finally:
+        os.close(fd_in)
 
 
 def remove_files(paths: list[str], root: str | None = None) -> int:
     """Best-effort removal (``--cleanup``); returns how many were removed.
 
     Missing files are fine — a job may legitimately have consumed its own
-    staged input.  Emptied parent directories under ``root`` are pruned so
-    repeated staged runs don't accrete empty trees.
+    staged input.  Emptied parent directories strictly under ``root`` are
+    pruned so repeated staged runs don't accrete empty trees; the
+    containment check is component-wise (``root=/a/b`` never prunes
+    inside a sibling ``/a/b2``).
     """
     removed = 0
+    root_abs = os.path.abspath(root) if root is not None else None
     for path in paths:
         try:
             os.remove(path)
             removed += 1
         except OSError:
             continue
-        if root is None:
+        if root_abs is None:
             continue
-        parent = os.path.dirname(path)
-        root_abs = os.path.abspath(root)
-        while os.path.abspath(parent).startswith(root_abs) and os.path.abspath(
-            parent
-        ) != root_abs:
+        parent = os.path.abspath(os.path.dirname(path))
+        while parent != root_abs and parent.startswith(root_abs + os.sep):
             try:
                 os.rmdir(parent)
             except OSError:

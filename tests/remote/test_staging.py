@@ -1,5 +1,7 @@
 """StagingPolicy: per-job template rendering and transfer phases."""
 
+import threading
+
 import pytest
 
 from repro.core.job import Job
@@ -134,6 +136,148 @@ class TestStagingPolicy:
         (tmp_path / "missing.bin").write_bytes(b"late")
         pol.stage_basefiles(st, H1, "w")  # the retry succeeds
         assert st.files["h1"]["missing.bin"] == b"late"
+
+    @pytest.mark.parametrize("cached", [True, False])
+    def test_basefile_concurrent_waits_for_inflight_push(
+        self, tmp_path, monkeypatch, cached
+    ):
+        """Regression: the old mark-before-push set let a second job skip
+        staging and run while the basefile was still in flight.  A
+        concurrent call must *block until the push has finished*."""
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "model.bin").write_bytes(b"weights")
+        pol = StagingPolicy.from_options(self.opts(
+            basefiles=["model.bin"], staging_cache=cached,
+        ))
+        put_started = threading.Event()
+        release_put = threading.Event()
+
+        class SlowTransport(SimTransport):
+            def put(self, host, src, relpath, workdir):
+                put_started.set()
+                release_put.wait(5.0)
+                return super().put(host, src, relpath, workdir)
+
+        st = SlowTransport()
+        first_done = threading.Event()
+        second_done = threading.Event()
+
+        def first():
+            pol.stage_basefiles(st, H1, "w")
+            first_done.set()
+
+        def second():
+            pol.stage_basefiles(st, H1, "w")
+            second_done.set()
+
+        t1 = threading.Thread(target=first, daemon=True)
+        t1.start()
+        assert put_started.wait(5.0)
+        t2 = threading.Thread(target=second, daemon=True)
+        t2.start()
+        # The push is still in flight: neither caller may have returned.
+        assert not second_done.wait(0.1)
+        release_put.set()
+        assert first_done.wait(5.0) and second_done.wait(5.0)
+        t1.join(5.0)
+        t2.join(5.0)
+        assert st.files["h1"]["model.bin"] == b"weights"
+        # And exactly one physical push happened.
+        assert st.elapsed(H1) == pytest.approx(
+            st.model.transfer_time(len(b"weights"))
+        )
+
+    def test_basefile_dedups_against_transferfile(self, tmp_path, monkeypatch):
+        # With the cache, a --transferfile resolving to the same remote
+        # path as an already-staged --basefile never re-pushes.
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "model.bin").write_bytes(b"weights")
+        pol = StagingPolicy.from_options(self.opts(
+            basefiles=["model.bin"], transfer_files=["model.bin"],
+        ))
+        st = SimTransport()
+        pol.stage_basefiles(st, H1, "w")
+        before = st.elapsed(H1)
+        pol.stage_in(st, H1, job(arg="x"), 1, "w")
+        assert st.elapsed(H1) == pytest.approx(before)  # no second put
+        stats = pol.staging_stats()
+        assert stats["cache_hits"] == 1 and stats["files_staged"] == 1
+
+
+class TestCachedCleanup:
+    def opts(self, **kw):
+        kw.setdefault("sshlogin", ["2/h1,2/h2"])
+        return Options(jobs=2, **kw)
+
+    def test_shared_input_survives_until_last_release(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "shared.txt").write_bytes(b"x")
+        pol = StagingPolicy.from_options(self.opts(
+            transfer_files=["shared.txt"], cleanup=True,
+        ))
+        st = SimTransport()
+        pol.stage_in(st, H1, job(seq=1), 1, "w")
+        pol.stage_in(st, H1, job(seq=2), 2, "w")
+        pol.cleanup_remote(st, H1, ["shared.txt"], "w")
+        assert "shared.txt" in st.files["h1"]  # job 2 still references it
+        pol.cleanup_remote(st, H1, ["shared.txt"], "w")
+        assert "shared.txt" not in st.files["h1"]
+
+    def test_fetched_outputs_always_removed(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "in.txt").write_bytes(b"x")
+        pol = StagingPolicy.from_options(self.opts(
+            transfer_files=["in.txt"], cleanup=True,
+        ))
+        st = SimTransport()
+        pol.stage_in(st, H1, job(seq=1), 1, "w")
+        pol.stage_in(st, H1, job(seq=2), 2, "w")
+        st.provide(H1, "out.txt", b"result")
+        pol.cleanup_remote(st, H1, ["in.txt"], "w", fetched=("out.txt",))
+        # The per-job output goes; the still-referenced input stays.
+        assert "out.txt" not in st.files["h1"]
+        assert "in.txt" in st.files["h1"]
+
+    def test_release_prefetched_without_cleanup_keeps_entry(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "in.txt").write_bytes(b"x")
+        pol = StagingPolicy.from_options(self.opts(
+            transfer_files=["in.txt"], cleanup=False,
+        ))
+        st = SimTransport()
+        pol.stage_in(st, H1, job(seq=1), 1, "w")
+        assert pol.release_prefetched(st, H1, ["in.txt"], "w") == 0
+        assert "in.txt" in st.files["h1"]
+        # And the entry is still dedupable afterwards (no leaked gate).
+        before = st.elapsed(H1)
+        pol.stage_in(st, H1, job(seq=2), 2, "w")
+        assert st.elapsed(H1) == pytest.approx(before)
+
+    def test_release_prefetched_with_cleanup_removes_last_ref(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "in.txt").write_bytes(b"x")
+        pol = StagingPolicy.from_options(self.opts(
+            transfer_files=["in.txt"], cleanup=True,
+        ))
+        st = SimTransport()
+        pol.stage_in(st, H1, job(seq=1), 1, "w")
+        pol.release_prefetched(st, H1, ["in.txt"], "w")
+        assert "in.txt" not in st.files["h1"]
+
+    def test_prefetchable_gates_on_slot_templates(self):
+        pol = StagingPolicy.from_options(self.opts(
+            transfer_files=["in/{%}.txt"],
+        ))
+        assert not pol.prefetchable
+        pol = StagingPolicy.from_options(self.opts(transfer_files=["in/{}.txt"]))
+        assert pol.prefetchable
+        assert not StagingPolicy.from_options(self.opts()).prefetchable
 
 
 class TestOptionsValidation:

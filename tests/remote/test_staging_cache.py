@@ -1,0 +1,236 @@
+"""StagingCache: content-addressed dedup, refcounts, gates, invalidation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import StagingError
+from repro.remote.cache import StagingCache
+from repro.remote.hosts import HostSpec
+from repro.remote.transport import SimTransport
+
+H1 = HostSpec("h1", 2)
+H2 = HostSpec("h2", 2)
+
+
+class CountingTransport(SimTransport):
+    """SimTransport that counts physical puts/removes."""
+
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self.puts = 0
+        self.removes = 0
+
+    def put(self, host, src, relpath, workdir):
+        self.puts += 1
+        return super().put(host, src, relpath, workdir)
+
+    def remove(self, host, relpaths, workdir):
+        self.removes += 1
+        return super().remove(host, relpaths, workdir)
+
+
+@pytest.fixture
+def src(tmp_path):
+    path = tmp_path / "in.dat"
+    path.write_bytes(b"shared payload")
+    return str(path)
+
+
+class TestDedup:
+    def test_second_ensure_is_a_hit(self, src):
+        cache, st = StagingCache(), CountingTransport()
+        moved, hit = cache.ensure(st, H1, src, "in.dat", "w")
+        assert (moved, hit) == (14, False)
+        moved, hit = cache.ensure(st, H1, src, "in.dat", "w")
+        assert (moved, hit) == (0, True)
+        assert st.puts == 1
+
+    def test_per_host_not_global(self, src):
+        cache, st = StagingCache(), CountingTransport()
+        cache.ensure(st, H1, src, "in.dat", "w")
+        _, hit = cache.ensure(st, H2, src, "in.dat", "w")
+        assert not hit and st.puts == 2
+
+    def test_distinct_rels_stage_separately(self, src):
+        cache, st = StagingCache(), CountingTransport()
+        cache.ensure(st, H1, src, "a.dat", "w")
+        _, hit = cache.ensure(st, H1, src, "b.dat", "w")
+        assert not hit and st.puts == 2
+
+    def test_missing_source_is_staging_error(self, tmp_path):
+        cache = StagingCache()
+        with pytest.raises(StagingError):
+            cache.ensure(CountingTransport(), H1,
+                         str(tmp_path / "nope"), "nope", "w")
+
+    def test_stats_track_bytes(self, src):
+        cache, st = StagingCache(), CountingTransport()
+        for _ in range(3):
+            cache.ensure(st, H1, src, "in.dat", "w")
+        stats = cache.stats()
+        assert stats["files_staged"] == 1
+        assert stats["cache_hits"] == 2
+        assert stats["bytes_moved"] == 14
+        assert stats["bytes_staged_avoided"] == 28
+
+
+class TestContentIdentity:
+    def test_touched_mtime_same_content_promotes_to_hit(self, tmp_path, src):
+        # A copy with a different (path, mtime) but identical bytes must
+        # not re-push: the sha256 promotion proves identity.
+        cache, st = StagingCache(), CountingTransport()
+        cache.ensure(st, H1, src, "in.dat", "w")
+        twin = tmp_path / "twin.dat"
+        twin.write_bytes(b"shared payload")
+        _, hit = cache.ensure(st, H1, str(twin), "in.dat", "w")
+        assert hit and st.puts == 1
+
+    def test_changed_content_restages(self, tmp_path, src):
+        cache, st = StagingCache(), CountingTransport()
+        cache.ensure(st, H1, src, "in.dat", "w")
+        other = tmp_path / "other.dat"
+        other.write_bytes(b"DIFFERENT bytes!!")
+        _, hit = cache.ensure(st, H1, str(other), "in.dat", "w")
+        assert not hit and st.puts == 2
+        assert st.files["h1"]["in.dat"] == b"DIFFERENT bytes!!"
+
+    def test_source_mutated_in_place_restages(self, tmp_path):
+        path = tmp_path / "mut.dat"
+        path.write_bytes(b"v1")
+        cache, st = StagingCache(), CountingTransport()
+        cache.ensure(st, H1, str(path), "mut.dat", "w")
+        time.sleep(0.01)  # ensure a distinct mtime_ns
+        path.write_bytes(b"v2")
+        _, hit = cache.ensure(st, H1, str(path), "mut.dat", "w")
+        assert not hit
+        assert st.files["h1"]["mut.dat"] == b"v2"
+
+
+class TestRefcounts:
+    def test_last_release_evicts(self, src):
+        cache, st = StagingCache(), CountingTransport()
+        cache.ensure(st, H1, src, "in.dat", "w")  # ref 1
+        cache.ensure(st, H1, src, "in.dat", "w")  # ref 2
+        assert cache.release(H1, ["in.dat"]) == []
+        doomed = cache.release(H1, ["in.dat"])
+        assert doomed == ["in.dat"]
+        cache.removal_done(H1, doomed)
+
+    def test_permanent_never_released(self, src):
+        cache, st = StagingCache(), CountingTransport()
+        cache.ensure(st, H1, src, "in.dat", "w", permanent=True)
+        assert cache.release(H1, ["in.dat"]) == []
+        assert cache.release(H1, ["in.dat"]) == []
+
+    def test_unknown_rel_ignored(self):
+        cache = StagingCache()
+        assert cache.release(H1, ["never-staged"]) == []
+
+    def test_restage_after_eviction(self, src):
+        cache, st = StagingCache(), CountingTransport()
+        cache.ensure(st, H1, src, "in.dat", "w")
+        doomed = cache.release(H1, ["in.dat"])
+        st.remove(H1, doomed, "w")
+        cache.removal_done(H1, doomed)
+        _, hit = cache.ensure(st, H1, src, "in.dat", "w")
+        assert not hit and st.puts == 2
+
+
+class TestGates:
+    def test_concurrent_ensures_push_once(self, src):
+        release = threading.Event()
+
+        class SlowTransport(CountingTransport):
+            def put(self, host, src_, relpath, workdir):
+                release.wait(2.0)
+                return super().put(host, src_, relpath, workdir)
+
+        cache, st = StagingCache(), SlowTransport()
+        hits = []
+
+        def worker():
+            hits.append(cache.ensure(st, H1, src, "in.dat", "w")[1])
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        release.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert st.puts == 1
+        assert sorted(hits) == [False, True, True, True]
+
+    def test_owner_failure_wakes_waiters_to_retry(self, src):
+        calls = []
+
+        class FlakyTransport(CountingTransport):
+            def put(self, host, src_, relpath, workdir):
+                calls.append(1)
+                if len(calls) == 1:
+                    time.sleep(0.05)
+                    raise OSError("link dropped")
+                return super().put(host, src_, relpath, workdir)
+
+        cache, st = StagingCache(), FlakyTransport()
+        outcomes = []
+
+        def worker():
+            try:
+                outcomes.append(cache.ensure(st, H1, src, "in.dat", "w"))
+            except OSError:
+                outcomes.append("error")
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        # One thread saw the failure; the other retried and staged.
+        assert "error" in outcomes
+        assert any(o != "error" and o[1] is False for o in outcomes)
+        assert st.files["h1"]["in.dat"] == b"shared payload"
+
+    def test_removal_gate_blocks_restage(self, src):
+        cache, st = StagingCache(), CountingTransport()
+        cache.ensure(st, H1, src, "in.dat", "w")
+        doomed = cache.release(H1, ["in.dat"])
+        assert doomed == ["in.dat"]  # gate installed, remove "in flight"
+        staged = threading.Event()
+
+        def restage():
+            cache.ensure(st, H1, src, "in.dat", "w")
+            staged.set()
+
+        t = threading.Thread(target=restage, daemon=True)
+        t.start()
+        # The re-stage must wait for the physical remove to finish.
+        assert not staged.wait(0.1)
+        st.remove(H1, doomed, "w")
+        cache.removal_done(H1, doomed)
+        assert staged.wait(5.0)
+        t.join(timeout=5.0)
+        assert st.files["h1"]["in.dat"] == b"shared payload"
+
+
+class TestInvalidation:
+    def test_invalidate_host_forces_repush(self, src):
+        cache, st = StagingCache(), CountingTransport()
+        cache.ensure(st, H1, src, "in.dat", "w")
+        cache.ensure(st, H2, src, "in.dat", "w")
+        cache.invalidate_host("h1")
+        _, hit1 = cache.ensure(st, H1, src, "in.dat", "w")
+        _, hit2 = cache.ensure(st, H2, src, "in.dat", "w")
+        assert not hit1  # h1's state was forgotten
+        assert hit2      # h2 untouched
+
+    def test_invalidate_clears_removal_gates(self, src):
+        cache, st = StagingCache(), CountingTransport()
+        cache.ensure(st, H1, src, "in.dat", "w")
+        cache.release(H1, ["in.dat"])  # gate installed
+        cache.invalidate_host("h1")
+        # No deadlock: the gate was set and dropped.
+        _, hit = cache.ensure(st, H1, src, "in.dat", "w")
+        assert not hit

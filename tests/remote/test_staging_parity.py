@@ -1,0 +1,215 @@
+"""Staging parity: cache and overlap must never change job-visible output.
+
+The content-addressed cache and the ``--stage-ahead`` lane are pure
+*cost* optimizations — every run here asserts byte-for-byte identical
+stdout, identical joblog accounting (seqs, exit codes), and identical
+returned files against the synchronous uncached baseline.  The chaos leg
+kills a host mid-run (prefetches in flight) and requires the same
+guarantee to survive re-placement and cache invalidation.
+"""
+
+import os
+
+import pytest
+
+from repro.core.engine import Parallel
+from repro.core.joblog import read_joblog
+from repro.faults import FaultyTransport
+from repro.remote import LocalTransport
+
+# One slot per host: the *uncached* baseline removes a job's staged
+# files right after it, so two concurrent jobs on one host would race on
+# the shared input (stage/cleanup interleaving) — the exact hazard the
+# refcounted cache removes.  Parity must compare against a baseline that
+# is itself deterministic, so same-host concurrency stays at 1.
+FOUR_HOSTS = "1/n1,1/n2,1/n3,1/n4"
+COMMAND = (
+    "mkdir -p out && cat in/shared.txt in/{}.txt > out/{}.txt "
+    "&& cat out/{}.txt"
+)
+INPUTS = [f"f{i:02d}" for i in range(10)]
+
+
+def populate(root):
+    (root / "in").mkdir()
+    (root / "in" / "shared.txt").write_text("SHARED PAYLOAD\n" * 64)
+    for name in INPUTS:
+        (root / "in" / f"{name}.txt").write_text(f"payload of {name}\n")
+
+
+def run_variant(root, *, transport=None, **kw):
+    populate(root)
+    cwd = os.getcwd()
+    os.chdir(root)
+    try:
+        kw.setdefault("jobs", 2)
+        kw.setdefault("sshlogin", [FOUR_HOSTS])
+        kw.setdefault("transfer_files", ["in/shared.txt", "in/{}.txt"])
+        kw.setdefault("return_files", ["out/{}.txt"])
+        kw.setdefault("cleanup", True)
+        kw.setdefault("keep_order", True)
+        kw.setdefault("joblog", str(root / "joblog.tsv"))
+        engine = Parallel(COMMAND, **kw)
+        if transport is not None:
+            from repro.core.template import CommandTemplate
+            from repro.remote import RemoteBackend, parse_sshlogin
+
+            backend = RemoteBackend(
+                parse_sshlogin(kw["sshlogin"][0]), transport,
+                template=CommandTemplate(COMMAND),
+            )
+            engine = Parallel(COMMAND, backend=backend, **kw)
+        summary = engine.run(INPUTS)
+    finally:
+        os.chdir(cwd)
+    return summary
+
+
+def observable(root, summary):
+    """Everything a user can see from a run: stdout, exits, files, joblog."""
+    stdout = {r.seq: r.stdout for r in summary.results}
+    exits = {r.seq: r.exit_code for r in summary.results}
+    returned = {
+        name: (root / "out" / f"{name}.txt").read_bytes() for name in INPUTS
+    }
+    log = {
+        e.seq: e.exitval for e in read_joblog(str(root / "joblog.tsv"))
+    }
+    return {
+        "stdout": stdout, "exits": exits, "returned": returned, "joblog": log,
+    }
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    root = tmp_path / "baseline"
+    root.mkdir()
+    summary = run_variant(root, staging_cache=False, stage_ahead=0)
+    assert summary.ok
+    return observable(root, summary)
+
+
+class TestParity:
+    def test_cached_matches_uncached(self, tmp_path, baseline):
+        root = tmp_path / "cached"
+        root.mkdir()
+        summary = run_variant(root, staging_cache=True, stage_ahead=0)
+        assert summary.ok
+        assert observable(root, summary) == baseline
+        assert summary.staging["files_staged"] > 0
+        # With --cleanup and one slot per host every sequential job is
+        # the last referencer, so zero hits here is *correct*: eviction
+        # between jobs is exactly what deferred refcounted cleanup does.
+
+    def test_cached_without_cleanup_dedups_shared_input(
+        self, tmp_path, baseline
+    ):
+        """Without --cleanup entries persist for the whole run, so the
+        shared input is staged at most once per host: 10 jobs over 4
+        hosts must see >= 6 hits.  Cleanup only touches remote workdirs,
+        which the user-visible observables cannot see — parity holds."""
+        root = tmp_path / "nocleanup"
+        root.mkdir()
+        summary = run_variant(
+            root, staging_cache=True, stage_ahead=0, cleanup=False,
+        )
+        assert summary.ok
+        assert observable(root, summary) == baseline
+        assert summary.staging["cache_hits"] >= len(INPUTS) - 4
+        assert summary.staging["bytes_staged_avoided"] > 0
+
+    @pytest.mark.parametrize("ahead", [2, 6])
+    def test_stage_ahead_matches_synchronous(self, tmp_path, baseline, ahead):
+        root = tmp_path / f"ahead{ahead}"
+        root.mkdir()
+        summary = run_variant(root, staging_cache=True, stage_ahead=ahead)
+        assert summary.ok
+        assert observable(root, summary) == baseline
+        assert summary.staging.get("prefetched_jobs", 0) > 0
+
+    def test_uncached_summary_has_no_staging_block(self, tmp_path):
+        root = tmp_path / "uncached"
+        root.mkdir()
+        summary = run_variant(root, staging_cache=False, stage_ahead=0)
+        assert summary.ok
+        assert summary.staging == {}
+
+
+class TestChaosLeg:
+    def test_host_death_mid_prefetch_reroutes_without_stale_reuse(
+        self, tmp_path, baseline
+    ):
+        """n1 dies after 2 completed commands while the staging lane is
+        prefetching ahead: its jobs must re-place, its cache entries must
+        be invalidated (no job may trust files on the dead host), and the
+        run's user-visible output must still match the baseline."""
+        root = tmp_path / "chaos"
+        root.mkdir()
+        transport = FaultyTransport(LocalTransport(), host_down_after={"n1": 2})
+        summary = run_variant(
+            root, transport=transport,
+            staging_cache=True, stage_ahead=4, ban_after=2,
+        )
+        assert summary.ok
+        assert observable(root, summary) == baseline
+        assert transport.injected.get("host_down", 0) > 0
+
+    def test_all_prefetch_hosts_down_still_completes(self, tmp_path, baseline):
+        """Prefetch errors are advisory: with every named host dying after
+        a couple of commands except one, the run must still finish with
+        correct output via the survivor."""
+        root = tmp_path / "survivor"
+        root.mkdir()
+        transport = FaultyTransport(
+            LocalTransport(),
+            host_down_after={"n1": 1, "n2": 1, "n3": 1},
+        )
+        summary = run_variant(
+            root, transport=transport,
+            staging_cache=True, stage_ahead=4, ban_after=1,
+        )
+        assert summary.ok
+        assert observable(root, summary) == baseline
+
+
+def trace_cats(trace_path):
+    import json
+
+    doc = json.loads(trace_path.read_text())
+    cats = {
+        (e.get("name"), e.get("cat"))
+        for e in doc["traceEvents"] if e.get("ph") in ("X", "i")
+    }
+    return doc, cats
+
+
+class TestTraceSurface:
+    def test_trace_carries_staging_category_and_run_totals(self, tmp_path):
+        # cleanup=False keeps cache entries alive across sequential jobs
+        # on 1-slot hosts, so cache_hit instants are guaranteed.
+        root = tmp_path / "traced"
+        root.mkdir()
+        trace_path = root / "trace.json"
+        summary = run_variant(
+            root, staging_cache=True, stage_ahead=0, cleanup=False,
+            trace=str(trace_path),
+        )
+        assert summary.ok
+        doc, cats = trace_cats(trace_path)
+        assert ("stage_in", "staging") in cats
+        assert ("cache_hit", "staging") in cats
+        staging = doc["otherData"]["staging"]
+        assert staging["cache_hits"] > 0
+        assert staging["bytes_staged_avoided"] > 0
+
+    def test_trace_carries_cleanup_spans(self, tmp_path):
+        root = tmp_path / "traced-cleanup"
+        root.mkdir()
+        trace_path = root / "trace.json"
+        summary = run_variant(
+            root, staging_cache=True, stage_ahead=0, trace=str(trace_path),
+        )
+        assert summary.ok
+        _doc, cats = trace_cats(trace_path)
+        assert ("stage_in", "staging") in cats
+        assert ("cleanup", "staging") in cats

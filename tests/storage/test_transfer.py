@@ -1,0 +1,152 @@
+"""Real-filesystem transfer primitives: streams, sizes, pruning."""
+
+import os
+
+import pytest
+
+from repro.errors import StagingError
+from repro.storage.transfer import (
+    MAX_STREAMS,
+    STREAM_CHUNK,
+    copy_file,
+    plan_streams,
+    remote_relpath,
+    remove_files,
+)
+
+
+class TestPlanStreams:
+    def test_small_payload_single_stream(self):
+        assert plan_streams(0) == 1
+        assert plan_streams(1) == 1
+        assert plan_streams(STREAM_CHUNK - 1) == 1
+
+    def test_one_stream_per_chunk(self):
+        assert plan_streams(STREAM_CHUNK) == 1
+        assert plan_streams(2 * STREAM_CHUNK) == 2
+        assert plan_streams(3 * STREAM_CHUNK + 5) == 3
+
+    def test_capped_at_max(self):
+        assert plan_streams(100 * STREAM_CHUNK) == MAX_STREAMS
+
+    def test_negative_is_one(self):
+        assert plan_streams(-7) == 1
+
+
+class TestCopyFile:
+    def test_returns_source_size(self, tmp_path):
+        src = tmp_path / "a.bin"
+        src.write_bytes(b"x" * 1234)
+        dest = tmp_path / "sub" / "a.bin"
+        assert copy_file(str(src), str(dest)) == 1234
+        assert dest.read_bytes() == b"x" * 1234
+
+    def test_missing_source_raises_staging_error(self, tmp_path):
+        with pytest.raises(StagingError):
+            copy_file(str(tmp_path / "nope"), str(tmp_path / "d"))
+
+    def test_same_path_noop(self, tmp_path):
+        src = tmp_path / "a.bin"
+        src.write_bytes(b"hello")
+        assert copy_file(str(src), str(src)) == 5
+        assert src.read_bytes() == b"hello"
+
+    def test_multi_stream_copy_is_byte_identical(self, tmp_path):
+        # > 2 chunks with an uneven tail: spans cover the whole payload.
+        payload = os.urandom(2 * STREAM_CHUNK + 12345)
+        src = tmp_path / "big.bin"
+        src.write_bytes(payload)
+        dest = tmp_path / "out" / "big.bin"
+        assert copy_file(str(src), str(dest)) == len(payload)
+        assert dest.read_bytes() == payload
+
+    def test_explicit_streams_override(self, tmp_path):
+        payload = os.urandom(STREAM_CHUNK // 2)  # auto-plan would pick 1
+        src = tmp_path / "mid.bin"
+        src.write_bytes(payload)
+        dest = tmp_path / "mid.out"
+        assert copy_file(str(src), str(dest), streams=3) == len(payload)
+        assert dest.read_bytes() == payload
+
+    def test_streamed_copy_preserves_mode(self, tmp_path):
+        payload = os.urandom(2 * STREAM_CHUNK)
+        src = tmp_path / "exe.bin"
+        src.write_bytes(payload)
+        os.chmod(src, 0o755)
+        dest = tmp_path / "exe.out"
+        copy_file(str(src), str(dest))
+        assert os.stat(dest).st_mode & 0o777 == 0o755
+
+    def test_overwrites_larger_existing_dest(self, tmp_path):
+        payload = os.urandom(2 * STREAM_CHUNK)
+        src = tmp_path / "small.bin"
+        src.write_bytes(payload)
+        dest = tmp_path / "dest.bin"
+        dest.write_bytes(b"z" * (3 * STREAM_CHUNK))  # stale, larger
+        copy_file(str(src), str(dest))
+        assert dest.read_bytes() == payload
+
+
+class TestRemoveFiles:
+    def test_removes_and_counts(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        a.write_text("1")
+        b.write_text("2")
+        assert remove_files([str(a), str(b), str(tmp_path / "ghost")]) == 2
+        assert not a.exists() and not b.exists()
+
+    def test_prunes_empty_parents_up_to_root(self, tmp_path):
+        root = tmp_path / "work"
+        leaf = root / "in" / "deep" / "f.txt"
+        leaf.parent.mkdir(parents=True)
+        leaf.write_text("x")
+        assert remove_files([str(leaf)], root=str(root)) == 1
+        assert not (root / "in").exists()
+        assert root.exists()  # the root itself is never pruned
+
+    def test_stops_at_nonempty_parent(self, tmp_path):
+        root = tmp_path / "work"
+        d = root / "in"
+        d.mkdir(parents=True)
+        (d / "keep.txt").write_text("keep")
+        (d / "gone.txt").write_text("x")
+        remove_files([str(d / "gone.txt")], root=str(root))
+        assert (d / "keep.txt").exists()
+        assert d.exists()
+
+    def test_sibling_root_prefix_not_pruned(self, tmp_path):
+        # root "d" must never prune inside sibling "d2" even though
+        # "d2".startswith("d"): containment is component-wise.
+        root = tmp_path / "d"
+        root.mkdir()
+        sib = tmp_path / "d2" / "sub"
+        sib.mkdir(parents=True)
+        f = sib / "f.txt"
+        f.write_text("x")
+        remove_files([str(f)], root=str(root))
+        assert sib.exists()  # outside root: left alone
+
+    def test_no_root_no_pruning(self, tmp_path):
+        d = tmp_path / "in"
+        d.mkdir()
+        f = d / "f.txt"
+        f.write_text("x")
+        remove_files([str(f)])
+        assert d.exists()
+
+
+class TestRemoteRelpath:
+    def test_strips_leading_slash_and_dot(self):
+        assert remote_relpath("/data/a.txt") == "data/a.txt"
+        assert remote_relpath("./in/x") == "in/x"
+
+    def test_rejects_escapes(self):
+        with pytest.raises(StagingError):
+            remote_relpath("../x")
+        with pytest.raises(StagingError):
+            remote_relpath("a/../../x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(StagingError):
+            remote_relpath("/")
