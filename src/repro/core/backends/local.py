@@ -143,6 +143,9 @@ class LocalShellBackend(Backend):
                 and spawn_supported()
             )
             self._use_spawn = False  # jobs go to workers, not in-process
+            batch = 1
+            if hasattr(options, "effective_rpc_batch"):
+                batch = options.effective_rpc_batch()
             self._pool = DispatcherPool(
                 n_disp,
                 shell=self.shell,
@@ -150,6 +153,7 @@ class LocalShellBackend(Backend):
                 use_posix=self._pool_posix,
                 nice=options.nice,
                 on_event=self._pool_event,
+                batch=batch,
             )
             self._pool.start()
             return
@@ -167,10 +171,46 @@ class LocalShellBackend(Backend):
             if self._reaper is None:
                 self._reaper = PipeReaper()
 
-    def _pool_event(self, name: str, shard: int, requeued: int) -> None:
-        """Pool fault hook → trace instant (``dispatcher_death`` etc.)."""
-        if self._tracer is not None:
-            self._tracer.instant(name, shard=shard, requeued=requeued)
+    def _pool_event(self, name: str, shard: int, n: int) -> None:
+        """Pool event hook → trace instant.
+
+        ``rpc_frame`` instants carry the frame's record count (the
+        per-shard frame-size series that makes batching behavior visible
+        in the Chrome trace); ``dispatcher_death`` carries the number of
+        re-queued jobs.
+        """
+        if self._tracer is None:
+            return
+        if name == "rpc_frame":
+            self._tracer.instant(name, shard=shard, n_jobs=n, lane=shard + 1)
+        else:
+            self._tracer.instant(name, shard=shard, requeued=n)
+
+    def intern_template(self, template, options: Options) -> None:
+        """Ship the command template to the dispatcher shards once.
+
+        Only string-mode templates with replacement tokens qualify:
+        argv-mode rendering goes through ``shlex.join`` quoting that a
+        worker-side string rebuild would not reproduce, and ``--pipe``
+        rewrites the argument at dispatch time.  Unsupported shapes
+        simply keep sending raw rendered commands — a cost difference,
+        never a semantic one.
+        """
+        if self._pool is None or template is None:
+            return
+        if getattr(template, "_argv_mode", True):
+            return
+        if not getattr(template, "has_any_token", False):
+            return
+        if getattr(options, "pipe_mode", False):
+            return
+        self._pool.intern_template(template.source, quote=options.quote)
+
+    def control_plane_stats(self) -> dict:
+        """RPC frame counters for the run summary (empty when unsharded)."""
+        if self._pool is None:
+            return {}
+        return self._pool.stats()
 
     @property
     def spawn_path(self) -> str:
@@ -183,6 +223,11 @@ class LocalShellBackend(Backend):
     def dispatchers(self) -> int:
         """Dispatcher shard count the current run resolved to."""
         return self._dispatchers if self._pool is not None else 1
+
+    @property
+    def rpc_batch(self) -> int:
+        """RPC frame size the current run resolved to (1 = unbatched)."""
+        return self._pool.batch if self._pool is not None else 1
 
     @staticmethod
     def _merged_env(options: Options) -> dict[str, str] | None:
@@ -244,7 +289,13 @@ class LocalShellBackend(Backend):
         pool = self._pool
         assert pool is not None
         start = time.time()
-        reply = pool.run(job.command, timeout=timeout, cancelled=self._cancelled)
+        # args/seq/slot ride along so an interned-template pool can send
+        # the argument delta instead of the rendered command; the worker
+        # re-render is byte-identical to job.command by construction.
+        reply = pool.run(
+            job.command, timeout=timeout, cancelled=self._cancelled,
+            args=job.args, seq=job.seq, slot=slot,
+        )
         end = time.time()
         if reply.kind == "lost":
             # Every shard died with this job in flight: the loss is an

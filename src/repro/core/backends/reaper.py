@@ -164,9 +164,22 @@ class PipeReaper:
 
     ``use_pidfd`` selects the exit-collection leg: None (default) probes
     on first registration, False forces the waitpid-polling fallback.
+
+    ``on_batch_end`` (optional) is invoked from the reaper thread after
+    any ``select()`` cycle that completed at least one handle — a batch
+    boundary for callers that coalesce per-handle ``on_done`` output
+    (dispatcher workers flush one result *frame* per cycle instead of
+    one write per exit, so completions that queued up while the worker
+    waited for CPU amortize into a single parent wakeup).
     """
 
-    def __init__(self, use_pidfd: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        use_pidfd: Optional[bool] = None,
+        on_batch_end: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self._on_batch_end = on_batch_end
+        self._batch_dirty = False
         self._sel = selectors.DefaultSelector()
         self._wake_r, self._wake_w = os.pipe()
         os.set_blocking(self._wake_r, False)
@@ -297,6 +310,12 @@ class PipeReaper:
                         self._zombies.append(handle)  # waitpid fallback leg
                     # else: pidfd registered; its event delivers the status
             self._collect_zombies()
+            if self._batch_dirty:
+                self._batch_dirty = False
+                try:
+                    self._on_batch_end()  # type: ignore[misc]
+                except Exception:
+                    pass  # a broken sink must not kill the loop
 
     def _admit_pending(self) -> None:
         while True:
@@ -353,6 +372,8 @@ class PipeReaper:
             self._handles.discard(handle)
         status = handle._status if handle._status is not None else 0
         handle._finish(status)
+        if self._on_batch_end is not None:
+            self._batch_dirty = True
 
     def _collect_zombies(self) -> None:
         if not self._zombies:
@@ -387,6 +408,13 @@ class PipeReaper:
         for handle in outstanding:
             if not handle.done:
                 handle._finish(127)
+        if self._on_batch_end is not None:
+            # Ship anything the on_done callbacks deferred: there will be
+            # no further batch boundary after the loop exits.
+            try:
+                self._on_batch_end()
+            except Exception:
+                pass
         try:
             self._sel.unregister(self._wake_r)
         except (KeyError, ValueError):

@@ -130,6 +130,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         "(default; one in-process dispatcher) or N worker "
                         "processes fed from one sharded queue; output is "
                         "byte-identical either way")
+    # Engine extension: spawn/result frame size for sharded dispatch —
+    # the control-plane amortization knob.
+    p.add_argument("--rpc-batch", default="auto", dest="rpc_batch",
+                   metavar="auto|N",
+                   help="records per shard RPC frame with --dispatchers: "
+                        "auto (default; adapts to -j) or N >= 1 "
+                        "(1 = ship every record immediately)")
+    # Engine extension: in-memory result retention window.
+    p.add_argument("--keep-results", default="auto", dest="keep_results",
+                   metavar="N|all",
+                   help="in-memory results kept on the run summary: N, "
+                        "all (unbounded), or auto (default; a bounded "
+                        "window — joblog/results/metrics sinks remain "
+                        "the durable record)")
     p.add_argument("--link", action="store_true",
                    help="link (zip) input sources instead of crossing them")
     p.add_argument("--wd", "--workdir", dest="workdir", default=None,
@@ -263,6 +277,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             nice=ns.nice,
             spawn_path=ns.spawn_path,
             dispatchers=ns.dispatchers,
+            rpc_batch=ns.rpc_batch,
+            keep_results=ns.keep_results,
             linebuffer=ns.linebuffer,
             colsep=ns.colsep,
             max_load=ns.max_load,

@@ -143,7 +143,15 @@ class Parallel:
         Raises :class:`RuntimeError` if any job failed, with the first
         failure's traceback attached.
         """
-        summary = self._run(inputs)
+        options = self.options
+        if options.keep_results == "auto":
+            # map() hands back every return value, so the default bounded
+            # retention window must widen to the whole run; an explicit
+            # --keep-results is honoured (and truncates, documented).
+            import dataclasses
+
+            options = dataclasses.replace(options, keep_results="all")
+        summary = self._run(inputs, options=options)
         if summary.n_failed:
             first_bad = next(r for r in summary.sorted_results() if not r.ok)
             raise RuntimeError(
@@ -152,11 +160,14 @@ class Parallel:
             )
         return [r.value for r in summary.sorted_results()]
 
-    def _run(self, source: Iterable[object]) -> RunSummary:
+    def _run(
+        self, source: Iterable[object], options: Optional[Options] = None
+    ) -> RunSummary:
         backend = self._make_backend()
         emit = self._make_emit()
+        options = options if options is not None else self.options
         return run_scheduler(
-            self.template, source, self._scheduler_options(self.options, backend),
+            self.template, source, self._scheduler_options(options, backend),
             backend, emit, progress=self._progress,
         )
 

@@ -133,16 +133,19 @@ def link(sources: Sequence[Iterable[object]]) -> Iterator[ArgGroup]:
         yield tuple(map(_coerce, group))
 
 
-def shuffled(source: Iterable[object], seed: int | None = None) -> Iterator[ArgGroup]:
+def shuffled(source: Iterable[object], seed: int | None = None) -> list[ArgGroup]:
     """Materialize and shuffle a source (``--shuf``), deterministically.
 
     ``seed=None`` uses a fixed default (0) rather than OS entropy so runs
-    are reproducible by default; pass an explicit seed to vary.
+    are reproducible by default; pass an explicit seed to vary.  Returns
+    the shuffled *list* — shuffling necessarily materializes, and handing
+    the list back lets the scheduler read ``len()`` for ``--eta``/halt
+    totals without a second materialization pass.
     """
     groups = [g if isinstance(g, tuple) else (_coerce(g),) for g in source]
     rng = random.Random(0 if seed is None else seed)
     rng.shuffle(groups)
-    return iter(groups)
+    return groups
 
 
 class QueueSource:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, MutableSequence, Optional, Sequence
 
 __all__ = ["JobState", "Job", "JobResult", "RunSummary"]
 
@@ -78,9 +78,20 @@ class JobResult:
 
 @dataclass
 class RunSummary:
-    """Aggregate statistics for one engine run."""
+    """Aggregate statistics for one engine run.
 
-    results: list[JobResult] = field(default_factory=list)
+    ``results`` is the in-memory retention window: a plain list when the
+    run keeps everything, or a bounded ``collections.deque`` (oldest
+    evicted first) when ``--keep-results N`` caps coordinator memory —
+    the regime the paper targets is millions of jobs, where an unbounded
+    result list is the difference between O(slots) and O(total) RSS.
+    Every aggregate below (``n_completed``, ``exit_counts``, launch-rate
+    window, ...) is maintained incrementally by :meth:`record`, so
+    nothing downstream *needs* the full list; the joblog/metrics sinks
+    remain the durable per-job record.
+    """
+
+    results: MutableSequence[JobResult] = field(default_factory=list)
     n_dispatched: int = 0
     n_succeeded: int = 0
     n_failed: int = 0
@@ -88,9 +99,73 @@ class RunSummary:
     halted: bool = False
     halt_reason: Optional[str] = None
     wall_time: float = 0.0
+    #: Terminal completions recorded (retries collapse to one); unlike
+    #: ``len(results)`` this never decays under bounded retention.
+    n_completed: int = 0
+    #: Results evicted from the bounded retention window.
+    n_results_dropped: int = 0
+    #: Completions per exit code, e.g. ``{0: 993, 1: 7}``.
+    exit_counts: dict[int, int] = field(default_factory=dict)
+    #: Sum of recorded attempt runtimes (mean = runtime_sum/n_completed).
+    runtime_sum: float = 0.0
+    #: Earliest / latest recorded start times — the launch-rate window,
+    #: kept incrementally so the Fig. 3-5 metric survives eviction.
+    first_start: float = 0.0
+    last_start: float = 0.0
     #: Data-plane counters for staged (remote) runs — files_staged,
     #: cache_hits, bytes_moved, bytes_staged_avoided; empty for local runs.
     staging: dict = field(default_factory=dict)
+    #: Control-plane counters for sharded runs (frames sent/received,
+    #: jobs per frame, interning); empty for in-process dispatch.
+    rpc: dict = field(default_factory=dict)
+    #: Coordinator peak RSS in bytes (VmHWM on Linux, ``getrusage``
+    #: elsewhere), stamped at run end; 0 where the probe is unavailable.
+    coordinator_rss: int = 0
+
+    def record(self, result: JobResult) -> None:
+        """Fold one terminal completion into the summary.
+
+        Updates the retention window and every incremental aggregate in
+        one place; the scheduler calls this instead of appending to
+        ``results`` directly.
+        """
+        maxlen = getattr(self.results, "maxlen", None)
+        if maxlen is not None and len(self.results) >= maxlen:
+            self.n_results_dropped += 1  # deque evicts the oldest on append
+        self.results.append(result)
+        self.n_completed += 1
+        code = result.exit_code
+        self.exit_counts[code] = self.exit_counts.get(code, 0) + 1
+        self.runtime_sum += result.runtime
+        start = result.start_time
+        if self.n_completed == 1 or start < self.first_start:
+            self.first_start = start
+        if start > self.last_start:
+            self.last_start = start
+        if result.state == JobState.SUCCEEDED:
+            self.n_succeeded += 1
+        elif result.state in (JobState.FAILED, JobState.TIMED_OUT):
+            self.n_failed += 1
+
+    @property
+    def mean_runtime(self) -> float:
+        """Mean recorded attempt runtime, seconds (0.0 before any)."""
+        return self.runtime_sum / self.n_completed if self.n_completed else 0.0
+
+    @property
+    def observed_launch_rate(self) -> float:
+        """Jobs started per second over the whole run (eviction-proof).
+
+        The incremental counterpart of :meth:`launch_rate`: computed from
+        the first/last start-time window and ``n_completed``, so it stays
+        exact after bounded retention has evicted early results.
+        """
+        if self.n_completed < 2:
+            return 0.0
+        span = self.last_start - self.first_start
+        if span <= 0:
+            return float("inf")
+        return (self.n_completed - 1) / span
 
     @property
     def ok(self) -> bool:
@@ -117,6 +192,11 @@ class RunSummary:
             "halt_reason": self.halt_reason,
             "wall_time": self.wall_time,
             "exit_code": self.exit_code,
+            "n_completed": self.n_completed,
+            "n_results_dropped": self.n_results_dropped,
+            "results_retained": len(self.results),
+            "exit_counts": {str(k): v for k, v in sorted(self.exit_counts.items())},
+            "mean_runtime": self.mean_runtime,
             "results": [
                 {
                     "seq": r.seq,
@@ -136,6 +216,10 @@ class RunSummary:
         }
         if self.staging:
             out["staging"] = dict(self.staging)
+        if self.rpc:
+            out["rpc"] = dict(self.rpc)
+        if self.coordinator_rss:
+            out["coordinator_rss"] = self.coordinator_rss
         return out
 
     def write_json(self, path: str) -> None:

@@ -29,6 +29,8 @@ __all__ = [
     "HaltSpec",
     "Options",
     "DEFAULT_JOBS",
+    "DEFAULT_RPC_BATCH",
+    "DEFAULT_KEEP_RESULTS",
     "TMPDIR_WORKDIR",
     "parse_jobs",
     "parse_timeout",
@@ -36,6 +38,16 @@ __all__ = [
 
 #: GNU Parallel's ``-j`` default is one job per CPU core.
 DEFAULT_JOBS = os.cpu_count() or 1
+
+#: ``--rpc-batch auto`` frame-size cap: big enough to amortize the pipe
+#: wakeup + syscall cost across a dispatch burst, small enough that a
+#: partially filled frame never represents meaningful queued latency.
+DEFAULT_RPC_BATCH = 32
+
+#: ``--keep-results auto`` retention bound: generous for interactive use
+#: (every small/medium run behaves exactly as full retention), while a
+#: million-job run holds a fixed-size window instead of the whole list.
+DEFAULT_KEEP_RESULTS = 10_000
 
 #: ``--workdir`` spelling for "a unique per-run directory, auto-removed"
 #: — honoured by the local backend and every remote transport.
@@ -229,6 +241,18 @@ class Options:
     #: contexts; ordering/joblog/halt merge stays centralized, so output
     #: is byte-identical to ``--dispatchers 1``.
     dispatchers: Union[int, str] = "auto"
+    #: Spawn/result RPC frame size for sharded dispatch (``--rpc-batch``):
+    #: ``"auto"`` (min(DEFAULT_RPC_BATCH, -j) — frames larger than the
+    #: in-flight window can never fill) or N >= 1 records per frame.
+    #: 1 disables coalescing: every record ships immediately, the PR6
+    #: per-message shape.  Only meaningful with ``--dispatchers`` > 1.
+    rpc_batch: Union[int, str] = "auto"
+    #: In-memory result retention (``--keep-results``): ``"auto"``
+    #: (bounded at DEFAULT_KEEP_RESULTS), ``"all"`` (unbounded — the
+    #: pre-PR10 behaviour), or N >= 0 results kept.  Aggregates on
+    #: :class:`~repro.core.job.RunSummary` (counts, exit codes, launch
+    #: rate) are exact regardless; only the ``results`` window is capped.
+    keep_results: Union[int, str] = "auto"
     #: Stream each job's stdout line-by-line as it is produced instead of
     #: buffering until the job finishes (``--linebuffer``).  Lines from
     #: different jobs may interleave, but never within a line.  With
@@ -382,6 +406,32 @@ class Options:
             raise OptionsError(
                 f"--dispatchers must be >= 1, got {self.dispatchers}"
             )
+        if isinstance(self.rpc_batch, str):
+            text = self.rpc_batch.strip()
+            if text != "auto":
+                if not text.isdigit():
+                    raise OptionsError(
+                        f"--rpc-batch must be auto or a positive integer, "
+                        f"got {self.rpc_batch!r}"
+                    )
+                self.rpc_batch = int(text)
+        if isinstance(self.rpc_batch, int) and self.rpc_batch < 1:
+            raise OptionsError(
+                f"--rpc-batch must be >= 1, got {self.rpc_batch}"
+            )
+        if isinstance(self.keep_results, str):
+            text = self.keep_results.strip()
+            if text not in ("auto", "all"):
+                if not text.isdigit():
+                    raise OptionsError(
+                        f"--keep-results must be auto, all or an integer "
+                        f">= 0, got {self.keep_results!r}"
+                    )
+                self.keep_results = int(text)
+        if isinstance(self.keep_results, int) and self.keep_results < 0:
+            raise OptionsError(
+                f"--keep-results must be >= 0, got {self.keep_results}"
+            )
         if not self.remote:
             staging_flags = [
                 name
@@ -423,6 +473,27 @@ class Options:
         if self.dispatchers == "auto":
             return 1
         return int(self.dispatchers)
+
+    def effective_rpc_batch(self) -> int:
+        """Resolve ``--rpc-batch`` to a frame size.
+
+        ``"auto"`` adapts to the slot count: with ``-j`` jobs in flight
+        at most ``-j`` spawn records can ever be outstanding, so a larger
+        frame would only ever ship partially filled (after the idle
+        deadline) and buys nothing.
+        """
+        if self.rpc_batch == "auto":
+            jobs = self.jobs if isinstance(self.jobs, int) and self.jobs > 0 else DEFAULT_RPC_BATCH
+            return max(1, min(DEFAULT_RPC_BATCH, jobs))
+        return int(self.rpc_batch)
+
+    def effective_keep_results(self) -> Optional[int]:
+        """Resolve ``--keep-results``: None = keep everything, else a cap."""
+        if self.keep_results == "all":
+            return None
+        if self.keep_results == "auto":
+            return DEFAULT_KEEP_RESULTS
+        return int(self.keep_results)
 
     def effective_jobs(self, n_inputs: Optional[int] = None) -> int:
         """Resolve ``jobs=0`` ("run everything at once") against input count."""

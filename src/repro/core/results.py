@@ -1,4 +1,4 @@
-"""``--results`` directory layout.
+"""Result persistence and retention: ``--results`` trees, bounded windows.
 
 GNU Parallel's ``--results mydir`` stores, for each job, files::
 
@@ -11,6 +11,12 @@ We reproduce that layout so downstream tooling written against GNU
 Parallel result trees works unchanged.  Values are sanitized for path
 safety (``/`` → ``_``), a divergence GNU Parallel handles with encoding;
 documented here for clarity.
+
+This module also owns :func:`retention_buffer`, the in-memory half of
+the streaming result plane: at million-job scale (the paper's regime)
+the coordinator must not hold every :class:`JobResult` — durable records
+belong to the joblog/``--results``/metrics sinks, and the in-memory
+window is a bounded deque unless the caller opts into full retention.
 """
 
 from __future__ import annotations
@@ -18,10 +24,27 @@ from __future__ import annotations
 import os
 import re
 import threading
+from collections import deque
+from typing import MutableSequence
 
 from repro.core.job import JobResult
 
-__all__ = ["ResultsWriter", "result_dir_for"]
+__all__ = ["ResultsWriter", "result_dir_for", "retention_buffer"]
+
+
+def retention_buffer(keep: "int | None") -> MutableSequence[JobResult]:
+    """The in-memory results window for one run.
+
+    ``keep=None`` (full retention, ``--keep-results all``) returns a
+    plain list; an integer returns a ``deque(maxlen=keep)`` that evicts
+    the oldest result on overflow — coordinator RSS then scales with the
+    window, not the job count.  ``RunSummary.record`` counts evictions.
+    """
+    if keep is None:
+        return []
+    if keep < 0:
+        raise ValueError(f"retention bound must be >= 0, got {keep}")
+    return deque(maxlen=keep)
 
 _UNSAFE = re.compile(r"[/\x00]")
 

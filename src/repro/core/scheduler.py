@@ -36,6 +36,7 @@ import os
 import queue
 import random
 import re
+import sys
 import threading
 import time
 from collections import deque
@@ -48,7 +49,7 @@ from repro.core.joblog import JoblogWriter, completed_seqs
 from repro.core.options import Options
 from repro.core.output import OutputSequencer
 from repro.core.policies import HaltTracker, retry_backoff_delay, should_retry
-from repro.core.results import ResultsWriter
+from repro.core.results import ResultsWriter, retention_buffer
 from repro.core.runstats import StreamingMedian
 from repro.core.slots import SlotPool
 from repro.core.template import CommandTemplate
@@ -62,6 +63,36 @@ _STOP = None
 #: Initial --load/--memfree poll interval; doubles up to
 #: ``Options.throttle_poll_max``.
 _THROTTLE_POLL_INITIAL = 0.005
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None
+
+
+def _coordinator_rss() -> int:
+    """This process's peak RSS in bytes (0 where unavailable).
+
+    The bounded-memory claim of the streaming result plane is only
+    checkable if the run reports it.  On Linux ``/proc/self/status``
+    VmHWM is preferred over ``ru_maxrss``: the rusage counter is a
+    fork-inherited high-water mark — a child briefly shares its
+    parent's COW-resident pages between fork and exec, and the kernel
+    folds that pre-exec peak into ``sig->maxrss`` — so a coordinator
+    spawned by a large parent would report the *parent's* footprint.
+    VmHWM tracks only the current address space (reset on exec).
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    if _resource is None:
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024  # KiB on Linux
 
 
 class _MemAvailableProbe:
@@ -223,18 +254,22 @@ def run_scheduler(
     command (callable backends); the command recorded is then a synthetic
     ``func(args...)`` string for joblog purposes.
     """
+    # Job ingestion stays lazy end to end: a generator source streams
+    # through normalize()/group_args() and is pulled one group per
+    # dispatch, so an unbounded or million-item input never materializes
+    # in the coordinator.  --shuf is the one necessary exception —
+    # shuffling requires the whole list — and it materializes exactly
+    # once, reusing that list for the --eta/halt total.
     known_total: Optional[int] = None
+    groups: Iterator[ArgGroup]
     if options.shuf:
-        source = shuffled(normalize(source), seed=options.seed)
-        known_total = None  # length recomputed below
-    if hasattr(source, "__len__"):
-        known_total = len(source)  # type: ignore[arg-type]
-
-    groups: Iterator[ArgGroup] = normalize(source)
-    if options.shuf and known_total is None:
-        materialized = list(groups)
-        known_total = len(materialized)
-        groups = iter(materialized)
+        shuffled_groups = shuffled(normalize(source), seed=options.seed)
+        known_total = len(shuffled_groups)
+        groups = iter(shuffled_groups)
+    else:
+        if hasattr(source, "__len__"):
+            known_total = len(source)  # type: ignore[arg-type]
+        groups = normalize(source)
     if options.colsep:
         colsep_re = re.compile(options.colsep)
         groups = (
@@ -275,6 +310,13 @@ def run_scheduler(
     prepare_run = getattr(backend, "prepare_run", None)
     if prepare_run is not None:
         prepare_run(options)
+    # Command-template interning: sharded backends ship the compiled
+    # template to every dispatcher shard once, so per-job spawn frames
+    # carry only the argument delta (the backend gates on template shape
+    # and no-ops for unsupported forms).
+    intern_hook = getattr(backend, "intern_template", None)
+    if intern_hook is not None and template is not None:
+        intern_hook(template, options)
 
     joblog: Optional[JoblogWriter] = None
     skip: set[int] = set()
@@ -290,7 +332,12 @@ def run_scheduler(
     results_writer = ResultsWriter(options.results) if options.results else None
     sequencer = OutputSequencer(emit or (lambda r, text: None), options)
 
-    summary = RunSummary()
+    # Bounded in-memory retention (--keep-results): the deque window
+    # keeps coordinator RSS O(window + slots) while every aggregate the
+    # run report needs is maintained incrementally in summary.record().
+    summary = RunSummary(
+        results=retention_buffer(options.effective_keep_results())
+    )
 
     def notify_progress() -> None:
         if progress is None:
@@ -299,7 +346,7 @@ def run_scheduler(
 
         progress(
             Progress(
-                done=len(summary.results) + summary.n_skipped,
+                done=summary.n_completed + summary.n_skipped,
                 failed=summary.n_failed,
                 total=known_total,
                 elapsed=time.time() - wall_start,
@@ -405,6 +452,7 @@ def run_scheduler(
         tracer.run_started(
             jobs_cap=jobs_cap, total=known_total,
             dispatchers=getattr(backend, "dispatchers", 1),
+            rpc_batch=getattr(backend, "rpc_batch", 1),
         )
 
     # --load / --memfree probes.
@@ -472,12 +520,14 @@ def run_scheduler(
             return lookahead.popleft()
         return pull_fresh()
 
-    def reap(timeout: Optional[float] = None) -> bool:
+    def reap(timeout: Optional[float] = None, notify: bool = True) -> bool:
         """Consume one completion from the workers; False on timeout.
 
         The slot is released only *after* the completion — retry re-queue
         included — has been handled, so a freed slot can never outrun its
         own completion (the structural retry-fairness guarantee).
+        ``notify=False`` lets a batch drain coalesce progress callbacks
+        into one per wakeup instead of one per completion.
         """
         nonlocal active, halted_soon, halt_deadline
         try:
@@ -497,7 +547,8 @@ def run_scheduler(
         finally:
             slots.release(slot)
             active -= 1
-        notify_progress()
+        if notify:
+            notify_progress()
         if halt.triggered and not halted_soon:
             halted_soon = True
             if halt.kill_running:
@@ -516,10 +567,18 @@ def run_scheduler(
 
         Keeps completion handling (and thus retry re-queues and halt
         detection) current while fresh input streams through free slots.
+        The whole batch is handled per wakeup with a single progress
+        callback at the end — under batched shard RPC, completions arrive
+        frame-at-a-time, and per-item notification would pay the callback
+        cost ``jobs_per_frame`` times per wakeup for no information gain.
         """
+        handled = 0
         while not done_q.empty():
-            if not reap(timeout=0):
+            if not reap(timeout=0, notify=False):
                 break
+            handled += 1
+        if handled:
+            notify_progress()
 
     def wait_for_throttle() -> None:
         """Stall dispatch while ``--load``/``--memfree`` say so.
@@ -673,6 +732,14 @@ def run_scheduler(
         staging_stats = stats_hook()
         if staging_stats:
             summary.staging = staging_stats
+    # Control-plane counters (frames sent/received, jobs per frame,
+    # interning, failover re-queues) from sharded backends.
+    rpc_hook = getattr(backend, "control_plane_stats", None)
+    if rpc_hook is not None:
+        rpc_stats = rpc_hook()
+        if rpc_stats:
+            summary.rpc = rpc_stats
+    summary.coordinator_rss = _coordinator_rss()
     if tracer is not None:
         tracer.run_finished(summary)
     backend.close()
@@ -714,11 +781,7 @@ def _handle_completion(
     if tracer is not None:
         tracer.attempt_finished(job, result)
     job.state = result.state
-    summary.results.append(result)
-    if result.state == JobState.SUCCEEDED:
-        summary.n_succeeded += 1
-    elif result.state in (JobState.FAILED, JobState.TIMED_OUT):
-        summary.n_failed += 1
+    summary.record(result)
     halt.record(result.state)
     if results_writer is not None and not dry_run:
         results_writer.write(result)

@@ -111,6 +111,17 @@ class FaultyBackend(Backend):
         if bind is not None:
             bind(tracer)
 
+    def intern_template(self, template, options: Options) -> None:
+        # Template interning reaches the real (sharded) backend; the
+        # wrapper itself renders nothing.
+        intern = getattr(self.inner, "intern_template", None)
+        if intern is not None:
+            intern(template, options)
+
+    def control_plane_stats(self) -> dict:
+        stats = getattr(self.inner, "control_plane_stats", None)
+        return stats() if stats is not None else {}
+
     def cancel_all(self) -> None:
         self._cancelled.set()
         self.inner.cancel_all()

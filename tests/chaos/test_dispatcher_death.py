@@ -32,11 +32,12 @@ pytestmark = pytest.mark.skipif(
 N_JOBS = 24
 
 
-def _run_sharded(tmp_path, tag, n_dispatchers, killer=None):
+def _run_sharded(tmp_path, tag, n_dispatchers, killer=None, rpc_batch=1):
     """One sharded run; returns (summary, ordered output, joblog path)."""
     backend = LocalShellBackend()
     options = Options(
         jobs=4, dispatchers=n_dispatchers, keep_order=True,
+        rpc_batch=rpc_batch,
         joblog=str(tmp_path / f"{tag}.log"),
     )
     chunks = []
@@ -61,25 +62,43 @@ def _run_sharded(tmp_path, tag, n_dispatchers, killer=None):
 
 
 def _kill_busiest_shard(backend):
-    """Wait until some shard holds in-flight work, then SIGKILL it."""
+    """Freeze the busiest shard, confirm it still owns work, then kill.
+
+    SIGSTOP before SIGKILL: a stopped shard cannot post result frames,
+    so any load still attributed to it parent-side after the stop is
+    work the kill is guaranteed to strand.  Observing ``load > 0`` and
+    killing directly races — the in-flight jobs can drain in the gap
+    between the load snapshot and signal delivery, leaving nothing to
+    re-queue.
+    """
     deadline = time.time() + 5.0
     while time.time() < deadline:
         pool = backend._pool
         if pool is not None:
+            # Empty until DispatcherPool.start() registers the shards.
             loads = pool.shard_loads()
-            if max(loads) > 0:
+            if loads and max(loads) > 0:
                 victim = loads.index(max(loads))
-                os.kill(pool.shard_pids[victim], signal.SIGKILL)
-                return
+                pid = pool.shard_pids[victim]
+                try:
+                    os.kill(pid, signal.SIGSTOP)
+                except ProcessLookupError:
+                    continue
+                time.sleep(0.02)  # already-sent result frames drain
+                if pool.shard_loads()[victim] > 0:
+                    os.kill(pid, signal.SIGKILL)
+                    return
+                os.kill(pid, signal.SIGCONT)
         time.sleep(0.005)
-    raise AssertionError("no shard ever became busy")
+    raise AssertionError("no shard ever stayed busy long enough to kill")
 
 
 def _kill_every_shard(backend):
     deadline = time.time() + 5.0
     while time.time() < deadline:
         pool = backend._pool
-        if pool is not None and all(pid is not None for pid in pool.shard_pids):
+        pids = pool.shard_pids if pool is not None else []
+        if pids and all(pid is not None for pid in pids):
             # Let some work land first so in-flight jobs exist to lose.
             if max(pool.shard_loads()) > 0:
                 for pid in pool.shard_pids:
@@ -123,6 +142,47 @@ def test_shard_death_requeues_in_flight_jobs(tmp_path):
     # The joblog sealed cleanly: every seq, no torn or duplicate rows.
     seqs, entries = _sealed_seqs(joblog)
     assert seqs == list(range(1, N_JOBS + 1))
+    assert all(e.exitval == 0 and e.signal == 0 for e in entries)
+
+
+def test_shard_death_mid_frame_requeues_exactly_once(tmp_path):
+    """SIGKILL a shard while batched frames are in flight.
+
+    With ``--rpc-batch 8`` a dead shard can hold whole frames of spawn
+    records — some on the wire, some still in its outbox.  The contract
+    is unchanged from the per-message era: every in-flight job re-queues
+    onto a survivor *exactly once* (no dropped seq, no duplicate joblog
+    row) and the keep-order output matches a fault-free run.
+    """
+    clean_summary, clean_text, _ = _run_sharded(
+        tmp_path, "clean-framed", 2, rpc_batch=8
+    )
+    assert clean_summary.ok
+
+    backend_seen = {}
+
+    def killer(backend):
+        _kill_busiest_shard(backend)
+        backend_seen["pool"] = backend._pool
+
+    summary, text, joblog = _run_sharded(
+        tmp_path, "faulted-framed", 2, killer=killer, rpc_batch=8
+    )
+
+    assert summary.ok
+    assert summary.n_succeeded == N_JOBS
+    assert text == clean_text  # byte-identical despite the mid-frame death
+
+    # The control-plane stats surfaced on the summary agree with the pool.
+    pool = backend_seen["pool"]
+    assert pool.requeued >= 1
+    assert summary.rpc.get("requeued", 0) == pool.requeued
+    assert summary.rpc.get("batch") == 8
+
+    # Exactly once: every seq sealed, none twice, all clean exits.
+    seqs, entries = _sealed_seqs(joblog)
+    assert seqs == list(range(1, N_JOBS + 1))
+    assert len(entries) == N_JOBS
     assert all(e.exitval == 0 and e.signal == 0 for e in entries)
 
 

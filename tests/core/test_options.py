@@ -106,3 +106,33 @@ def test_dispatchers_rejects_bad_forms():
     for bad in (0, -3, "none", "1.5", "-2"):
         with pytest.raises(OptionsError):
             Options(dispatchers=bad)
+
+
+def test_rpc_batch_accepts_auto_and_counts():
+    assert Options().rpc_batch == "auto"
+    assert Options(rpc_batch=8).effective_rpc_batch() == 8
+    assert Options(rpc_batch="16").effective_rpc_batch() == 16
+    # auto scales with the in-flight window: frames larger than the slot
+    # count can never fill, so small -j keeps frames small.
+    assert Options(rpc_batch="auto", jobs=4).effective_rpc_batch() == 4
+    assert Options(rpc_batch="auto", jobs=500).effective_rpc_batch() == 32
+
+
+def test_rpc_batch_rejects_bad_forms():
+    for bad in (0, -1, "none", "1.5"):
+        with pytest.raises(OptionsError):
+            Options(rpc_batch=bad)
+
+
+def test_keep_results_accepts_auto_all_and_counts():
+    assert Options().keep_results == "auto"
+    assert Options().effective_keep_results() == 10_000
+    assert Options(keep_results="all").effective_keep_results() is None
+    assert Options(keep_results=0).effective_keep_results() == 0
+    assert Options(keep_results="250").effective_keep_results() == 250
+
+
+def test_keep_results_rejects_bad_forms():
+    for bad in (-1, "some", "1.5"):
+        with pytest.raises(OptionsError):
+            Options(keep_results=bad)

@@ -1,0 +1,203 @@
+"""Streaming result plane: bounded retention, lazy sources, O(1) memory.
+
+Million-job runs must not grow the coordinator linearly: ``RunSummary``
+keeps a bounded window of recent results (``--keep-results``, default
+10,000) while aggregates (counts, exit histogram, mean runtime, launch
+rate) stay exact via incremental accumulators, and generator input
+sources are consumed lazily — the scheduler holds O(slots + batch)
+state, never the whole run.  The 100k-job smoke at the bottom pins the
+actual coordinator RSS under a ceiling well below what unbounded
+retention measures on the same workload (~85 MB vs ~36 MB here).
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro import Parallel
+from repro.core.inputs import shuffled
+from repro.core.results import retention_buffer
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+# ------------------------------------------------------- retention buffer
+def test_retention_buffer_shapes():
+    unbounded = retention_buffer(None)
+    assert isinstance(unbounded, list)
+    window = retention_buffer(5)
+    assert getattr(window, "maxlen") == 5
+    empty = retention_buffer(0)
+    empty.append("x")
+    assert len(empty) == 0
+    with pytest.raises(ValueError):
+        retention_buffer(-1)
+
+
+# ----------------------------------------------------- bounded aggregates
+def test_bounded_window_keeps_latest_aggregates_stay_exact():
+    # Serial (jobs=1) so completion order == seq order: the window must
+    # hold exactly the last 10 seqs while every aggregate covers all 50.
+    summary = Parallel(lambda x: x, jobs=1, keep_results=10).run(range(50))
+    assert summary.ok
+    assert summary.n_completed == 50
+    assert summary.n_succeeded == 50
+    assert summary.n_results_dropped == 40
+    assert len(summary.results) == 10
+    assert sorted(r.seq for r in summary.results) == list(range(41, 51))
+    assert summary.exit_counts == {0: 50}
+    assert summary.mean_runtime >= 0.0
+    assert summary.observed_launch_rate > 0.0
+
+
+def test_keep_results_all_retains_everything():
+    summary = Parallel(lambda x: x, jobs=2, keep_results="all").run(range(30))
+    assert summary.n_completed == 30
+    assert len(summary.results) == 30
+    assert summary.n_results_dropped == 0
+
+
+def test_keep_results_zero_counts_only():
+    summary = Parallel(lambda x: x, jobs=2, keep_results=0).run(range(12))
+    assert summary.ok
+    assert summary.n_completed == 12
+    assert len(summary.results) == 0
+    assert summary.n_results_dropped == 12
+    assert summary.exit_counts == {0: 12}
+
+
+def test_to_dict_reports_retention():
+    summary = Parallel(lambda x: x, jobs=1, keep_results=4).run(range(9))
+    d = summary.to_dict()
+    assert d["n_completed"] == 9
+    assert d["n_results_dropped"] == 5
+    assert d["results_retained"] == 4
+    assert d["exit_counts"] == {"0": 9}
+    assert len(d["results"]) == 4
+
+
+def test_map_widens_auto_retention():
+    # map() must hand back every value even past the default window, so
+    # keep_results="auto" widens to "all" for that call only.
+    engine = Parallel(lambda x: int(x) * 2, jobs=4)
+    assert engine.map(range(100)) == [x * 2 for x in range(100)]
+    assert engine.options.keep_results == "auto"  # engine state untouched
+
+
+# --------------------------------------------------------- output parity
+def test_retention_does_not_change_emitted_output():
+    # The output plane streams results as they complete; the retention
+    # window only affects what the summary keeps afterwards.
+    def run(keep):
+        chunks = []
+        engine = Parallel(
+            "echo line-{}",
+            output=lambda _res, text: chunks.append(text),
+            jobs=3, keep_order=True, keep_results=keep,
+        )
+        summary = engine.run(range(1, 25))
+        assert summary.ok
+        return hashlib.sha256("".join(chunks).encode()).hexdigest()
+
+    assert run(4) == run("all")
+
+
+# ------------------------------------------------------------ lazy source
+def test_generator_source_consumed_lazily():
+    pulled = []
+
+    def source():
+        i = 0
+        while True:  # unbounded: full materialization would never return
+            pulled.append(i)
+            yield i
+            i += 1
+
+    summary = Parallel(
+        lambda x: x, jobs=2, halt="now,success=3"
+    ).run(source())
+    assert summary.halted
+    assert summary.n_succeeded >= 3
+    # The scheduler read only a dispatch window's worth, not "everything".
+    assert len(pulled) < 100
+
+
+def test_shuffled_materializes_once_as_list():
+    groups = shuffled((f"in-{i}" for i in range(10)), seed=7)
+    assert isinstance(groups, list)  # reusable: len() + iteration
+    assert len(groups) == 10
+    assert shuffled((f"in-{i}" for i in range(10)), seed=7) == groups
+
+
+def test_shuf_run_is_a_permutation():
+    chunks = []
+    engine = Parallel(
+        "echo {}", output=lambda _res, text: chunks.append(text),
+        jobs=2, shuf=True, keep_order=True,
+    )
+    summary = engine.run(range(1, 13))
+    assert summary.ok
+    assert sorted("".join(chunks).split()) == sorted(
+        str(i) for i in range(1, 13)
+    )
+
+
+# ------------------------------------------------------- 100k RSS ceiling
+#: ru_maxrss ceiling (KiB) for the bounded 100k-job run.  Measured ~36 MB
+#: bounded vs ~85 MB with --keep-results all on this workload, so 64 MiB
+#: fails if retention regresses to linear growth but has ~2x headroom
+#: over the bounded path's real footprint.
+RSS_CEILING_KIB = 64 * 1024
+
+
+def test_100k_jobs_bounded_coordinator_rss():
+    """End-to-end streaming smoke: 100k jobs from a generator source.
+
+    Runs in a child interpreter so the measurement reflects this run
+    alone.  The child reports VmHWM where available, not ru_maxrss:
+    the rusage counter is a fork-inherited high-water mark (the child
+    briefly shares the parent's COW-resident pages before exec), so
+    under a full pytest run it floors at the *parent's* RSS.
+    """
+    code = textwrap.dedent(
+        """
+        import resource, sys
+        from repro import Parallel
+
+        summary = Parallel(lambda x: None, jobs=8).run(
+            iter(range(100_000))
+        )
+        assert summary.ok, "run failed"
+        assert summary.n_completed == 100_000, summary.n_completed
+        assert summary.n_results_dropped == 90_000, summary.n_results_dropped
+        assert len(summary.results) == 10_000
+        assert summary.coordinator_rss > 0
+        peak_kib = 0
+        try:
+            with open("/proc/self/status") as fh:
+                for line in fh:
+                    if line.startswith("VmHWM:"):
+                        peak_kib = int(line.split()[1])
+        except OSError:
+            pass
+        if not peak_kib:
+            peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            if sys.platform == "darwin":
+                peak_kib //= 1024
+        print(peak_kib)
+        """
+    )
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.run(
+        [sys.executable, "-c", code], env=env,
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    rss_kib = int(proc.stdout.strip())  # child normalizes to KiB
+    assert rss_kib < RSS_CEILING_KIB, (
+        f"coordinator RSS {rss_kib} KiB >= ceiling {RSS_CEILING_KIB} KiB"
+    )

@@ -1,0 +1,217 @@
+"""Control-plane frame protocol: codec, batching, interning, counters.
+
+The sharded dispatch pool (``repro.core.backends.pool``) amortizes its
+per-job IPC by packing spawn/result/kill records into length-prefixed
+struct frames.  These tests pin the codec (exact round-trips, including
+awkward strings), the batching mechanics (flush on size, flush on idle
+deadline, batch=1 degenerating to per-job shipping), template interning
+parity (worker-side render == parent-side render), and the stats
+counters the RUN_END summary reports.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.backends.pool import (
+    FK_KILL,
+    FK_RESULT,
+    FK_SPAWN,
+    FRAME_MAGIC,
+    DispatcherPool,
+    iter_result_records,
+    iter_spawn_records,
+    pack_frame,
+    pack_result_record,
+    pack_spawn_record,
+    pool_supported,
+)
+
+pytestmark = pytest.mark.skipif(
+    not pool_supported(), reason="sharded dispatch requires POSIX"
+)
+
+
+# ------------------------------------------------------------------- codec
+def test_spawn_record_roundtrip_raw_command():
+    cmds = [
+        "echo hi",
+        "sh -c 'printf \"%s\\n\" \"a b\"'",
+        "echo ü-ñ-字",
+        "echo multi\nline",
+        "",
+    ]
+    records = [
+        pack_spawn_record(token=i + 1, seq=10 * i, slot=i, command=c)
+        for i, c in enumerate(cmds)
+    ]
+    frame = pack_frame(FK_SPAWN, records)
+    out = list(iter_spawn_records(frame))
+    assert [(t, s, sl) for t, s, sl, _, _ in out] == [
+        (i + 1, 10 * i, i) for i in range(len(cmds))
+    ]
+    assert [c for _, _, _, c, _ in out] == cmds
+    assert all(a is None for _, _, _, _, a in out)
+
+
+def test_spawn_record_roundtrip_interned_args():
+    argsets = [
+        ("a",),
+        ("a b", "c"),
+        (),
+        ("ü\n", "tab\there"),
+    ]
+    records = [
+        pack_spawn_record(token=i, seq=i, slot=0, args=a)
+        for i, a in enumerate(argsets)
+    ]
+    out = list(iter_spawn_records(pack_frame(FK_SPAWN, records)))
+    assert [a for _, _, _, _, a in out] == argsets
+    assert all(c is None for _, _, _, c, _ in out)
+
+
+def test_spawn_record_surrogates_roundtrip():
+    # os.fsdecode of a non-UTF8 filename yields lone surrogates; the
+    # frame codec must carry them without raising.
+    weird = os.fsdecode(b"f\xffile")
+    (rec,) = list(
+        iter_spawn_records(
+            pack_frame(FK_SPAWN, [pack_spawn_record(1, 1, 0, command=weird)])
+        )
+    )
+    assert rec[3] == weird
+
+
+def test_result_record_roundtrip():
+    rec = pack_result_record(
+        token=7, rc=-9, out=b"std\x00out", err=b"", start=1.5, end=2.25,
+        spawn_dur=0.002, pid=4242,
+    )
+    frame = pack_frame(FK_RESULT, [rec])
+    ((token, rc, out, err, start, end, spawn_dur, pid),) = list(
+        iter_result_records(frame)
+    )
+    assert (token, rc, out, err) == (7, -9, b"std\x00out", b"")
+    assert (start, end, spawn_dur, pid) == (1.5, 2.25, 0.002, 4242)
+
+
+def test_frame_magic_disambiguates_from_pickle():
+    # Both message kinds share one pipe; the first byte must tell them
+    # apart.  Pickle protocol >= 2 always begins 0x80.
+    frame = pack_frame(FK_KILL, [])
+    assert frame[0] == FRAME_MAGIC
+    for proto in (2, pickle.HIGHEST_PROTOCOL):
+        assert pickle.dumps(("kill_all",), proto)[0] == 0x80
+        assert pickle.dumps(("kill_all",), proto)[0] != FRAME_MAGIC
+
+
+# ------------------------------------------------------------ batched pool
+def test_batched_pool_runs_and_amortizes():
+    pool = DispatcherPool(2, batch=8)
+    pool.start()
+    try:
+        import threading
+
+        replies = {}
+
+        def one(i):
+            replies[i] = pool.run(f"echo batched-{i}")
+
+        threads = [
+            threading.Thread(target=one, args=(i,)) for i in range(20)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r.kind == "done" and r.returncode == 0
+                   for r in replies.values())
+        assert sorted(r.stdout for r in replies.values()) == sorted(
+            f"batched-{i}\n".encode() for i in range(20)
+        )
+        stats = pool.stats()
+        assert stats["batch"] == 8
+        assert stats["jobs_sent"] == 20
+        assert stats["results_recv"] == 20
+        # Concurrent submission must have coalesced at least some frames.
+        assert stats["frames_sent"] <= stats["jobs_sent"]
+        assert stats["jobs_per_frame"] >= 1.0
+    finally:
+        pool.close()
+
+
+def test_batch_one_ships_per_job_frames():
+    pool = DispatcherPool(1, batch=1)
+    pool.start()
+    try:
+        for i in range(5):
+            assert pool.run(f"echo solo-{i}").returncode == 0
+        stats = pool.stats()
+        assert stats["frames_sent"] == stats["jobs_sent"] == 5
+        assert stats["jobs_per_frame"] == 1.0
+    finally:
+        pool.close()
+
+
+def test_idle_deadline_flushes_partial_frame():
+    # One lone job with a huge batch size must still ship (and finish)
+    # via the ~200 µs idle flusher, not wait for a full frame.
+    pool = DispatcherPool(1, batch=64)
+    pool.start()
+    try:
+        reply = pool.run("echo lonely", timeout=10)
+        assert reply.kind == "done"
+        assert reply.stdout == b"lonely\n"
+        assert not reply.timed_out
+    finally:
+        pool.close()
+
+
+def test_timeout_kill_under_batching():
+    pool = DispatcherPool(1, batch=16)
+    pool.start()
+    try:
+        reply = pool.run("sleep 30", timeout=0.3)
+        assert reply.timed_out
+        assert reply.returncode != 0
+    finally:
+        pool.close()
+
+
+def test_interned_template_renders_worker_side():
+    from repro.core.template import CommandTemplate
+
+    tmpl = CommandTemplate("echo tpl-{} s{#} l{%}")
+    pool = DispatcherPool(1, batch=4)
+    pool.start()
+    try:
+        pool.intern_template(tmpl.source, quote=False)
+        assert pool.interned
+        for seq, arg in ((3, "alpha"), (9, "two words")):
+            parent_render = tmpl.render((arg,), seq=seq, slot=1, quote=False)
+            reply = pool.run(
+                parent_render, args=(arg,), seq=seq, slot=1, timeout=10
+            )
+            assert reply.kind == "done"
+            # Worker-side render must equal the parent's render.
+            expected = (
+                parent_render.replace("echo ", "", 1) + "\n"
+            ).encode()
+            assert reply.stdout == expected
+        assert pool.stats()["interned"] is True
+    finally:
+        pool.close()
+
+
+def test_uninterned_args_fall_back_to_raw_command():
+    # args= without a prior intern_template must not break: the raw
+    # command string still travels in the record.
+    pool = DispatcherPool(1, batch=4)
+    pool.start()
+    try:
+        reply = pool.run("echo raw-7", args=("7",), seq=1, slot=0, timeout=10)
+        assert reply.kind == "done"
+        assert reply.stdout == b"raw-7\n"
+    finally:
+        pool.close()

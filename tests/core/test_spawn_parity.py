@@ -209,6 +209,40 @@ def test_dispatcher_matrix_halt_now_fail(tmp_path, n_disp, path):
     ]
 
 
+#: Frame sizes for the rpc-batch parity matrix.  1 = per-job messages
+#: (the pre-batching wire shape every other cell must reproduce).
+RPC_BATCHES = (1, 8, 64)
+
+
+@pytest.mark.parametrize("rpc_batch", RPC_BATCHES)
+def test_rpc_batch_matrix_byte_identical(tmp_path, rpc_batch):
+    """Frame batching is a pure wire optimisation: every (rpc_batch,
+    dispatchers) cell must reproduce the unbatched single-dispatcher
+    byte stream — output rows, failure counts and sealed joblog alike.
+    """
+    flags = {"keep_order": True, "tag": True}
+    baseline = _matrix_cell(1, "auto", tmp_path, {**flags, "rpc_batch": 1})
+    assert baseline["n_failed"] == 4
+    for n_disp in DISPATCHERS:
+        cell = _matrix_cell(
+            n_disp, "auto", tmp_path, {**flags, "rpc_batch": rpc_batch}
+        )
+        assert cell["rows"] == baseline["rows"], (
+            f"--rpc-batch {rpc_batch} --dispatchers {n_disp} diverged"
+        )
+        assert cell["n_failed"] == baseline["n_failed"]
+        assert cell["joblog"] == baseline["joblog"]
+
+
+def test_rpc_batch_auto_matches_explicit(tmp_path):
+    # The "auto" frame-size heuristic must be invisible in the output.
+    flags = {"keep_order": True}
+    auto = _matrix_cell(2, "auto", tmp_path, {**flags, "rpc_batch": "auto"})
+    explicit = _matrix_cell(2, "auto", tmp_path, {**flags, "rpc_batch": 8})
+    assert auto["rows"] == explicit["rows"]
+    assert auto["joblog"] == explicit["joblog"]
+
+
 def test_dispatchers_resolution_matrix():
     backend = LocalShellBackend()
     try:
